@@ -1,0 +1,65 @@
+// Reproduces Figure 9: distribution of times for the three PANDAS phases
+// (seeding, consolidation, sampling) across all nodes, for the three builder
+// seeding strategies, at 1,000 nodes. Also prints the gossip block-delivery
+// distribution plotted in Fig 9a.
+//
+//   ./build/bench/bench_fig09_phases [--nodes 1000] [--slots 10] [--quick]
+//                                    [--no-boost] [--cdf]
+
+#include <cstdio>
+
+#include "harness/args.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  using namespace pandas;
+  harness::Args args(argc, argv);
+  const bool quick = args.has("--quick");
+  const bool cdf = args.has("--cdf");
+
+  const auto nodes =
+      static_cast<std::uint32_t>(args.get_int("--nodes", quick ? 300 : 700));
+  const auto slots =
+      static_cast<std::uint32_t>(args.get_int("--slots", 1));
+
+  const core::SeedingPolicy policies[] = {
+      core::SeedingPolicy::minimal(),
+      core::SeedingPolicy::single(),
+      core::SeedingPolicy::redundant(8),
+  };
+
+  for (const auto& policy : policies) {
+    harness::PandasConfig cfg;
+    cfg.net.nodes = nodes;
+    cfg.net.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+    cfg.slots = slots;
+    cfg.policy = policy;
+    if (args.has("--no-boost")) cfg.policy.boost_enabled = false;
+
+    harness::PandasExperiment experiment(cfg);
+    const auto res = experiment.run();
+
+    harness::print_header("Fig 9 — policy " + policy.name() + " (" +
+                          std::to_string(nodes) + " nodes, " +
+                          std::to_string(slots) + " slots)");
+    harness::print_summary("(a) time to seeding", res.seed_ms, "ms");
+    harness::print_summary("(a) block via gossip", res.block_ms, "ms");
+    harness::print_summary("(b) consolidation (from seeding)",
+                           res.consolidation_from_seed_ms, "ms");
+    harness::print_summary("(c) consolidation (from start)",
+                           res.consolidation_ms, "ms");
+    harness::print_summary("(d) time to sampling", res.sampling_ms, "ms");
+    std::printf("  consolidation misses: %llu   sampling misses: %llu\n",
+                static_cast<unsigned long long>(res.consolidation_misses),
+                static_cast<unsigned long long>(res.sampling_misses));
+    std::printf("  met 4 s deadline: %.2f%%   builder egress/slot: %s\n",
+                100.0 * res.deadline_fraction(),
+                util::format_bytes(res.builder_bytes_per_slot).c_str());
+    if (cdf) {
+      harness::print_cdf("time to seeding (ms)", res.seed_ms);
+      harness::print_cdf("time to sampling (ms)", res.sampling_ms);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 10: distribution of messages and traffic volume for
+// fetching across nodes (both directions), for the three seeding strategies
+// at 1,000 nodes.
+//
+//   ./build/bench/bench_fig10_bandwidth [--nodes 1000] [--slots 10] [--quick]
+
+#include <cstdio>
+
+#include "harness/args.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  using namespace pandas;
+  harness::Args args(argc, argv);
+  const bool quick = args.has("--quick");
+  const auto nodes =
+      static_cast<std::uint32_t>(args.get_int("--nodes", quick ? 300 : 500));
+  const auto slots =
+      static_cast<std::uint32_t>(args.get_int("--slots", quick ? 1 : 1));
+
+  const core::SeedingPolicy policies[] = {
+      core::SeedingPolicy::minimal(),
+      core::SeedingPolicy::single(),
+      core::SeedingPolicy::redundant(8),
+  };
+
+  harness::print_header("Fig 10 — fetch messages & traffic per node (" +
+                        std::to_string(nodes) + " nodes, " +
+                        std::to_string(slots) + " slots)");
+  for (const auto& policy : policies) {
+    harness::PandasConfig cfg;
+    cfg.net.nodes = nodes;
+    cfg.net.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+    cfg.slots = slots;
+    cfg.policy = policy;
+    cfg.block_gossip = false;
+
+    harness::PandasExperiment experiment(cfg);
+    const auto res = experiment.run();
+    std::printf("\n  policy %s:\n", policy.name().c_str());
+    harness::print_summary("fetch messages (in+out)", res.fetch_messages, "");
+    harness::print_summary("fetch traffic (in+out)", res.fetch_mb, " MB");
+    std::printf("    EIP-7870 check: max traffic %.2f MB over a slot "
+                "(equivalent avg %.2f Mbps; budget 50/15 Mbps)\n",
+                res.fetch_mb.max(), res.fetch_mb.max() * 8.0 / 12.0);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 13: PANDAS scalability from 1,000 to 20,000 nodes —
+// (a) phase-time distributions, (b) fetch messages, (c) fetch bandwidth,
+// with the redundant seeding strategy.
+//
+//   ./build/bench/bench_fig13_scaling [--quick] [--max-nodes 20000]
+//                                     [--slots 3]
+//
+// Defaults stop at 5,000 nodes so the whole bench suite completes on a
+// laptop; pass --max-nodes 20000 for the paper's full sweep.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/args.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  using namespace pandas;
+  harness::Args args(argc, argv);
+  const bool quick = args.has("--quick");
+  const auto max_nodes = static_cast<std::uint32_t>(
+      args.get_int("--max-nodes", quick ? 1000 : 3000));
+  const auto slots =
+      static_cast<std::uint32_t>(args.get_int("--slots", 1));
+
+  std::vector<std::uint32_t> sizes;
+  for (const std::uint32_t n : {1000u, 3000u, 5000u, 10000u, 20000u}) {
+    if (n <= max_nodes) sizes.push_back(n);
+  }
+
+  harness::print_header("Fig 13 — PANDAS scaling (redundant r=8, " +
+                        std::to_string(slots) + " slot(s) per size)");
+  std::printf("  %-7s %-10s %-10s %-10s %-9s %-10s %-10s %-8s\n", "N",
+              "seed p50", "cons p50", "samp p50", "samp p99", "msgs avg",
+              "MB avg", "met-4s");
+  for (const auto n : sizes) {
+    harness::PandasConfig cfg;
+    cfg.net.nodes = n;
+    cfg.net.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+    cfg.slots = slots;
+    cfg.policy = core::SeedingPolicy::redundant(8);
+    cfg.block_gossip = false;
+
+    harness::PandasExperiment experiment(cfg);
+    const auto res = experiment.run();
+    std::printf("  %-7u %-10.0f %-10.0f %-10.0f %-9.0f %-10.0f %-10.2f %-7.2f%%\n",
+                n, res.seed_ms.empty() ? 0.0 : res.seed_ms.median(),
+                res.consolidation_ms.empty() ? 0.0 : res.consolidation_ms.median(),
+                res.sampling_ms.empty() ? 0.0 : res.sampling_ms.median(),
+                res.sampling_ms.empty() ? 0.0 : res.sampling_ms.percentile(99),
+                res.fetch_messages.mean(), res.fetch_mb.mean(),
+                100.0 * res.deadline_fraction());
+    std::fflush(stdout);
+  }
+  return 0;
+}

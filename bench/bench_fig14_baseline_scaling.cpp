@@ -1,0 +1,81 @@
+// Reproduces Figure 14: blob dissemination time, messages, and bandwidth for
+// PANDAS and the two baselines as the network scales from 1,000 to 20,000
+// nodes.
+//
+//   ./build/bench/bench_fig14_baseline_scaling [--quick] [--max-nodes 20000]
+//                                              [--slots 2]
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/args.h"
+#include "harness/baseline_experiments.h"
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  using namespace pandas;
+  harness::Args args(argc, argv);
+  const bool quick = args.has("--quick");
+  const auto max_nodes = static_cast<std::uint32_t>(
+      args.get_int("--max-nodes", quick ? 1000 : 1000));
+  const auto slots =
+      static_cast<std::uint32_t>(args.get_int("--slots", 1));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+
+  std::vector<std::uint32_t> sizes;
+  for (const std::uint32_t n : {1000u, 3000u, 5000u, 10000u, 20000u}) {
+    if (n <= max_nodes) sizes.push_back(n);
+  }
+
+  harness::print_header("Fig 14 — baseline scaling (sampling p50/p99 ms, "
+                        "avg msgs, avg MB, met-4s %)");
+  std::printf("  %-7s %-14s %-28s %-28s\n", "N", "system",
+              "sampling p50/p99 (ms)", "msgs avg / MB avg / met-4s");
+  for (const auto n : sizes) {
+    {
+      harness::PandasConfig cfg;
+      cfg.net.nodes = n;
+      cfg.net.seed = seed;
+      cfg.slots = slots;
+      cfg.policy = core::SeedingPolicy::redundant(8);
+      cfg.block_gossip = false;
+      const auto res = harness::PandasExperiment(cfg).run();
+      std::printf("  %-7u %-14s %8.0f / %-8.0f       %8.0f / %6.2f / %5.1f%%\n",
+                  n, "PANDAS",
+                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.median(),
+                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.percentile(99),
+                  res.fetch_messages.mean(), res.fetch_mb.mean(),
+                  100.0 * res.deadline_fraction());
+      std::fflush(stdout);
+    }
+    {
+      harness::GossipDasConfig cfg;
+      cfg.net.nodes = n;
+      cfg.net.seed = seed;
+      cfg.slots = slots;
+      const auto res = harness::GossipDasExperiment(cfg).run();
+      std::printf("  %-7u %-14s %8.0f / %-8.0f       %8.0f / %6.2f / %5.1f%%\n",
+                  n, "GossipSub-DAS",
+                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.median(),
+                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.percentile(99),
+                  res.messages.mean(), res.traffic_mb.mean(),
+                  100.0 * res.deadline_fraction());
+      std::fflush(stdout);
+    }
+    {
+      harness::DhtDasConfig cfg;
+      cfg.net.nodes = n;
+      cfg.net.seed = seed;
+      cfg.slots = slots;
+      const auto res = harness::DhtDasExperiment(cfg).run();
+      std::printf("  %-7u %-14s %8.0f / %-8.0f       %8.0f / %6.2f / %5.1f%%\n",
+                  n, "DHT-DAS",
+                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.median(),
+                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.percentile(99),
+                  res.messages.mean(), res.traffic_mb.mean(),
+                  100.0 * res.deadline_fraction());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

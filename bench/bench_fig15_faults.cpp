@@ -1,0 +1,59 @@
+// Reproduces Figure 15: PANDAS under faults — (a) dead (crashed /
+// free-riding) nodes and (b) out-of-view nodes, varying the faulty fraction
+// from 0 % to 80 % in a 10,000-node network. Reports time-to-consolidation,
+// time-to-sampling, and the fraction of correct nodes meeting the 4 s
+// deadline.
+//
+//   ./build/bench/bench_fig15_faults [--nodes 10000] [--slots 2] [--quick]
+//
+// Defaults run at 1,000 nodes so the suite completes on a laptop; pass
+// --nodes 10000 for the paper's scale.
+
+#include <cstdio>
+
+#include "harness/args.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  using namespace pandas;
+  harness::Args args(argc, argv);
+  const bool quick = args.has("--quick");
+  const auto nodes = static_cast<std::uint32_t>(
+      args.get_int("--nodes", quick ? 300 : 500));
+  const auto slots =
+      static_cast<std::uint32_t>(args.get_int("--slots", 1));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+
+  for (const bool dead_mode : {true, false}) {
+    harness::print_header(std::string("Fig 15") + (dead_mode ? "a" : "b") +
+                          " — " + (dead_mode ? "dead" : "out-of-view") +
+                          " nodes (" + std::to_string(nodes) + " nodes)");
+    std::printf("  %-9s %-12s %-12s %-12s %-10s\n", "fraction", "cons p50",
+                "samp p50", "samp p99", "met-4s");
+    for (const double f : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+      harness::PandasConfig cfg;
+      cfg.net.nodes = nodes;
+      cfg.net.seed = seed;
+      cfg.slots = slots;
+      cfg.policy = core::SeedingPolicy::redundant(8);
+      cfg.block_gossip = false;
+      if (dead_mode) {
+        cfg.dead_fraction = f;
+      } else {
+        cfg.out_of_view_fraction = f;
+      }
+      harness::PandasExperiment experiment(cfg);
+      const auto res = experiment.run();
+      std::printf("  %-9.0f%% %-12.0f %-12.0f %-12.0f %-9.1f%%\n", f * 100,
+                  res.consolidation_ms.empty() ? -1.0
+                                               : res.consolidation_ms.median(),
+                  res.sampling_ms.empty() ? -1.0 : res.sampling_ms.median(),
+                  res.sampling_ms.empty() ? -1.0
+                                          : res.sampling_ms.percentile(99),
+                  100.0 * res.deadline_fraction());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

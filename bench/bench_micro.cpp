@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) for the computational substrates:
+// SHA-256, GF(2^16) arithmetic, Reed-Solomon encode/decode at Danksharding
+// line parameters, 2-D blob extension, assignment computation, and the
+// event-queue hot path.
+//
+//   ./build/bench/bench_micro [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include "core/assignment.h"
+#include "crypto/sha256.h"
+#include "erasure/extended_blob.h"
+#include "erasure/reed_solomon.h"
+#include "sim/engine.h"
+#include "util/prng.h"
+
+namespace {
+
+using namespace pandas;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_GF16_Mul(benchmark::State& state) {
+  const auto& gf = erasure::GF16::instance();
+  std::uint16_t a = 12345, b = 321;
+  for (auto _ : state) {
+    a = gf.mul(a, b);
+    b ^= 1;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_GF16_Mul);
+
+void BM_ReedSolomon_EncodeLine(benchmark::State& state) {
+  // One Danksharding line: k=256 data cells of `cell_bytes` each -> 256
+  // parity cells. cell_bytes is the state arg (512 = production).
+  const auto cell_bytes = static_cast<std::size_t>(state.range(0));
+  const erasure::ReedSolomon rs(256, 512);
+  util::Xoshiro256 rng(1);
+  std::vector<std::vector<std::uint8_t>> data(256);
+  for (auto& cell : data) {
+    cell.resize(cell_bytes);
+    for (auto& byte : cell) byte = static_cast<std::uint8_t>(rng.uniform(256));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 256 *
+                          static_cast<std::int64_t>(cell_bytes));
+}
+BENCHMARK(BM_ReedSolomon_EncodeLine)->Arg(32)->Arg(512);
+
+void BM_ReedSolomon_DecodeLine(benchmark::State& state) {
+  const erasure::ReedSolomon rs(256, 512);
+  util::Xoshiro256 rng(2);
+  std::vector<std::vector<std::uint8_t>> data(256);
+  for (auto& cell : data) {
+    cell.resize(32);
+    for (auto& byte : cell) byte = static_cast<std::uint8_t>(rng.uniform(256));
+  }
+  auto parity = rs.encode(data);
+  // Decode from the parity half (worst case: full matrix inversion).
+  std::vector<std::uint32_t> indices(256);
+  for (std::uint32_t i = 0; i < 256; ++i) indices[i] = 256 + i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.reconstruct_data(parity, indices));
+  }
+}
+BENCHMARK(BM_ReedSolomon_DecodeLine);
+
+void BM_ExtendedBlob_Encode(benchmark::State& state) {
+  // Scaled-down blob (k=32, n=64, 64 B cells); the full 32 MB blob encode is
+  // a one-off cost at the builder, not a per-message cost.
+  erasure::BlobConfig cfg;
+  cfg.k = 32;
+  cfg.n = 64;
+  cfg.cell_bytes = 64;
+  std::vector<std::uint8_t> data(cfg.original_bytes(), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(erasure::ExtendedBlob::encode(cfg, data));
+  }
+}
+BENCHMARK(BM_ExtendedBlob_Encode);
+
+void BM_Assignment_Compute(benchmark::State& state) {
+  const core::ProtocolParams params;
+  const auto seed = core::epoch_seed(1, 0);
+  std::uint64_t label = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_assignment(
+        params, seed, crypto::NodeId::from_label(label++)));
+  }
+}
+BENCHMARK(BM_Assignment_Compute);
+
+void BM_AssignmentTable_Build10k(benchmark::State& state) {
+  const core::ProtocolParams params;
+  const auto dir = net::Directory::create(10000);
+  const auto seed = core::epoch_seed(1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AssignmentTable(params, dir, seed));
+  }
+}
+BENCHMARK(BM_AssignmentTable_Build10k)->Unit(benchmark::kMillisecond);
+
+void BM_EventQueue_PushPop(benchmark::State& state) {
+  sim::Engine engine(1);
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      engine.schedule_in((i * 37) % 100, [&counter] { ++counter; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EventQueue_PushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Reproduces Table 1: "Fetching algorithm performance in successive rounds"
+// (values averaged over all nodes, +- standard deviation), for the redundant
+// seeding strategy at 1,000 nodes.
+//
+//   ./build/bench/bench_table1_rounds [--nodes 1000] [--slots 10] [--quick]
+
+#include <cstdio>
+
+#include "harness/args.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  using namespace pandas;
+  harness::Args args(argc, argv);
+  const bool quick = args.has("--quick");
+
+  harness::PandasConfig cfg;
+  cfg.net.nodes = static_cast<std::uint32_t>(
+      args.get_int("--nodes", quick ? 300 : 1000));
+  cfg.slots = static_cast<std::uint32_t>(args.get_int("--slots", 1));
+  cfg.net.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  cfg.policy = core::SeedingPolicy::redundant(8);
+  cfg.block_gossip = false;
+
+  harness::print_header(
+      "Table 1: fetching performance per round (redundant r=8, " +
+      std::to_string(cfg.net.nodes) + " nodes, " + std::to_string(cfg.slots) +
+      " slots)");
+
+  harness::PandasExperiment experiment(cfg);
+  const auto results = experiment.run();
+
+  std::printf("  seed cells received per node: %s\n",
+              harness::mean_std(results.seed_cells).c_str());
+  const std::size_t rounds = std::min<std::size_t>(results.rounds.size(), 8);
+  std::printf("\n  %-28s", "Round");
+  for (std::size_t r = 0; r < rounds; ++r) std::printf("%18zu", r + 1);
+  std::printf("\n");
+  auto row = [&](const char* label, auto getter) {
+    std::printf("  %-28s", label);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      std::printf("%18s", harness::mean_std(getter(results.rounds[r])).c_str());
+    }
+    std::printf("\n");
+  };
+  using RA = harness::PandasResults::RoundAgg;
+  row("Messages sent", [](const RA& a) -> const util::Samples& { return a.messages; });
+  row("Cells requested", [](const RA& a) -> const util::Samples& { return a.requested; });
+  row("Replies received in round", [](const RA& a) -> const util::Samples& { return a.replies_in; });
+  row("Replies received after round", [](const RA& a) -> const util::Samples& { return a.replies_after; });
+  row("Cells received in round", [](const RA& a) -> const util::Samples& { return a.cells_in; });
+  row("Cells received after round", [](const RA& a) -> const util::Samples& { return a.cells_after; });
+  row("Received cells duplicates", [](const RA& a) -> const util::Samples& { return a.duplicates; });
+  row("Cells reconstructed", [](const RA& a) -> const util::Samples& { return a.reconstructed; });
+
+  std::printf("  %-28s", "Cumulative coverage of F");
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto& cov = results.rounds[r].coverage_pct;
+    std::printf("%17.0f%%", cov.empty() ? 0.0 : cov.mean());
+  }
+  std::printf("\n");
+
+  harness::print_header("Context");
+  harness::print_summary("time to sampling", results.sampling_ms, "ms");
+  harness::print_summary("fetch messages/node", results.fetch_messages, "");
+  harness::print_summary("fetch traffic/node", results.fetch_mb, " MB");
+  std::printf("  sampling deadline met: %.2f%%\n",
+              100.0 * results.deadline_fraction());
+  return 0;
+}

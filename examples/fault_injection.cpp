@@ -1,0 +1,66 @@
+// Fault injection: run PANDAS with a configurable fraction of dead
+// (fail-silent / free-riding) nodes and inconsistent views, and demonstrate
+// that (a) sampling degrades gracefully (paper Fig 15) and (b) a builder
+// withholding blob data is always detected — no node ever attests
+// availability of withheld data.
+//
+//   ./build/examples/fault_injection [--nodes 500] [--dead 0.3] [--oov 0.2]
+
+#include <cstdio>
+
+#include "harness/args.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  using namespace pandas;
+  harness::Args args(argc, argv);
+
+  harness::PandasConfig cfg;
+  cfg.net.nodes = static_cast<std::uint32_t>(args.get_int("--nodes", 500));
+  cfg.net.seed = static_cast<std::uint64_t>(args.get_int("--seed", 11));
+  cfg.slots = static_cast<std::uint32_t>(args.get_int("--slots", 2));
+  cfg.dead_fraction = args.get_double("--dead", 0.3);
+  cfg.out_of_view_fraction = args.get_double("--oov", 0.2);
+  cfg.block_gossip = false;
+
+  std::printf("PANDAS fault injection: %u nodes, %.0f%% dead, %.0f%% out-of-view\n",
+              cfg.net.nodes, 100 * cfg.dead_fraction,
+              100 * cfg.out_of_view_fraction);
+
+  harness::PandasExperiment experiment(cfg);
+  const auto res = experiment.run();
+
+  harness::print_header("Degradation under faults (correct nodes only)");
+  harness::print_summary("time to consolidation", res.consolidation_ms, "ms");
+  harness::print_summary("time to sampling", res.sampling_ms, "ms");
+  std::printf("  consolidation misses: %llu/%llu   sampling misses: %llu/%llu\n",
+              static_cast<unsigned long long>(res.consolidation_misses),
+              static_cast<unsigned long long>(res.records),
+              static_cast<unsigned long long>(res.sampling_misses),
+              static_cast<unsigned long long>(res.records));
+  std::printf("  met 4 s deadline: %.2f%%\n", 100.0 * res.deadline_fraction());
+
+  // ---- Data-withholding attack ----------------------------------------
+  // A rational-Byzantine builder (§4.1) may withhold blob data to save
+  // bandwidth. Simulate a slot where the builder sends nothing: sampling
+  // must fail at EVERY correct node (tight fork-choice: the block is
+  // attested invalid).
+  harness::print_header("Data-withholding attack");
+  const sim::Time start = experiment.engine().now();
+  std::uint32_t started = 0, sampled = 0;
+  for (std::uint32_t i = 0; i < cfg.net.nodes; ++i) {
+    experiment.node(i).begin_slot(999);
+    ++started;
+  }
+  // No builder seeding happens; nodes only see silence and each other.
+  experiment.engine().run_until(start + sim::kSlotDuration);
+  for (std::uint32_t i = 0; i < cfg.net.nodes; ++i) {
+    if (experiment.node(i).sampled()) ++sampled;
+  }
+  std::printf("  withholding slot: %u/%u nodes (incorrectly) attested "
+              "availability\n", sampled, started);
+  std::printf("  => withholding %s\n",
+              sampled == 0 ? "DETECTED by every node" : "NOT fully detected");
+  return sampled == 0 ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+
+#include "util/prng.h"
+
+namespace pandas::core {
+
+bool AssignedLines::has_row(std::uint16_t r) const noexcept {
+  return std::binary_search(rows.begin(), rows.end(), r);
+}
+
+bool AssignedLines::has_col(std::uint16_t c) const noexcept {
+  return std::binary_search(cols.begin(), cols.end(), c);
+}
+
+std::vector<net::LineRef> AssignedLines::lines() const {
+  std::vector<net::LineRef> out;
+  out.reserve(rows.size() + cols.size());
+  for (const auto r : rows) out.push_back(net::LineRef::row(r));
+  for (const auto c : cols) out.push_back(net::LineRef::col(c));
+  return out;
+}
+
+AssignedLines compute_assignment(const ProtocolParams& params,
+                                 const crypto::Digest& seed,
+                                 const crypto::NodeId& node) {
+  // Seed a PRNG with H(epoch_seed || node_id): identical at every caller,
+  // unpredictable before the epoch seed is revealed.
+  crypto::Sha256 h;
+  h.update("pandas-assignment");
+  h.update(seed);
+  h.update(node.bytes);
+  const crypto::Digest d = h.finalize();
+  util::Xoshiro256 rng(crypto::digest_prefix64(d));
+
+  AssignedLines out;
+  const auto rows =
+      rng.sample_distinct(params.matrix_n, params.rows_per_node);
+  const auto cols =
+      rng.sample_distinct(params.matrix_n, params.cols_per_node);
+  out.rows.assign(rows.begin(), rows.end());
+  out.cols.assign(cols.begin(), cols.end());
+  std::sort(out.rows.begin(), out.rows.end());
+  std::sort(out.cols.begin(), out.cols.end());
+  return out;
+}
+
+AssignmentTable::AssignmentTable(const ProtocolParams& params,
+                                 const net::Directory& directory,
+                                 const crypto::Digest& seed)
+    : params_(params) {
+  std::vector<AssignedLines> per_node;
+  per_node.reserve(directory.size());
+  for (net::NodeIndex node = 0; node < directory.size(); ++node) {
+    per_node.push_back(compute_assignment(params, seed, directory.id_of(node)));
+  }
+  *this = AssignmentTable(params, std::move(per_node));
+}
+
+AssignmentTable::AssignmentTable(const ProtocolParams& params,
+                                 std::vector<AssignedLines> per_node)
+    : params_(params), per_node_(std::move(per_node)) {
+  const auto n_nodes = static_cast<std::uint32_t>(per_node_.size());
+  row_bitmaps_.resize(n_nodes);
+  col_bitmaps_.resize(n_nodes);
+  line_index_.assign(2 * params.matrix_n, {});
+
+  for (net::NodeIndex node = 0; node < n_nodes; ++node) {
+    const AssignedLines& al = per_node_[node];
+    for (const auto r : al.rows) {
+      row_bitmaps_[node].set(r);
+      line_index_[r].push_back(node);
+    }
+    for (const auto c : al.cols) {
+      col_bitmaps_[node].set(c);
+      line_index_[params.matrix_n + c].push_back(node);
+    }
+  }
+}
+
+const std::vector<net::NodeIndex>& AssignmentTable::assigned_to(
+    net::LineRef line) const {
+  const std::size_t idx =
+      line.kind == net::LineRef::Kind::kRow
+          ? line.index
+          : params_.matrix_n + static_cast<std::size_t>(line.index);
+  return line_index_.at(idx);
+}
+
+}  // namespace pandas::core

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/node_id.h"
+#include "crypto/sha256.h"
+#include "net/directory.h"
+#include "net/messages.h"
+#include "core/params.h"
+#include "util/bitmap.h"
+
+/// The deterministic, short-lived cell-to-node assignment F (paper §5).
+///
+/// F(node, epoch) yields `rows_per_node` distinct rows and `cols_per_node`
+/// distinct columns of the extended matrix. It must be:
+///  - deterministic: computable identically by any two nodes regardless of
+///    their (possibly inconsistent) views — achieved by deriving it only
+///    from the global epoch seed and the target's node ID;
+///  - short-lived: rotated every epoch by the unpredictable epoch seed
+///    (RANDAO in Ethereum; a SHA-256 chain stands in here), defeating
+///    eclipse/censorship attacks that require pre-positioning (§9).
+namespace pandas::core {
+
+/// Epoch seed schedule. Ethereum's RANDAO publishes each epoch's seed one
+/// epoch in advance; we model it as an unpredictable-but-global hash chain.
+[[nodiscard]] inline crypto::Digest epoch_seed(std::uint64_t genesis_entropy,
+                                               std::uint64_t epoch) noexcept {
+  crypto::Sha256 h;
+  h.update("pandas-randao");
+  h.update_u64(genesis_entropy);
+  h.update_u64(epoch);
+  return h.finalize();
+}
+
+/// A node's assigned lines for one epoch.
+struct AssignedLines {
+  std::vector<std::uint16_t> rows;  // sorted, distinct
+  std::vector<std::uint16_t> cols;  // sorted, distinct
+
+  [[nodiscard]] bool has_row(std::uint16_t r) const noexcept;
+  [[nodiscard]] bool has_col(std::uint16_t c) const noexcept;
+  [[nodiscard]] bool has_line(net::LineRef line) const noexcept {
+    return line.kind == net::LineRef::Kind::kRow ? has_row(line.index)
+                                                 : has_col(line.index);
+  }
+  [[nodiscard]] std::vector<net::LineRef> lines() const;
+};
+
+/// Computes F(node_id, epoch) from scratch. Deterministic across callers.
+[[nodiscard]] AssignedLines compute_assignment(const ProtocolParams& params,
+                                               const crypto::Digest& seed,
+                                               const crypto::NodeId& node);
+
+/// Per-epoch assignment table covering a whole (simulated) network: caches
+/// F for every node and the inverted index line -> assigned nodes, which
+/// every participant can derive locally since F is deterministic.
+class AssignmentTable {
+ public:
+  AssignmentTable(const ProtocolParams& params, const net::Directory& directory,
+                  const crypto::Digest& seed);
+
+  /// Builds a table from explicit per-node assignments (used by baseline
+  /// systems with different custody schemes, e.g. the GossipSub baseline's
+  /// 64 fixed custody units).
+  AssignmentTable(const ProtocolParams& params,
+                  std::vector<AssignedLines> per_node);
+
+  [[nodiscard]] const AssignedLines& of(net::NodeIndex node) const {
+    return per_node_.at(node);
+  }
+
+  /// Nodes assigned to a line (ascending NodeIndex order).
+  [[nodiscard]] const std::vector<net::NodeIndex>& assigned_to(
+      net::LineRef line) const;
+
+  /// O(1) membership tests via per-node line bitmaps.
+  [[nodiscard]] bool node_has_row(net::NodeIndex node, std::uint16_t row) const {
+    return row_bitmaps_[node].test(row);
+  }
+  [[nodiscard]] bool node_has_col(net::NodeIndex node, std::uint16_t col) const {
+    return col_bitmaps_[node].test(col);
+  }
+  [[nodiscard]] bool node_has_line(net::NodeIndex node, net::LineRef line) const {
+    return line.kind == net::LineRef::Kind::kRow ? node_has_row(node, line.index)
+                                                 : node_has_col(node, line.index);
+  }
+
+  [[nodiscard]] const ProtocolParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(per_node_.size());
+  }
+
+ private:
+  ProtocolParams params_;
+  std::vector<AssignedLines> per_node_;
+  std::vector<util::Bitmap512> row_bitmaps_;
+  std::vector<util::Bitmap512> col_bitmaps_;
+  /// line (row 0..n-1, then col 0..n-1) -> nodes
+  std::vector<std::vector<net::NodeIndex>> line_index_;
+};
+
+}  // namespace pandas::core

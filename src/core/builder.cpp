@@ -1,0 +1,31 @@
+#include "core/builder.h"
+
+namespace pandas::core {
+
+Builder::SeedingReport Builder::seed(std::uint64_t slot,
+                                     const AssignmentTable& assignment,
+                                     const View& builder_view,
+                                     const SeedPlan& plan,
+                                     util::Xoshiro256& rng) {
+  SeedingReport report;
+  std::vector<net::NodeIndex> order = builder_view.members();
+  rng.shuffle(order);
+
+  for (const auto node : order) {
+    if (node == self_) continue;
+    net::SeedMsg msg;
+    msg.slot = slot;
+    if (node < plan.cells_per_node.size()) {
+      msg.cells = plan.cells_per_node[node];
+    }
+    msg.boost = plan.boost_for(assignment.of(node));
+
+    report.messages += 1;
+    report.cell_copies += msg.cells.size();
+    report.bytes += net::wire_size(net::Message(msg));
+    transport_.send(self_, node, std::move(msg));
+  }
+  return report;
+}
+
+}  // namespace pandas::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/seeding.h"
+#include "crypto/signature.h"
+#include "net/transport.h"
+#include "sim/engine.h"
+
+/// The block builder (paper §2, §6.1). Under Proposer-Builder Separation the
+/// builder prepares block + blob data; when the elected proposer selects its
+/// block, it asks the builder to seed the extended blob into the network.
+/// Seeding messages carry the proposer's signature binding the builder's
+/// identity, so nodes can accept blob data before the block itself arrives
+/// via gossip.
+namespace pandas::core {
+
+class Builder {
+ public:
+  struct SeedingReport {
+    std::uint64_t messages = 0;
+    std::uint64_t cell_copies = 0;
+    std::uint64_t bytes = 0;  ///< protocol bytes (excl. per-packet framing)
+  };
+
+  Builder(sim::Engine& engine, net::Transport& transport, net::NodeIndex self,
+          const ProtocolParams& params)
+      : engine_(engine), transport_(transport), self_(self), params_(params) {}
+
+  [[nodiscard]] net::NodeIndex index() const noexcept { return self_; }
+
+  /// Executes a dispatch plan: one seed message per node in the builder's
+  /// view, in randomized order (nodes receiving no cells still get a
+  /// boost-only message so they learn the slot has started). The transport
+  /// serializes the burst through the builder's uplink.
+  SeedingReport seed(std::uint64_t slot, const AssignmentTable& assignment,
+                     const View& builder_view, const SeedPlan& plan,
+                     util::Xoshiro256& rng);
+
+ private:
+  sim::Engine& engine_;
+  net::Transport& transport_;
+  net::NodeIndex self_;
+  ProtocolParams params_;
+};
+
+}  // namespace pandas::core

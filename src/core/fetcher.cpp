@@ -1,0 +1,351 @@
+#include "core/fetcher.h"
+
+#include <algorithm>
+
+namespace pandas::core {
+
+AdaptiveFetcher::AdaptiveFetcher(sim::Engine& engine, const ProtocolParams& params,
+                                 const AssignmentTable& assignment,
+                                 const View* view, net::NodeIndex self,
+                                 util::Xoshiro256 rng)
+    : engine_(engine),
+      params_(params),
+      assignment_(assignment),
+      view_(view),
+      self_(self),
+      rng_(rng) {}
+
+util::Bitmap512* AdaptiveFetcher::find_line(MissingMap& map, std::uint16_t index) {
+  const auto it = std::lower_bound(
+      map.begin(), map.end(), index,
+      [](const auto& e, std::uint16_t i) { return e.first < i; });
+  if (it == map.end() || it->first != index) return nullptr;
+  return &it->second;
+}
+
+const util::Bitmap512* AdaptiveFetcher::find_line(const MissingMap& map,
+                                                  std::uint16_t index) {
+  return find_line(const_cast<MissingMap&>(map), index);
+}
+
+void AdaptiveFetcher::add_needed(std::span<const net::CellId> cells) {
+  for (const auto cell : cells) {
+    auto* row = find_line(missing_rows_, cell.row);
+    if (row == nullptr) {
+      const auto it = std::lower_bound(
+          missing_rows_.begin(), missing_rows_.end(), cell.row,
+          [](const auto& e, std::uint16_t i) { return e.first < i; });
+      row = &missing_rows_.insert(it, {cell.row, {}})->second;
+    }
+    if (row->test(cell.col)) continue;  // already in F
+    row->set(cell.col);
+    auto* col = find_line(missing_cols_, cell.col);
+    if (col == nullptr) {
+      const auto it = std::lower_bound(
+          missing_cols_.begin(), missing_cols_.end(), cell.col,
+          [](const auto& e, std::uint16_t i) { return e.first < i; });
+      col = &missing_cols_.insert(it, {cell.col, {}})->second;
+    }
+    col->set(cell.row);
+    ++outstanding_;
+  }
+}
+
+std::uint32_t AdaptiveFetcher::outstanding_in_line(net::LineRef line,
+                                                   std::uint32_t n) const {
+  const MissingMap& map =
+      line.kind == net::LineRef::Kind::kRow ? missing_rows_ : missing_cols_;
+  const auto* bm = find_line(map, line.index);
+  return bm == nullptr ? 0 : bm->count_prefix(n);
+}
+
+bool AdaptiveFetcher::is_outstanding(net::CellId cell) const {
+  const auto* bm = find_line(missing_rows_, cell.row);
+  return bm != nullptr && bm->test(cell.col);
+}
+
+void AdaptiveFetcher::start(std::span<const net::CellId> needed,
+                            net::BoostMap boost, SendQueryFn send) {
+  if (started_) return;
+  started_ = true;
+  send_ = std::move(send);
+  boost_ = std::move(boost);
+  add_needed(needed);
+  initial_outstanding_ = outstanding_;
+  if (outstanding_ == 0) return;
+  rounds_active_ = true;
+  run_round();
+}
+
+bool AdaptiveFetcher::clear_cell(net::CellId cell) {
+  auto* row = find_line(missing_rows_, cell.row);
+  if (row == nullptr || !row->test(cell.col)) return false;
+  row->reset(cell.col);
+  if (auto* col = find_line(missing_cols_, cell.col)) col->reset(cell.row);
+  coverage_.erase(cell.packed());
+  --outstanding_;
+  return true;
+}
+
+void AdaptiveFetcher::on_cells_obtained(std::span<const net::CellId> cells) {
+  for (const auto cell : cells) clear_cell(cell);
+}
+
+FetchRoundStats& AdaptiveFetcher::stats_for_round(std::uint32_t round) {
+  if (stats_.size() < round) stats_.resize(round);
+  return stats_[round - 1];
+}
+
+void AdaptiveFetcher::on_reply(net::NodeIndex from, std::uint32_t new_cells,
+                               std::uint32_t duplicates,
+                               std::uint32_t reconstructed) {
+  const auto it = query_round_.find(from);
+  if (it == query_round_.end()) return;  // unsolicited
+  const std::uint32_t round = it->second;
+  auto& st = stats_for_round(round);
+  const bool in_round = round <= round_deadline_.size() &&
+                        engine_.now() <= round_deadline_[round - 1];
+  if (in_round) {
+    st.replies_in_round += 1;
+    st.cells_in_round += new_cells;
+  } else {
+    st.replies_after_round += 1;
+    st.cells_after_round += new_cells;
+  }
+  st.duplicates += duplicates;
+  st.reconstructed += reconstructed;
+}
+
+void AdaptiveFetcher::gather_candidates(std::uint32_t k,
+                                        std::vector<net::NodeIndex>& out) {
+  std::unordered_set<net::NodeIndex> seen;
+  const std::uint32_t cap =
+      params_.candidates_per_line == 0
+          ? ~0u
+          : std::max(params_.candidates_per_line, 3 * k);
+
+  auto eligible = [&](net::NodeIndex n) {
+    return n != self_ && query_round_.count(n) == 0 &&
+           (view_ == nullptr || view_->contains(n));
+  };
+  auto add = [&](net::NodeIndex n) {
+    if (eligible(n) && seen.insert(n).second) out.push_back(n);
+  };
+
+  // Boosted candidates first: recipients of seeded cells we still miss.
+  for (const auto& lb : boost_) {
+    if (!lb) continue;
+    const MissingMap& map = lb->line.kind == net::LineRef::Kind::kRow
+                                ? missing_rows_
+                                : missing_cols_;
+    const auto* missing = find_line(map, lb->line.index);
+    if (missing == nullptr) continue;
+    std::uint32_t taken = 0;
+    net::NodeIndex last = net::kInvalidNode;
+    for (const auto& [node, pos] : lb->entries) {
+      if (node == last) continue;
+      if (!missing->test(pos)) continue;
+      last = node;
+      add(node);
+      if (++taken >= cap) break;
+    }
+  }
+
+  // Then, per line of interest, a random sample of assigned nodes.
+  auto sample_line = [&](net::LineRef line) {
+    const auto& pool = assignment_.assigned_to(line);
+    if (pool.empty()) return;
+    if (pool.size() <= cap) {
+      for (const auto n : pool) add(n);
+      return;
+    }
+    const auto picks =
+        rng_.sample_distinct(static_cast<std::uint32_t>(pool.size()), cap);
+    for (const auto i : picks) add(pool[i]);
+  };
+  for (const auto& [row, bm] : missing_rows_) {
+    (void)bm;
+    sample_line(net::LineRef::row(row));
+  }
+  for (const auto& [col, bm] : missing_cols_) {
+    (void)bm;
+    sample_line(net::LineRef::col(col));
+  }
+}
+
+void AdaptiveFetcher::score_candidates(std::vector<net::NodeIndex>& nodes,
+                                       std::vector<Candidate>& out) {
+  // Scoring only needs |cells of interest| and the boosted seeded cells;
+  // the interest list itself is materialized lazily at planning time for
+  // the (far fewer) candidates that actually get a query.
+  out.reserve(nodes.size());
+  for (const auto node : nodes) {
+    Candidate cand;
+    cand.node = node;
+    const AssignedLines& lines = assignment_.of(node);
+    std::uint32_t interest = 0;
+    for (const auto r : lines.rows) {
+      if (const auto* bm = find_line(missing_rows_, r)) {
+        interest += bm->count_prefix(params_.matrix_n);
+      }
+    }
+    for (const auto c : lines.cols) {
+      if (const auto* bm = find_line(missing_cols_, c)) {
+        interest += bm->count_prefix(params_.matrix_n);
+      }
+    }
+    if (interest == 0) continue;
+    // (Cells sitting at the intersection of two of the candidate's own lines
+    // are counted twice; the bias is negligible for ranking.)
+    cand.score = static_cast<double>(interest);
+
+    // Consolidation-boost: +cb_boost per missing cell the builder declared
+    // as seeded to this candidate (Algorithm 1, lines 7-9). The seeded cells
+    // are also remembered so planning can target them precisely.
+    for (const auto& lb : boost_) {
+      if (!lb) continue;
+      if (!assignment_.node_has_line(node, lb->line)) continue;
+      const MissingMap& map = lb->line.kind == net::LineRef::Kind::kRow
+                                  ? missing_rows_
+                                  : missing_cols_;
+      const auto* missing = find_line(map, lb->line.index);
+      if (missing == nullptr) continue;
+      const auto [lo, hi] = lb->range_of(node);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint16_t pos = lb->entries[i].second;
+        if (!missing->test(pos)) continue;
+        cand.seeded.push_back(lb->line.kind == net::LineRef::Kind::kRow
+                                  ? net::CellId{lb->line.index, pos}
+                                  : net::CellId{pos, lb->line.index});
+      }
+    }
+    cand.score += params_.cb_boost * static_cast<double>(cand.seeded.size());
+    out.push_back(std::move(cand));
+  }
+}
+
+void AdaptiveFetcher::materialize_interest(Candidate& cand) const {
+  const AssignedLines& lines = assignment_.of(cand.node);
+  for (const auto r : lines.rows) {
+    if (const auto* bm = find_line(missing_rows_, r)) {
+      for (const auto col : bm->set_bits(params_.matrix_n)) {
+        cand.interest.push_back({r, static_cast<std::uint16_t>(col)});
+      }
+    }
+  }
+  for (const auto c : lines.cols) {
+    if (const auto* bm = find_line(missing_cols_, c)) {
+      for (const auto row : bm->set_bits(params_.matrix_n)) {
+        cand.interest.push_back({static_cast<std::uint16_t>(row), c});
+      }
+    }
+  }
+  std::sort(cand.interest.begin(), cand.interest.end());
+  cand.interest.erase(std::unique(cand.interest.begin(), cand.interest.end()),
+                      cand.interest.end());
+}
+
+void AdaptiveFetcher::run_round() {
+  if (!rounds_active_) return;
+  if (round_ > 0 && round_ <= stats_.size()) {
+    stats_[round_ - 1].remaining_after = outstanding_;
+  }
+  if (topup_ && round_ > 0) {
+    const auto extra = topup_();
+    if (!extra.empty()) add_needed(extra);
+  }
+  if (outstanding_ == 0 || round_ >= params_.max_rounds) {
+    rounds_active_ = false;
+    return;
+  }
+  ++round_;
+  // Schedules are relative to the current fetch cycle: a re-invocation of
+  // FETCH (after candidate exhaustion) restarts with cautious parameters.
+  const std::uint32_t cycle_round = round_ - cycle_start_round_;
+  const std::uint32_t k = params_.redundancy_for_round(cycle_round);
+  const sim::Time timeout = params_.timeout_for_round(cycle_round);
+
+  std::vector<net::NodeIndex> pool;
+  gather_candidates(k, pool);
+  std::vector<Candidate> candidates;
+  score_candidates(pool, candidates);
+  // Ties are broken by a per-fetcher random salt rather than node index:
+  // with index order every fetcher in the network would converge on the same
+  // lowest-index holders and overload their uplinks.
+  const std::uint64_t salt = rng_();
+  std::sort(candidates.begin(), candidates.end(),
+            [salt](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return util::mix64(a.node ^ salt) < util::mix64(b.node ^ salt);
+            });
+
+  // Greedy planning (Algorithm 1, lines 11-17): walk candidates by
+  // decreasing score; each planned query asks a candidate for its cells of
+  // interest that are still under the cumulative redundancy target k
+  // (c_j.cells ∩ U). A cell leaves U once k queries (across all rounds so
+  // far) cover it.
+  std::uint64_t under = 0;
+  for (const auto& [row, bm] : missing_rows_) {
+    for (const auto col : bm.set_bits(params_.matrix_n)) {
+      const net::CellId cell{row, static_cast<std::uint16_t>(col)};
+      const auto it = coverage_.find(cell.packed());
+      if (it == coverage_.end() || it->second < k) ++under;
+    }
+  }
+  auto& st = stats_for_round(round_);
+
+  for (auto& cand : candidates) {
+    if (under == 0) break;
+    // Prefer the cells the boost map says this candidate was seeded (it can
+    // serve them without waiting for its own consolidation); fall back to
+    // its full set of cells of interest otherwise.
+    std::vector<net::CellId> query_cells;
+    for (const auto cell : cand.seeded) {
+      const auto it = coverage_.find(cell.packed());
+      if (it == coverage_.end() || it->second < k) query_cells.push_back(cell);
+    }
+    if (query_cells.empty()) {
+      if (cand.interest.empty()) materialize_interest(cand);
+      for (const auto cell : cand.interest) {
+        const auto it = coverage_.find(cell.packed());
+        if (it == coverage_.end() || it->second < k) query_cells.push_back(cell);
+      }
+    }
+    if (query_cells.empty()) continue;
+    for (const auto cell : query_cells) {
+      const auto c = ++coverage_[cell.packed()];
+      if (c == k) --under;
+    }
+    query_round_[cand.node] = round_;
+    st.messages_sent += 1;
+    st.cells_requested += static_cast<std::uint32_t>(query_cells.size());
+    send_(cand.node, std::move(query_cells));
+  }
+
+  // Candidate pool exhausted while cells are still missing: begin a fresh
+  // FETCH cycle (Algorithm 1 is re-invoked with C = V; the paper notes that
+  // lagging nodes run multiple fetch cycles per slot). Cumulative coverage
+  // restarts with the cycle.
+  sim::Time next_round_in = timeout;
+  if (st.messages_sent == 0 && outstanding_ > 0 && !query_round_.empty()) {
+    if (++cycles_used_ > params_.max_cycles) {
+      // Give up on active querying; buffered queries at peers may still
+      // deliver the rest of F as their holders consolidate.
+      rounds_active_ = false;
+      return;
+    }
+    query_round_.clear();
+    coverage_.clear();
+    cycle_start_round_ = round_;
+    // Back off before the re-invocation: peers need time to consolidate
+    // before re-querying them is useful.
+    next_round_in = params_.first_round_timeout;
+  }
+
+  round_deadline_.push_back(engine_.now() + timeout);
+  engine_.schedule_in(next_round_in, [weak = weak_from_this()]() {
+    if (const auto self = weak.lock()) self->run_round();
+  });
+}
+
+}  // namespace pandas::core

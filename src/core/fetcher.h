@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/params.h"
+#include "core/view.h"
+#include "net/messages.h"
+#include "sim/engine.h"
+#include "util/bitmap.h"
+#include "util/prng.h"
+
+/// Adaptive fetching (paper §7, Algorithm 1).
+///
+/// One fetcher instance drives BOTH consolidation and sampling for a slot:
+/// the input cell set F is the union of the node's missing assigned cells
+/// and its 73 random samples. Fetching proceeds in rounds; round i uses
+/// timeout t_i (400, 200, then 100 ms) and per-cell redundancy k_i (1, 2, 4,
+/// 6, 8, then 10): cautious while the slot is young, aggressive as the 4 s
+/// deadline nears.
+///
+/// Each round: (1) SCORE candidate peers by how many cells of interest they
+/// are assigned, with an overwhelming bonus (cb_boost) per missing cell the
+/// builder's consolidation-boost map says was seeded to them; (2) PLAN
+/// greedily, highest score first, until every missing cell is covered by
+/// k_i planned queries or candidates run out; (3) EXECUTE the queries
+/// asynchronously and sleep t_i. A peer is queried at most once per slot.
+namespace pandas::core {
+
+/// Per-round telemetry matching the rows of the paper's Table 1.
+struct FetchRoundStats {
+  std::uint32_t messages_sent = 0;
+  std::uint32_t cells_requested = 0;
+  std::uint32_t replies_in_round = 0;
+  std::uint32_t replies_after_round = 0;
+  std::uint32_t cells_in_round = 0;
+  std::uint32_t cells_after_round = 0;
+  std::uint32_t duplicates = 0;
+  std::uint32_t reconstructed = 0;
+  /// Cells still missing when the round's timeout expired.
+  std::uint64_t remaining_after = 0;
+};
+
+/// Hold AdaptiveFetcher in a std::shared_ptr: its round timers keep weak
+/// references, so a fetcher abandoned at a slot boundary simply stops.
+class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
+ public:
+  using SendQueryFn =
+      std::function<void(net::NodeIndex target, std::vector<net::CellId> cells)>;
+
+  AdaptiveFetcher(sim::Engine& engine, const ProtocolParams& params,
+                  const AssignmentTable& assignment, const View* view,
+                  net::NodeIndex self, util::Xoshiro256 rng);
+
+  /// Begins fetching the given cells. `boost` is the builder's CB map for
+  /// this node's lines (may be empty). Idempotent per slot: only the first
+  /// call starts rounds.
+  void start(std::span<const net::CellId> needed, net::BoostMap boost,
+             SendQueryFn send);
+
+  /// Notifies the fetcher that cells became held locally (seed receipt,
+  /// query replies, or erasure reconstruction) — they leave F.
+  void on_cells_obtained(std::span<const net::CellId> cells);
+
+  /// Installs a consolidation-boost map after start() — used when the seed
+  /// message arrives late (after the fallback timer already launched the
+  /// fetch); subsequent rounds then benefit from it.
+  void update_boost(net::BoostMap boost) {
+    if (boost_.empty() && !boost.empty()) boost_ = std::move(boost);
+  }
+
+  /// Adds further cells to F mid-fetch (the owner tops up a line whose
+  /// outstanding requests no longer cover its reconstruction deficit — e.g.
+  /// when the initially chosen cells turn out not to exist anywhere yet).
+  void add_needed(std::span<const net::CellId> cells);
+
+  /// Invoked at the start of every round; the returned cells join F.
+  using TopUpFn = std::function<std::vector<net::CellId>()>;
+  void set_topup(TopUpFn fn) { topup_ = std::move(fn); }
+
+  /// Number of cells of `line` currently in F.
+  [[nodiscard]] std::uint32_t outstanding_in_line(net::LineRef line,
+                                                  std::uint32_t n) const;
+  /// True if the cell is currently in F.
+  [[nodiscard]] bool is_outstanding(net::CellId cell) const;
+
+  /// Attribution hook for Table 1: a reply from `from` delivered `new_cells`
+  /// fresh cells, `duplicates` already-held ones, and triggered
+  /// `reconstructed` recoveries.
+  void on_reply(net::NodeIndex from, std::uint32_t new_cells,
+                std::uint32_t duplicates, std::uint32_t reconstructed);
+
+  [[nodiscard]] bool complete() const noexcept { return outstanding_ == 0; }
+  [[nodiscard]] bool started() const noexcept { return started_; }
+  [[nodiscard]] std::uint64_t outstanding() const noexcept { return outstanding_; }
+  /// |F| when start() was called (denominator of Table 1's coverage row).
+  [[nodiscard]] std::uint64_t initial_outstanding() const noexcept {
+    return initial_outstanding_;
+  }
+  [[nodiscard]] std::uint32_t rounds_used() const noexcept { return round_; }
+  [[nodiscard]] const std::vector<FetchRoundStats>& round_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] bool was_queried(net::NodeIndex n) const {
+    return query_round_.count(n) != 0;
+  }
+
+ private:
+  struct Candidate {
+    net::NodeIndex node = 0;
+    double score = 0.0;
+    std::vector<net::CellId> interest;
+    /// Subset of `interest` the consolidation-boost map declares as seeded
+    /// to this node — cells it can serve immediately. Planning prefers
+    /// these: asking a seeded holder for exactly its seeded cells is what
+    /// makes round-1 replies immediate (Table 1).
+    std::vector<net::CellId> seeded;
+  };
+
+  using MissingMap = std::vector<std::pair<std::uint16_t, util::Bitmap512>>;
+
+  void run_round();
+  void gather_candidates(std::uint32_t k, std::vector<net::NodeIndex>& out);
+  void score_candidates(std::vector<net::NodeIndex>& nodes,
+                        std::vector<Candidate>& out);
+  /// Fills cand.interest (assignment ∩ F) on demand at planning time.
+  void materialize_interest(Candidate& cand) const;
+  [[nodiscard]] static util::Bitmap512* find_line(MissingMap& map,
+                                                  std::uint16_t index);
+  [[nodiscard]] static const util::Bitmap512* find_line(const MissingMap& map,
+                                                        std::uint16_t index);
+  /// Clears one cell from both indexes; returns true if it was outstanding.
+  bool clear_cell(net::CellId cell);
+  FetchRoundStats& stats_for_round(std::uint32_t round);
+
+  sim::Engine& engine_;
+  const ProtocolParams& params_;
+  const AssignmentTable& assignment_;
+  const View* view_;
+  net::NodeIndex self_;
+  util::Xoshiro256 rng_;
+
+  SendQueryFn send_;
+  net::BoostMap boost_;
+  TopUpFn topup_;
+
+  /// F, indexed two ways: by row (canonical) and by column (mirror).
+  MissingMap missing_rows_;
+  MissingMap missing_cols_;
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t initial_outstanding_ = 0;
+
+  bool started_ = false;
+  bool rounds_active_ = false;
+  std::uint32_t round_ = 0;
+  std::uint32_t cycle_start_round_ = 0;  // round at which this cycle began
+  std::uint32_t cycles_used_ = 1;
+  std::vector<sim::Time> round_deadline_;  // index: round-1
+  std::unordered_map<net::NodeIndex, std::uint32_t> query_round_;
+  /// Cumulative per-cell query count (packed CellId -> queries planned so
+  /// far). Redundancy targets are cumulative: round i tops every cell up to
+  /// k_i total outstanding queries.
+  std::unordered_map<std::uint32_t, std::uint32_t> coverage_;
+  std::vector<FetchRoundStats> stats_;
+};
+
+}  // namespace pandas::core

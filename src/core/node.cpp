@@ -1,0 +1,320 @@
+#include "core/node.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pandas::core {
+
+PandasNode::PandasNode(sim::Engine& engine, net::Transport& transport,
+                       net::NodeIndex self, const ProtocolParams& params)
+    : engine_(engine),
+      transport_(transport),
+      self_(self),
+      params_(params),
+      sample_rng_(engine.rng_stream(0x73616d70ULL ^
+                                    (static_cast<std::uint64_t>(self) << 24))) {}
+
+void PandasNode::begin_slot(std::uint64_t slot) {
+  slot_ = slot;
+  slot_active_ = true;
+  ++slot_generation_;
+  custody_ = CustodyState(params_, table_->of(self_));
+  pending_.clear();
+  fallback_armed_ = false;
+  seed_received_ = false;
+  record_ = SlotRecord{};
+  record_.slot = slot;
+  record_.slot_start = engine_.now();
+
+  // Unpredictable sample selection (§6.3): unlike the assignment F, the
+  // samples must not be computable by third parties in advance.
+  samples_.clear();
+  missing_samples_.clear();
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(params_.matrix_n) * params_.matrix_n;
+  while (samples_.size() < params_.samples_per_node) {
+    const auto flat = static_cast<std::uint32_t>(sample_rng_.uniform(span));
+    const net::CellId cell{static_cast<std::uint16_t>(flat / params_.matrix_n),
+                           static_cast<std::uint16_t>(flat % params_.matrix_n)};
+    if (missing_samples_.insert(cell.packed()).second) {
+      samples_.push_back(cell);
+    }
+  }
+
+  fetcher_ = std::make_shared<AdaptiveFetcher>(
+      engine_, params_, *table_, view_, self_,
+      engine_.rng_stream(0x66657463ULL ^
+                         (static_cast<std::uint64_t>(self_) << 20) ^ slot));
+}
+
+bool PandasNode::handle_message(net::NodeIndex from, net::Message& msg) {
+  if (auto* seed = std::get_if<net::SeedMsg>(&msg)) {
+    if (slot_active_ && seed->slot == slot_) on_seed(from, std::move(*seed));
+    return true;
+  }
+  if (auto* query = std::get_if<net::CellQueryMsg>(&msg)) {
+    if (slot_active_ && query->slot == slot_) on_query(from, std::move(*query));
+    return true;
+  }
+  if (auto* reply = std::get_if<net::CellReplyMsg>(&msg)) {
+    if (slot_active_ && reply->slot == slot_) on_reply(from, std::move(*reply));
+    return true;
+  }
+  return false;
+}
+
+void PandasNode::on_seed(net::NodeIndex /*from*/, net::SeedMsg&& msg) {
+  // In the real protocol the node first verifies the proposer's signature
+  // binding the sender as the slot's legitimate builder (§6.1); the
+  // simulator's builder is authentic by construction.
+  if (!seed_received_) {
+    seed_received_ = true;
+    record_.seed_time = engine_.now() - record_.slot_start;
+    record_.seed_cells = static_cast<std::uint32_t>(msg.cells.size());
+  }
+  ingest(msg.cells);
+  if (fetcher_->started()) {
+    // Seed arrived after the fallback timer launched the fetch: the cells
+    // were ingested above; install the boost map for the remaining rounds.
+    fetcher_->update_boost(std::move(msg.boost));
+  } else {
+    start_fetch(std::move(msg.boost));
+  }
+}
+
+void PandasNode::start_fetch(net::BoostMap boost) {
+  if (fetcher_->started()) return;
+
+  // F = enough missing assigned cells to reconstruct every line, plus the
+  // missing samples (consolidation and sampling run concurrently through one
+  // fetcher, §6.2/§6.3). A line holding h cells needs only k - h more to
+  // decode; fetch_over_request adds margin for loss. Cells the boost map
+  // declares as seeded somewhere are preferred — they are servable now.
+  std::vector<net::CellId> needed;
+  const AssignedLines& lines = custody_.assignment();
+  for (const auto line : lines.lines()) {
+    if (custody_.line_complete(line)) continue;
+    const std::uint32_t held = custody_.line_count(line);
+    const auto required = static_cast<std::uint32_t>(
+        std::max(0.0, std::ceil((params_.matrix_k - static_cast<double>(held)) *
+                                params_.fetch_over_request)));
+
+    // Positions of this line covered by the boost map (seeded to peers).
+    util::Bitmap512 boosted_pos;
+    for (const auto& lb : boost) {
+      if (lb && lb->line == line) {
+        for (const auto& [peer, pos] : lb->entries) {
+          (void)peer;
+          boosted_pos.set(pos);
+        }
+      }
+    }
+
+    // Preference order: cells the boost map says were seeded, then cells in
+    // the original region (positions < k exist under every seeding policy —
+    // parity cells only come into existence as other nodes reconstruct),
+    // then parity positions.
+    std::vector<std::uint16_t> preferred, original, parity;
+    for (std::uint32_t pos = 0; pos < params_.matrix_n; ++pos) {
+      const net::CellId cell =
+          line.kind == net::LineRef::Kind::kRow
+              ? net::CellId{line.index, static_cast<std::uint16_t>(pos)}
+              : net::CellId{static_cast<std::uint16_t>(pos), line.index};
+      if (custody_.has_cell(cell)) continue;
+      if (boosted_pos.test(pos)) {
+        preferred.push_back(static_cast<std::uint16_t>(pos));
+      } else if (pos < params_.matrix_k) {
+        original.push_back(static_cast<std::uint16_t>(pos));
+      } else {
+        parity.push_back(static_cast<std::uint16_t>(pos));
+      }
+    }
+    sample_rng_.shuffle(preferred);
+    sample_rng_.shuffle(original);
+    sample_rng_.shuffle(parity);
+    preferred.insert(preferred.end(), original.begin(), original.end());
+    preferred.insert(preferred.end(), parity.begin(), parity.end());
+    const auto take = std::min<std::size_t>(required, preferred.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::uint16_t pos = preferred[i];
+      needed.push_back(line.kind == net::LineRef::Kind::kRow
+                           ? net::CellId{line.index, pos}
+                           : net::CellId{pos, line.index});
+    }
+  }
+  for (const auto packed : missing_samples_) {
+    needed.push_back(net::CellId::unpack(packed));
+  }
+
+  const std::uint64_t generation = slot_generation_;
+  // Per-round top-up: if a line's outstanding requests fall below its
+  // reconstruction deficit (cells lost, or initially chosen cells that do
+  // not exist anywhere yet under sparse seeding policies), widen F with
+  // further missing positions. This keeps consolidation live under the
+  // minimal/single policies, where parity cells only come into existence as
+  // other nodes reconstruct.
+  topup_progress_.clear();
+  fetcher_->set_topup([this, generation]() {
+    std::vector<net::CellId> extra;
+    if (generation != slot_generation_) return extra;
+    for (const auto line : custody_.assignment().lines()) {
+      if (custody_.line_complete(line)) continue;
+      const std::uint32_t held = custody_.line_count(line);
+      const std::uint32_t deficit =
+          params_.matrix_k > held ? params_.matrix_k - held : 0;
+      const auto want = static_cast<std::uint32_t>(
+          std::ceil(deficit * params_.fetch_over_request));
+      const std::uint32_t have =
+          fetcher_->outstanding_in_line(line, params_.matrix_n);
+
+      // Replenish when in-flight requests no longer cover the deficit, and
+      // also widen F when the line made no progress for a while — the
+      // requested cells may simply not exist anywhere yet (sparse policies)
+      // or their holders may be dead, so ask for others. Growth is
+      // rate-limited per line to avoid request storms at stragglers.
+      auto& prog = topup_progress_[line.packed()];
+      bool stagnant = false;
+      if (prog.count != held) {
+        prog.count = held;
+        prog.last_change = engine_.now();
+      } else if (held > 0 &&
+                 engine_.now() - prog.last_change >= 500 * sim::kMillisecond &&
+                 engine_.now() - prog.last_growth >= 500 * sim::kMillisecond) {
+        stagnant = true;
+        prog.last_growth = engine_.now();
+      }
+      std::uint32_t missing_budget =
+          have < want ? want - have : (stagnant ? deficit : 0);
+      if (missing_budget == 0) continue;
+      // Walk positions starting inside the original region (those cells
+      // exist under every seeding policy); wrap into parity afterwards.
+      const auto offset =
+          static_cast<std::uint32_t>(sample_rng_.uniform(params_.matrix_k));
+      for (std::uint32_t i = 0; i < params_.matrix_n && missing_budget > 0; ++i) {
+        const auto pos =
+            static_cast<std::uint16_t>((offset + i) % params_.matrix_n);
+        const net::CellId cell = line.kind == net::LineRef::Kind::kRow
+                                     ? net::CellId{line.index, pos}
+                                     : net::CellId{pos, line.index};
+        if (custody_.has_cell(cell) || fetcher_->is_outstanding(cell)) continue;
+        extra.push_back(cell);
+        --missing_budget;
+      }
+    }
+    return extra;
+  });
+  fetcher_->start(
+      needed, std::move(boost),
+      [this, generation](net::NodeIndex target, std::vector<net::CellId> cells) {
+        if (generation != slot_generation_) return;
+        net::CellQueryMsg q;
+        q.slot = slot_;
+        q.cells = std::move(cells);
+        count_fetch_traffic(net::Message(q));
+        transport_.send(self_, target, std::move(q));
+      });
+  check_completion();
+}
+
+void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
+  count_fetch_traffic(net::Message(msg));
+
+  if (!seed_received_ && !fetcher_->started() && !fallback_armed_) {
+    // First sign of the slot without seed data: arm the fallback timer
+    // (§6.2). If the seed still has not arrived when it fires, start
+    // consolidation from nothing.
+    fallback_armed_ = true;
+    const std::uint64_t generation = slot_generation_;
+    engine_.schedule_in(params_.consolidation_fallback, [this, generation]() {
+      if (generation != slot_generation_) return;
+      if (!fetcher_->started()) start_fetch({});
+    });
+  }
+
+  // Serve what is held right away; buffer the remainder for a delayed
+  // reply once every remaining cell is available. There is never a negative
+  // acknowledgement (§7). (The paper's handler replies all-at-once or
+  // buffers; serving the held subset immediately additionally lets the
+  // seeded fraction of mixed queries bootstrap consolidation network-wide —
+  // at most two reply messages per query.)
+  std::vector<net::CellId> available;
+  std::vector<net::CellId> remaining;
+  for (const auto cell : msg.cells) {
+    if (custody_.has_cell(cell)) {
+      available.push_back(cell);
+    } else {
+      remaining.push_back(cell);
+    }
+  }
+  if (!available.empty()) send_reply(from, std::move(available));
+  if (!remaining.empty()) {
+    PendingQuery pq;
+    pq.requester = from;
+    pq.cells = remaining;
+    pq.remaining = std::move(remaining);
+    pending_.push_back(std::move(pq));
+  }
+}
+
+void PandasNode::on_reply(net::NodeIndex from, net::CellReplyMsg&& msg) {
+  count_fetch_traffic(net::Message(msg));
+  const auto result = ingest(msg.cells);
+  fetcher_->on_reply(from, result.new_cells, result.duplicates,
+                     result.reconstructed);
+}
+
+CustodyState::AddResult PandasNode::ingest(std::span<const net::CellId> cells) {
+  auto result = custody_.add_cells(cells, /*keep_extras=*/true);
+  if (!result.obtained.empty()) {
+    fetcher_->on_cells_obtained(result.obtained);
+    if (!missing_samples_.empty()) {
+      for (const auto cell : result.obtained) {
+        missing_samples_.erase(cell.packed());
+      }
+    }
+    serve_pending();
+  }
+  check_completion();
+  return result;
+}
+
+void PandasNode::serve_pending() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    auto& pq = *it;
+    pq.remaining.erase(
+        std::remove_if(pq.remaining.begin(), pq.remaining.end(),
+                       [&](net::CellId c) { return custody_.has_cell(c); }),
+        pq.remaining.end());
+    if (pq.remaining.empty()) {
+      send_reply(pq.requester, std::move(pq.cells));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PandasNode::send_reply(net::NodeIndex to, std::vector<net::CellId> cells) {
+  net::CellReplyMsg reply;
+  reply.slot = slot_;
+  reply.cells = std::move(cells);
+  count_fetch_traffic(net::Message(reply));
+  transport_.send(self_, to, std::move(reply));
+}
+
+void PandasNode::check_completion() {
+  const sim::Time elapsed = engine_.now() - record_.slot_start;
+  if (!record_.consolidation_time && custody_.all_lines_complete()) {
+    record_.consolidation_time = elapsed;
+  }
+  if (!record_.sampling_time && missing_samples_.empty()) {
+    record_.sampling_time = elapsed;
+  }
+}
+
+void PandasNode::count_fetch_traffic(const net::Message& msg) {
+  record_.fetch_messages += 1;
+  record_.fetch_bytes += net::wire_size(msg);
+}
+
+}  // namespace pandas::core

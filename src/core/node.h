@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/custody.h"
+#include "core/fetcher.h"
+#include "core/params.h"
+#include "core/view.h"
+#include "net/transport.h"
+#include "sim/engine.h"
+
+/// A PANDAS full node (paper §6): custodies its assigned rows/columns,
+/// consolidates missing assigned cells from peers, samples 73 random cells,
+/// and serves (or buffers) incoming cell queries.
+///
+/// Per-slot behaviour:
+///  - On the builder's seed message: ingest seed cells and launch the
+///    adaptive fetcher over (missing assigned cells ∪ missing samples),
+///    primed with the consolidation-boost map.
+///  - On a query for the current slot before any seed arrived: arm a 400 ms
+///    fallback timer; fetch starts without seed data when it fires (§6.2).
+///  - On a query for cells it does not (fully) hold yet: buffer the query
+///    and reply when every requested cell is available — there are no
+///    negative acknowledgements (§7).
+///  - Reconstruction: once a line holds >= k cells, the rest are recovered
+///    locally and can immediately serve buffered queries.
+namespace pandas::core {
+
+class PandasNode {
+ public:
+  /// Everything the evaluation measures about one node-slot.
+  struct SlotRecord {
+    std::uint64_t slot = 0;
+    sim::Time slot_start = 0;
+    /// Completion instants relative to slot start; nullopt = never happened.
+    std::optional<sim::Time> seed_time;
+    std::optional<sim::Time> consolidation_time;
+    std::optional<sim::Time> sampling_time;
+    std::uint32_t seed_cells = 0;
+    /// Fetch-phase traffic, both directions (queries + replies), as plotted
+    /// in Fig 10 / Fig 13.
+    std::uint32_t fetch_messages = 0;
+    std::uint64_t fetch_bytes = 0;
+  };
+
+  PandasNode(sim::Engine& engine, net::Transport& transport, net::NodeIndex self,
+             const ProtocolParams& params);
+
+  /// Epoch configuration: the (globally derivable) assignment table.
+  void configure_epoch(const AssignmentTable* table) { table_ = table; }
+  /// This node's current network view (owned by the harness).
+  void set_view(const View* view) { view_ = view; }
+
+  /// Starts a new slot: fresh custody, fresh samples, fresh fetcher.
+  void begin_slot(std::uint64_t slot);
+
+  /// Transport entry point. Returns true if the message was consumed.
+  bool handle_message(net::NodeIndex from, net::Message& msg);
+
+  [[nodiscard]] const SlotRecord& record() const noexcept { return record_; }
+  [[nodiscard]] const CustodyState& custody() const noexcept { return custody_; }
+  [[nodiscard]] const std::vector<net::CellId>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] const AdaptiveFetcher* fetcher() const noexcept {
+    return fetcher_.get();
+  }
+  [[nodiscard]] net::NodeIndex index() const noexcept { return self_; }
+  [[nodiscard]] bool consolidated() const noexcept {
+    return record_.consolidation_time.has_value();
+  }
+  [[nodiscard]] bool sampled() const noexcept {
+    return record_.sampling_time.has_value();
+  }
+
+ private:
+  struct PendingQuery {
+    net::NodeIndex requester = 0;
+    std::vector<net::CellId> cells;      // full original request
+    std::vector<net::CellId> remaining;  // still unavailable
+  };
+
+  void on_seed(net::NodeIndex from, net::SeedMsg&& msg);
+  void on_query(net::NodeIndex from, net::CellQueryMsg&& msg);
+  void on_reply(net::NodeIndex from, net::CellReplyMsg&& msg);
+
+  /// Launches the fetcher if not yet running. `boost` may be empty.
+  void start_fetch(net::BoostMap boost);
+  /// Ingests cells into custody; updates fetch set, samples, pending
+  /// queries, and completion records. Returns the custody AddResult.
+  CustodyState::AddResult ingest(std::span<const net::CellId> cells);
+  void serve_pending();
+  void check_completion();
+  void send_reply(net::NodeIndex to, std::vector<net::CellId> cells);
+  void count_fetch_traffic(const net::Message& msg);
+
+  sim::Engine& engine_;
+  net::Transport& transport_;
+  net::NodeIndex self_;
+  ProtocolParams params_;
+  const AssignmentTable* table_ = nullptr;
+  const View* view_ = nullptr;
+  util::Xoshiro256 sample_rng_;
+
+  std::uint64_t slot_ = 0;
+  bool slot_active_ = false;
+  std::uint64_t slot_generation_ = 0;  // invalidates stale timers
+  CustodyState custody_;
+  std::vector<net::CellId> samples_;
+  std::unordered_set<std::uint32_t> missing_samples_;  // packed CellIds
+  std::shared_ptr<AdaptiveFetcher> fetcher_;
+  std::vector<PendingQuery> pending_;
+  /// Per-line progress tracking for the stagnation-driven fetch-set growth.
+  struct TopUpProgress {
+    std::uint32_t count = 0;
+    sim::Time last_change = 0;
+    sim::Time last_growth = 0;
+  };
+  std::unordered_map<std::uint16_t, TopUpProgress> topup_progress_;
+  bool fallback_armed_ = false;
+  bool seed_received_ = false;
+  SlotRecord record_;
+};
+
+}  // namespace pandas::core

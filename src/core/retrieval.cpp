@@ -1,0 +1,116 @@
+#include "core/retrieval.h"
+
+#include <algorithm>
+
+namespace pandas::core {
+
+void RetrievalClient::retrieve_line(std::uint64_t slot, net::LineRef line,
+                                    LineCallback done,
+                                    std::uint32_t peers_per_round,
+                                    sim::Time deadline) {
+  auto st = std::make_shared<LineState>();
+  st->line = line;
+  st->slot = slot;
+  st->done = std::move(done);
+  st->deadline_at = engine_.now() + deadline;
+  lines_.push_back(st);
+  round(st, peers_per_round);
+}
+
+void RetrievalClient::round(const std::shared_ptr<LineState>& st,
+                            std::uint32_t peers) {
+  if (st->finished) return;
+  if (st->cells.count_prefix(params_.matrix_n) >= params_.matrix_k) {
+    finish(st, true);
+    return;
+  }
+  if (engine_.now() >= st->deadline_at) {
+    finish(st, false);
+    return;
+  }
+
+  // Fresh custodians of the line, randomly chosen.
+  const auto& pool = assignment_.assigned_to(st->line);
+  std::vector<net::NodeIndex> fresh;
+  for (const auto n : pool) {
+    if (n == self_ || st->asked.count(n) != 0) continue;
+    if (view_ != nullptr && !view_->contains(n)) continue;
+    fresh.push_back(n);
+  }
+  if (fresh.empty()) {
+    // Custodians exhausted: allow re-asking (they may have consolidated by
+    // now), unless nobody exists at all.
+    if (st->asked.empty()) {
+      finish(st, false);
+      return;
+    }
+    st->asked.clear();
+    engine_.schedule_in(200 * sim::kMillisecond,
+                        [weak = weak_from_this(), st, peers]() {
+                          if (const auto self = weak.lock()) self->round(st, peers);
+                        });
+    return;
+  }
+  rng_.shuffle(fresh);
+  if (fresh.size() > peers) fresh.resize(peers);
+
+  // Ask each peer for the still-missing cells of the line.
+  std::vector<net::CellId> wanted;
+  for (std::uint32_t pos = 0; pos < params_.matrix_n; ++pos) {
+    if (st->cells.test(pos)) continue;
+    wanted.push_back(st->line.kind == net::LineRef::Kind::kRow
+                         ? net::CellId{st->line.index,
+                                       static_cast<std::uint16_t>(pos)}
+                         : net::CellId{static_cast<std::uint16_t>(pos),
+                                       st->line.index});
+  }
+  for (const auto peer : fresh) {
+    st->asked.insert(peer);
+    net::CellQueryMsg q;
+    q.slot = st->slot;
+    q.cells = wanted;
+    transport_.send(self_, peer, std::move(q));
+  }
+
+  engine_.schedule_in(300 * sim::kMillisecond,
+                      [weak = weak_from_this(), st, peers]() {
+                        if (const auto self = weak.lock()) self->round(st, peers);
+                      });
+}
+
+void RetrievalClient::finish(const std::shared_ptr<LineState>& st, bool success) {
+  if (st->finished) return;
+  st->finished = true;
+  if (st->done) st->done(st->line, success);
+}
+
+bool RetrievalClient::handle_message(net::NodeIndex /*from*/, net::Message& msg) {
+  auto* reply = std::get_if<net::CellReplyMsg>(&msg);
+  if (reply == nullptr) return false;
+  for (auto& st : lines_) {
+    if (st->slot != reply->slot) continue;
+    for (const auto cell : reply->cells) {
+      if (st->line.kind == net::LineRef::Kind::kRow &&
+          cell.row == st->line.index) {
+        st->cells.set(cell.col);
+      } else if (st->line.kind == net::LineRef::Kind::kCol &&
+                 cell.col == st->line.index) {
+        st->cells.set(cell.row);
+      }
+    }
+    if (!st->finished &&
+        st->cells.count_prefix(params_.matrix_n) >= params_.matrix_k) {
+      finish(st, true);
+    }
+  }
+  return true;
+}
+
+std::uint32_t RetrievalClient::collected(net::LineRef line) const {
+  for (const auto& st : lines_) {
+    if (st->line == line) return st->cells.count_prefix(params_.matrix_n);
+  }
+  return 0;
+}
+
+}  // namespace pandas::core

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+
+#include "core/assignment.h"
+#include "core/params.h"
+#include "core/view.h"
+#include "net/transport.h"
+#include "sim/engine.h"
+#include "util/bitmap.h"
+
+/// Layer-2 retrieval client (paper §4.2: "layer-2 clients can easily
+/// retrieve blob data").
+///
+/// A rollup participant that needs its data back — e.g. to build a fraud
+/// proof — retrieves the rows containing it. The client behaves like a thin
+/// PANDAS participant: it derives the deterministic assignment F locally,
+/// queries the custodial nodes of each wanted line, and declares the line
+/// retrievable once any k of its n cells have been collected (erasure
+/// decoding recovers the rest; the examples exercise real-byte decoding via
+/// pandas::erasure). It retries over fresh custodians until the deadline.
+namespace pandas::core {
+
+class RetrievalClient : public std::enable_shared_from_this<RetrievalClient> {
+ public:
+  /// Invoked once per requested line: success = collected >= k cells.
+  using LineCallback = std::function<void(net::LineRef line, bool success)>;
+
+  RetrievalClient(sim::Engine& engine, net::Transport& transport,
+                  net::NodeIndex self, const ProtocolParams& params,
+                  const AssignmentTable& assignment, const View* view)
+      : engine_(engine),
+        transport_(transport),
+        self_(self),
+        params_(params),
+        assignment_(assignment),
+        view_(view),
+        rng_(engine.rng_stream(0x72657472ULL ^
+                               (static_cast<std::uint64_t>(self) << 18))) {}
+
+  /// Requests one line of the current slot's blob. `peers_per_round` nodes
+  /// are asked per attempt; `deadline` bounds the whole retrieval.
+  void retrieve_line(std::uint64_t slot, net::LineRef line, LineCallback done,
+                     std::uint32_t peers_per_round = 4,
+                     sim::Time deadline = 4 * sim::kSecond);
+
+  /// Transport entry point for the client's replies.
+  bool handle_message(net::NodeIndex from, net::Message& msg);
+
+  /// Cells of `line` collected so far.
+  [[nodiscard]] std::uint32_t collected(net::LineRef line) const;
+  [[nodiscard]] bool line_retrievable(net::LineRef line) const {
+    return collected(line) >= params_.matrix_k;
+  }
+
+ private:
+  struct LineState {
+    net::LineRef line;
+    std::uint64_t slot = 0;
+    util::Bitmap512 cells;
+    std::unordered_set<net::NodeIndex> asked;
+    LineCallback done;
+    sim::Time deadline_at = 0;
+    bool finished = false;
+  };
+
+  void round(const std::shared_ptr<LineState>& st, std::uint32_t peers);
+  void finish(const std::shared_ptr<LineState>& st, bool success);
+
+  sim::Engine& engine_;
+  net::Transport& transport_;
+  net::NodeIndex self_;
+  ProtocolParams params_;
+  const AssignmentTable& assignment_;
+  const View* view_;
+  util::Xoshiro256 rng_;
+  std::vector<std::shared_ptr<LineState>> lines_;
+};
+
+}  // namespace pandas::core

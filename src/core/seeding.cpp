@@ -1,0 +1,151 @@
+#include "core/seeding.h"
+
+#include <algorithm>
+
+namespace pandas::core {
+
+net::BoostMap SeedPlan::boost_for(const AssignedLines& lines) const {
+  net::BoostMap out;
+  if (!boost_enabled) return out;
+  for (const auto r : lines.rows) {
+    if (r < row_boost.size() && row_boost[r]) out.push_back(row_boost[r]);
+  }
+  for (const auto c : lines.cols) {
+    if (c < col_boost.size() && col_boost[c]) out.push_back(col_boost[c]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Dispatches one copy-set of a line's cells: split [0, cells_per_line) into
+/// contiguous parcels over the line's known assigned nodes; the primary
+/// recipient of each parcel is recorded in the line's boost map, and each
+/// parcel is replicated to `copies - 1` further distinct nodes.
+void seed_line(const AssignmentTable& assignment, const View& builder_view,
+               net::LineRef line, std::uint32_t cells_per_line,
+               std::uint32_t copies, const SeedingPolicy& policy,
+               util::Xoshiro256& rng, SeedPlan& plan) {
+  const auto& all = assignment.assigned_to(line);
+  std::vector<net::NodeIndex> targets;
+  targets.reserve(all.size());
+  for (const auto n : all) {
+    if (builder_view.contains(n)) targets.push_back(n);
+  }
+  if (targets.empty()) return;  // nobody known: these cells are withheld
+  rng.shuffle(targets);
+
+  const auto parcels = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(targets.size()), cells_per_line);
+
+  auto boost =
+      policy.boost_enabled ? std::make_shared<net::LineBoost>() : nullptr;
+  if (boost) boost->line = line;
+
+  const bool is_row = line.kind == net::LineRef::Kind::kRow;
+  auto cell_at = [&](std::uint32_t pos) {
+    return is_row ? net::CellId{line.index, static_cast<std::uint16_t>(pos)}
+                  : net::CellId{static_cast<std::uint16_t>(pos), line.index};
+  };
+
+  for (std::uint32_t p = 0; p < parcels; ++p) {
+    const std::uint32_t begin = p * cells_per_line / parcels;
+    const std::uint32_t end = (p + 1) * cells_per_line / parcels;
+    const net::NodeIndex primary = targets[p];
+    auto& primary_cells = plan.cells_per_node[primary];
+    for (std::uint32_t pos = begin; pos < end; ++pos) {
+      primary_cells.push_back(cell_at(pos));
+      if (boost) {
+        boost->entries.emplace_back(primary, static_cast<std::uint16_t>(pos));
+      }
+    }
+    plan.total_cell_copies += end - begin;
+
+    // Replicas: copies-1 randomly selected distinct other nodes assigned to
+    // the line (§6.1).
+    if (copies > 1 && targets.size() > 1) {
+      const auto picks = rng.sample_distinct(
+          static_cast<std::uint32_t>(targets.size()), copies);
+      std::uint32_t placed = 0;
+      for (const auto idx : picks) {
+        if (placed + 1 >= copies) break;
+        const net::NodeIndex replica = targets[idx];
+        if (replica == primary) continue;
+        ++placed;
+        auto& replica_cells = plan.cells_per_node[replica];
+        for (std::uint32_t pos = begin; pos < end; ++pos) {
+          replica_cells.push_back(cell_at(pos));
+          if (boost) {
+            boost->entries.emplace_back(replica, static_cast<std::uint16_t>(pos));
+          }
+        }
+        plan.total_cell_copies += end - begin;
+      }
+    }
+  }
+  if (boost) {
+    std::sort(boost->entries.begin(), boost->entries.end());
+    if (boost->entries.size() > policy.boost_entries_per_line) {
+      // Evenly subsample to the wire cap.
+      std::vector<std::pair<net::NodeIndex, std::uint16_t>> kept;
+      kept.reserve(policy.boost_entries_per_line);
+      const double stride = static_cast<double>(boost->entries.size()) /
+                            policy.boost_entries_per_line;
+      for (std::uint32_t i = 0; i < policy.boost_entries_per_line; ++i) {
+        kept.push_back(boost->entries[static_cast<std::size_t>(i * stride)]);
+      }
+      boost->entries = std::move(kept);
+    }
+    boost->finalize();
+    auto& slot = is_row ? plan.row_boost[line.index] : plan.col_boost[line.index];
+    slot = std::move(boost);
+  }
+}
+
+}  // namespace
+
+SeedPlan plan_seeding(const ProtocolParams& params,
+                      const AssignmentTable& assignment, const View& builder_view,
+                      const SeedingPolicy& policy, util::Xoshiro256& rng) {
+  SeedPlan plan;
+  plan.boost_enabled = policy.boost_enabled;
+  plan.cells_per_node.assign(builder_view.universe(), {});
+  plan.row_boost.assign(params.matrix_n, nullptr);
+  plan.col_boost.assign(params.matrix_n, nullptr);
+
+  // Copy budget per axis. The paper's byte budgets (§6.1: 36.6 MB / 140 MB /
+  // 1,120 MB) count each cell once per copy, so:
+  //  - minimal:   1 copy, rows of the original quadrant only;
+  //  - single:    1 copy, all extended rows (columns populate via
+  //               consolidation and buffered queries);
+  //  - redundant: r copies split across both axes (r=8 -> 4 row copies + 4
+  //               column copies), which seeds every node's columns directly
+  //               and fills both axes' consolidation-boost maps — consistent
+  //               with redundant's faster consolidation in Fig 9.
+  std::uint32_t row_copies = 1, col_copies = 0;
+  std::uint32_t rows_to_seed = params.matrix_n;
+  std::uint32_t cells_per_line = params.matrix_n;
+  if (policy.kind == SeedingPolicy::Kind::kMinimal) {
+    rows_to_seed = params.matrix_k;
+    cells_per_line = params.matrix_k;
+  } else if (policy.kind == SeedingPolicy::Kind::kRedundant) {
+    row_copies = (policy.redundancy + 1) / 2;
+    col_copies = policy.redundancy / 2;
+  }
+
+  for (std::uint32_t r = 0; r < rows_to_seed; ++r) {
+    seed_line(assignment, builder_view,
+              net::LineRef::row(static_cast<std::uint16_t>(r)), cells_per_line,
+              row_copies, policy, rng, plan);
+  }
+  if (col_copies > 0) {
+    for (std::uint32_t c = 0; c < params.matrix_n; ++c) {
+      seed_line(assignment, builder_view,
+                net::LineRef::col(static_cast<std::uint16_t>(c)),
+                params.matrix_n, col_copies, policy, rng, plan);
+    }
+  }
+  return plan;
+}
+
+}  // namespace pandas::core

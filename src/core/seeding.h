@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/params.h"
+#include "core/view.h"
+#include "net/messages.h"
+#include "util/prng.h"
+
+/// Builder seeding policies (paper §6.1, Fig 6).
+///
+/// The builder dispatches extended-blob cells to the nodes assigned to each
+/// line that it knows of (V_b). Budgets from the paper:
+///  - "minimal":   one copy of the minimal reconstructable set — the k x k
+///                 original quadrant (256*256 cells = ~36.7 MB). Loss of any
+///                 message makes data unavailable; used as a cost baseline.
+///  - "single":    one copy of every extended cell (512*512 = ~147 MB on the
+///                 wire) — the erasure code absorbs losses.
+///  - "redundant": `r` copies of every cell (default r=8, ~1.17 GB).
+///
+/// Cells are dispatched row-wise: each seeded row is split into contiguous
+/// parcels distributed over the nodes assigned to that row, so every cell is
+/// accounted once per copy (this is the only reading consistent with the
+/// paper's 36.6 MB / 140 MB / 1,120 MB budgets; column custody is then
+/// populated by consolidation, which the buffered-query mechanism of §6.2
+/// supports even when a column cell must first be reconstructed by row
+/// holders). The consolidation-boost map records primary-copy placements.
+namespace pandas::core {
+
+struct SeedingPolicy {
+  enum class Kind { kMinimal, kSingle, kRedundant };
+
+  Kind kind = Kind::kRedundant;
+  std::uint32_t redundancy = 8;  ///< copies per cell (kRedundant only)
+  bool boost_enabled = true;     ///< attach consolidation-boost maps
+  /// Cap on CB entries per line (wire realism: at very large N a full map
+  /// would dominate the builder's egress; the cap subsamples evenly).
+  std::uint32_t boost_entries_per_line = 4096;
+
+  [[nodiscard]] static SeedingPolicy minimal() {
+    return {Kind::kMinimal, 1, true};
+  }
+  [[nodiscard]] static SeedingPolicy single() { return {Kind::kSingle, 1, true}; }
+  [[nodiscard]] static SeedingPolicy redundant(std::uint32_t r = 8) {
+    return {Kind::kRedundant, r, true};
+  }
+
+  [[nodiscard]] std::string name() const {
+    switch (kind) {
+      case Kind::kMinimal: return "minimal";
+      case Kind::kSingle: return "single";
+      case Kind::kRedundant: return "redundant(r=" + std::to_string(redundancy) + ")";
+    }
+    return "?";
+  }
+};
+
+/// The builder's per-slot dispatch plan: which cells go to which node, plus
+/// per-line consolidation-boost maps.
+struct SeedPlan {
+  /// Indexed by NodeIndex over the whole directory (empty vector = node gets
+  /// no cells, though it may still receive a boost-only seed message).
+  std::vector<std::vector<net::CellId>> cells_per_node;
+  /// Boost for row r / column c (may hold nullptr when a line has none).
+  net::BoostMap row_boost;  // size matrix_n
+  net::BoostMap col_boost;  // size matrix_n
+  std::uint64_t total_cell_copies = 0;
+  bool boost_enabled = true;
+
+  /// Assembles the CB map a given node should receive: the boosts of its
+  /// assigned lines (§6.2).
+  [[nodiscard]] net::BoostMap boost_for(const AssignedLines& lines) const;
+};
+
+/// Computes the dispatch plan for one slot. Deterministic given `rng` state.
+[[nodiscard]] SeedPlan plan_seeding(const ProtocolParams& params,
+                                    const AssignmentTable& assignment,
+                                    const View& builder_view,
+                                    const SeedingPolicy& policy,
+                                    util::Xoshiro256& rng);
+
+/// Extension point for user-defined strategies (the paper's flexibility
+/// objective §4.2): examples/custom_policy.cpp supplies its own planner.
+using SeedPlanner = std::function<SeedPlan(
+    const ProtocolParams&, const AssignmentTable&, const View&,
+    util::Xoshiro256&)>;
+
+}  // namespace pandas::core

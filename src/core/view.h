@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/messages.h"
+#include "util/prng.h"
+
+/// A node's (possibly incomplete, possibly inconsistent) view of the network
+/// (paper §4.1): the subset of the directory it has learned by crawling the
+/// discovery DHT. Views can miss live nodes and contain departed ones; the
+/// out-of-view fault experiments (Fig 15b) give each node an independent
+/// random subset.
+namespace pandas::core {
+
+class View {
+ public:
+  View() = default;
+
+  /// Complete view of a universe of `n` nodes.
+  [[nodiscard]] static View full(std::uint32_t n) {
+    View v;
+    v.universe_ = n;
+    v.full_ = true;
+    v.size_ = n;
+    return v;
+  }
+
+  /// Independent random subset containing `fraction` of the universe.
+  /// `always_include` (e.g. the node itself, or the builder) is forced in.
+  [[nodiscard]] static View random_subset(std::uint32_t n, double fraction,
+                                          util::Xoshiro256& rng,
+                                          net::NodeIndex always_include =
+                                              net::kInvalidNode) {
+    View v;
+    v.universe_ = n;
+    v.full_ = false;
+    v.member_.assign(n, false);
+    v.size_ = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (rng.uniform01() < fraction) {
+        v.member_[i] = true;
+        ++v.size_;
+      }
+    }
+    if (always_include != net::kInvalidNode && !v.member_[always_include]) {
+      v.member_[always_include] = true;
+      ++v.size_;
+    }
+    return v;
+  }
+
+  [[nodiscard]] bool contains(net::NodeIndex node) const noexcept {
+    if (node >= universe_) return false;
+    return full_ || member_[node];
+  }
+
+  [[nodiscard]] std::uint32_t universe() const noexcept { return universe_; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+  [[nodiscard]] bool is_full() const noexcept { return full_; }
+
+  /// Materializes the member list (ascending order).
+  [[nodiscard]] std::vector<net::NodeIndex> members() const {
+    std::vector<net::NodeIndex> out;
+    out.reserve(size_);
+    for (std::uint32_t i = 0; i < universe_; ++i) {
+      if (full_ || member_[i]) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  std::uint32_t universe_ = 0;
+  std::uint32_t size_ = 0;
+  bool full_ = false;
+  std::vector<bool> member_;
+};
+
+}  // namespace pandas::core

@@ -1,0 +1,47 @@
+#include "crypto/kzg_sim.h"
+
+#include <cstring>
+
+namespace pandas::crypto {
+
+namespace {
+/// Truncates a 32-byte digest into a 48-byte tag by chaining a second hash
+/// for the remaining 16 bytes (so all 48 bytes carry entropy).
+template <std::size_t N>
+std::array<std::uint8_t, N> stretch(const Digest& d) noexcept {
+  static_assert(N > 32 && N <= 64);
+  std::array<std::uint8_t, N> out{};
+  std::memcpy(out.data(), d.data(), 32);
+  Sha256 h;
+  h.update("pandas-kzg-stretch");
+  h.update(d);
+  const Digest d2 = h.finalize();
+  std::memcpy(out.data() + 32, d2.data(), N - 32);
+  return out;
+}
+}  // namespace
+
+Commitment commit(std::span<const std::uint8_t> row_data) noexcept {
+  Sha256 h;
+  h.update("pandas-kzg-commit");
+  h.update(row_data);
+  return stretch<kCommitmentSize>(h.finalize());
+}
+
+Proof prove_cell(const Commitment& commitment, std::uint32_t cell_index,
+                 std::span<const std::uint8_t> cell) noexcept {
+  Sha256 h;
+  h.update("pandas-kzg-proof");
+  h.update(commitment);
+  h.update_u32(cell_index);
+  h.update(cell);
+  return stretch<kProofSize>(h.finalize());
+}
+
+bool verify_cell(const Commitment& commitment, std::uint32_t cell_index,
+                 std::span<const std::uint8_t> cell, const Proof& proof) noexcept {
+  const Proof expected = prove_cell(commitment, cell_index, cell);
+  return std::memcmp(expected.data(), proof.data(), kProofSize) == 0;
+}
+
+}  // namespace pandas::crypto

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+/// Simulated Kate-Zaverucha-Goldberg (KZG) polynomial commitments.
+///
+/// SUBSTITUTION (documented in DESIGN.md): real KZG requires BLS12-381
+/// pairings. PANDAS's evaluation depends only on (a) cell wire size —
+/// 512 B data + 48 B proof = 560 B — and (b) the ability of a receiver to
+/// check a cell against the commitment carried by the blob-carrying
+/// transaction. We preserve both: commitments are 48-byte SHA-256-derived
+/// tags over the committed data, and per-cell proofs are 48-byte tags
+/// binding (commitment, cell index, cell content). verify_cell() recomputes
+/// the tag. Soundness holds against accidental corruption (the simulator's
+/// fault model), not against adversaries with 2^128 compute; the paper's
+/// rational-builder model (§4.1) assumes builders do not forge data anyway.
+namespace pandas::crypto {
+
+inline constexpr std::size_t kCommitmentSize = 48;
+inline constexpr std::size_t kProofSize = 48;
+
+/// 48-byte commitment to one blob row (matches the KZGC registered in a
+/// blob-carrying transaction).
+using Commitment = std::array<std::uint8_t, kCommitmentSize>;
+
+/// 48-byte per-cell proof (KZGP) linking a cell to a row commitment.
+using Proof = std::array<std::uint8_t, kProofSize>;
+
+/// Commits to a row of data (concatenated cell payloads).
+[[nodiscard]] Commitment commit(std::span<const std::uint8_t> row_data) noexcept;
+
+/// Produces the proof for the cell at `cell_index` whose payload is `cell`.
+[[nodiscard]] Proof prove_cell(const Commitment& commitment, std::uint32_t cell_index,
+                               std::span<const std::uint8_t> cell) noexcept;
+
+/// Checks a (cell, proof) pair against the row commitment.
+[[nodiscard]] bool verify_cell(const Commitment& commitment, std::uint32_t cell_index,
+                               std::span<const std::uint8_t> cell,
+                               const Proof& proof) noexcept;
+
+}  // namespace pandas::crypto

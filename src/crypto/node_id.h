@@ -1,0 +1,72 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.h"
+
+/// Node identities. As in Ethereum's discovery layer, a node is identified by
+/// the hash of its public key; the Kademlia DHT orders identities by the XOR
+/// metric over these 256-bit IDs.
+namespace pandas::crypto {
+
+/// 256-bit node identifier (hash of the node's public key).
+struct NodeId {
+  std::array<std::uint8_t, 32> bytes{};
+
+  [[nodiscard]] auto operator<=>(const NodeId&) const = default;
+
+  /// XOR distance to another ID (Kademlia metric).
+  [[nodiscard]] NodeId xor_with(const NodeId& o) const noexcept {
+    NodeId out;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      out.bytes[i] = static_cast<std::uint8_t>(bytes[i] ^ o.bytes[i]);
+    }
+    return out;
+  }
+
+  /// Index of the highest-order differing bit relative to `o`, in
+  /// [0, 256): 255 means the very first bit differs, 0 the last.
+  /// Returns -1 when the IDs are equal. Used for k-bucket placement.
+  [[nodiscard]] int log_distance(const NodeId& o) const noexcept {
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      const std::uint8_t x = static_cast<std::uint8_t>(bytes[i] ^ o.bytes[i]);
+      if (x != 0) {
+        int bit = 7;
+        while (((x >> bit) & 1) == 0) --bit;
+        return static_cast<int>((31 - i) * 8) + bit;
+      }
+    }
+    return -1;
+  }
+
+  /// Lexicographic (equivalently numeric big-endian) less-than, applied to
+  /// XOR distances for closest-node ordering.
+  [[nodiscard]] bool closer_to(const NodeId& target, const NodeId& other) const noexcept {
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      const std::uint8_t a = static_cast<std::uint8_t>(bytes[i] ^ target.bytes[i]);
+      const std::uint8_t b = static_cast<std::uint8_t>(other.bytes[i] ^ target.bytes[i]);
+      if (a != b) return a < b;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string hex() const { return to_hex(bytes); }
+
+  /// Deterministically derives an ID from an integer label (test/sim helper:
+  /// node k in a simulated network gets id = SHA256("pandas-node" || k)).
+  [[nodiscard]] static NodeId from_label(std::uint64_t label) noexcept {
+    Sha256 h;
+    h.update("pandas-node");
+    h.update_u64(label);
+    return NodeId{h.finalize()};
+  }
+
+  [[nodiscard]] static NodeId from_digest(const Digest& d) noexcept {
+    return NodeId{d};
+  }
+};
+
+}  // namespace pandas::crypto

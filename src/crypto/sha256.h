@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+/// A from-scratch SHA-256 implementation (FIPS 180-4). Used for node IDs,
+/// epoch seeds (RANDAO stand-in), the simulated KZG commitments/proofs and
+/// the toy signature scheme. Verified against the standard test vectors in
+/// tests/crypto_test.cpp.
+namespace pandas::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view sv) noexcept {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(sv.data()), sv.size()));
+  }
+  /// Appends a 64-bit integer in big-endian byte order.
+  void update_u64(std::uint64_t v) noexcept;
+  /// Appends a 32-bit integer in big-endian byte order.
+  void update_u32(std::uint32_t v) noexcept;
+
+  /// Finalizes and returns the digest. The hasher must be reset() before
+  /// further use.
+  [[nodiscard]] Digest finalize() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience overloads.
+[[nodiscard]] Digest sha256(std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] Digest sha256(std::string_view sv) noexcept;
+
+/// Lowercase hex encoding of a digest (or any byte span).
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+/// First 8 bytes of the digest as a big-endian uint64 (cheap fingerprint).
+[[nodiscard]] std::uint64_t digest_prefix64(const Digest& d) noexcept;
+
+}  // namespace pandas::crypto

@@ -1,0 +1,60 @@
+#include "crypto/signature.h"
+
+#include <cstring>
+
+namespace pandas::crypto {
+
+KeyPair KeyPair::from_seed(std::uint64_t seed) noexcept {
+  KeyPair kp;
+  Sha256 h;
+  h.update("pandas-secret-key");
+  h.update_u64(seed);
+  kp.secret = h.finalize();
+  // Public key derivation: pub = H(secret). The simulation treats the hash
+  // as a one-way trapdoor standing in for elliptic-curve key derivation.
+  Sha256 hp;
+  hp.update("pandas-public-key");
+  hp.update(kp.secret);
+  kp.pub = hp.finalize();
+  return kp;
+}
+
+Signature sign(const SecretKey& secret, std::span<const std::uint8_t> msg) noexcept {
+  // Recompute the public key, then produce two 32-byte halves:
+  //  - half 1 is verifiable by anyone holding the public key;
+  //  - half 2 binds the secret (not checked by verify(); it exists so the
+  //    wire format has the 64-byte size of a real secp256k1 signature).
+  Sha256 hp;
+  hp.update("pandas-public-key");
+  hp.update(secret);
+  const Digest pub = hp.finalize();
+
+  Sha256 h1;
+  h1.update("pandas-sig-v1");
+  h1.update(pub);
+  h1.update(msg);
+  const Digest d1 = h1.finalize();
+
+  Sha256 h2;
+  h2.update("pandas-sig-v2");
+  h2.update(secret);
+  h2.update(msg);
+  const Digest d2 = h2.finalize();
+
+  Signature sig;
+  std::memcpy(sig.data(), d1.data(), 32);
+  std::memcpy(sig.data() + 32, d2.data(), 32);
+  return sig;
+}
+
+bool verify(const PublicKey& pub, std::span<const std::uint8_t> msg,
+            const Signature& sig) noexcept {
+  Sha256 h1;
+  h1.update("pandas-sig-v1");
+  h1.update(pub);
+  h1.update(msg);
+  const Digest d1 = h1.finalize();
+  return std::memcmp(sig.data(), d1.data(), 32) == 0;
+}
+
+}  // namespace pandas::crypto

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.h"
+
+/// Toy signature scheme used to model the proposer's binding of the selected
+/// builder's identity to seeding messages (paper §6.1) and per-message
+/// authentication.
+///
+/// SUBSTITUTION (documented in DESIGN.md): Ethereum uses secp256k1/BLS here.
+/// Those primitives are orthogonal to the networking behaviour PANDAS
+/// studies; what matters to the protocol is (a) the 64-byte wire footprint
+/// and (b) deterministic sign/verify pass-fail semantics. This scheme hashes
+/// the secret key with the message — verification recomputes with the public
+/// key, which in this toy model equals SHA256(secret). It is NOT secure
+/// against an adversary who can choose keys; do not use outside simulation.
+namespace pandas::crypto {
+
+using Signature = std::array<std::uint8_t, 64>;
+using PublicKey = std::array<std::uint8_t, 32>;
+using SecretKey = std::array<std::uint8_t, 32>;
+
+struct KeyPair {
+  SecretKey secret{};
+  PublicKey pub{};
+
+  /// Deterministic key generation from a 64-bit seed.
+  [[nodiscard]] static KeyPair from_seed(std::uint64_t seed) noexcept;
+};
+
+/// Signs `msg` with `secret`. The resulting signature embeds a MAC computed
+/// from the *public* key so that verify() can recompute it; the second half
+/// binds the secret so two distinct keys cannot produce colliding signatures.
+[[nodiscard]] Signature sign(const SecretKey& secret,
+                             std::span<const std::uint8_t> msg) noexcept;
+
+/// Verifies `sig` over `msg` against `pub`.
+[[nodiscard]] bool verify(const PublicKey& pub, std::span<const std::uint8_t> msg,
+                          const Signature& sig) noexcept;
+
+}  // namespace pandas::crypto

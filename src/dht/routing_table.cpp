@@ -1,0 +1,58 @@
+#include "dht/routing_table.h"
+
+#include <algorithm>
+
+namespace pandas::dht {
+
+void RoutingTable::observe(net::NodeIndex contact) {
+  if (contact == self_) return;
+  const crypto::NodeId& self_id = directory_->id_of(self_);
+  const crypto::NodeId& cid = directory_->id_of(contact);
+  const int dist = self_id.log_distance(cid);
+  if (dist < 0) return;
+  auto& bucket = buckets_[static_cast<std::size_t>(dist)];
+  const auto it = std::find(bucket.begin(), bucket.end(), contact);
+  if (it != bucket.end()) {
+    // Refresh: move to the tail (most recently seen).
+    bucket.erase(it);
+    bucket.push_back(contact);
+    return;
+  }
+  if (bucket.size() >= bucket_size_) return;  // full: drop newcomer
+  bucket.push_back(contact);
+  ++size_;
+}
+
+std::vector<net::NodeIndex> RoutingTable::closest(const crypto::NodeId& target,
+                                                  std::uint32_t count) const {
+  // Walk buckets outward from the target's distance bucket; this visits
+  // contacts in roughly increasing distance so we can stop early, then do a
+  // final exact sort of the collected candidates.
+  std::vector<net::NodeIndex> candidates;
+  const crypto::NodeId& self_id = directory_->id_of(self_);
+  int center = self_id.log_distance(target);
+  if (center < 0) center = 0;
+
+  for (int radius = 0; radius < 256 && candidates.size() < 3 * count; ++radius) {
+    const int lo = center - radius;
+    const int hi = center + radius;
+    if (lo >= 0) {
+      const auto& b = buckets_[static_cast<std::size_t>(lo)];
+      candidates.insert(candidates.end(), b.begin(), b.end());
+    }
+    if (hi != lo && hi < 256) {
+      const auto& b = buckets_[static_cast<std::size_t>(hi)];
+      candidates.insert(candidates.end(), b.begin(), b.end());
+    }
+    if (lo < 0 && hi >= 256) break;
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [&](net::NodeIndex a, net::NodeIndex b) {
+              return directory_->id_of(a).closer_to(target, directory_->id_of(b));
+            });
+  if (candidates.size() > count) candidates.resize(count);
+  return candidates;
+}
+
+}  // namespace pandas::dht

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/node_id.h"
+#include "net/directory.h"
+
+/// Kademlia routing table [47]: 256 k-buckets ordered by XOR log-distance
+/// from the local ID. Contacts are node indices resolved through the global
+/// Directory. Used by the DHT-based DAS baseline (§8.1) and available as a
+/// standalone substrate.
+namespace pandas::dht {
+
+class RoutingTable {
+ public:
+  RoutingTable(const net::Directory& directory, net::NodeIndex self,
+               std::uint32_t bucket_size)
+      : directory_(&directory), self_(self), bucket_size_(bucket_size) {}
+
+  /// Inserts/refreshes a contact. Full buckets drop the newcomer (the
+  /// classic least-recently-seen eviction ping is omitted; in the simulator
+  /// liveness is handled by RPC timeouts instead).
+  void observe(net::NodeIndex contact);
+
+  /// The `count` known contacts closest (XOR) to `target`, sorted closest
+  /// first.
+  [[nodiscard]] std::vector<net::NodeIndex> closest(const crypto::NodeId& target,
+                                                    std::uint32_t count) const;
+
+  [[nodiscard]] std::size_t contact_count() const noexcept { return size_; }
+  [[nodiscard]] net::NodeIndex self() const noexcept { return self_; }
+
+  [[nodiscard]] const std::vector<net::NodeIndex>& bucket(int i) const {
+    return buckets_.at(static_cast<std::size_t>(i));
+  }
+
+ private:
+  const net::Directory* directory_;
+  net::NodeIndex self_;
+  std::uint32_t bucket_size_;
+  std::array<std::vector<net::NodeIndex>, 256> buckets_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace pandas::dht

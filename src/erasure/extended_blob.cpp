@@ -1,0 +1,120 @@
+#include "erasure/extended_blob.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pandas::erasure {
+
+ExtendedBlob ExtendedBlob::encode(const BlobConfig& cfg,
+                                  std::span<const std::uint8_t> data) {
+  if (cfg.cell_bytes % 2 != 0) {
+    throw std::invalid_argument("cell_bytes must be even (GF(2^16) lanes)");
+  }
+  if (data.size() > cfg.original_bytes()) {
+    throw std::invalid_argument("data larger than blob capacity");
+  }
+  const std::uint32_t k = cfg.k;
+  const std::uint32_t n = cfg.n;
+  ExtendedBlob blob(cfg);
+  blob.cells_.assign(static_cast<std::size_t>(n) * n, {});
+
+  // Lay out the original k x k cells (zero-padded).
+  for (std::uint32_t r = 0; r < k; ++r) {
+    for (std::uint32_t c = 0; c < k; ++c) {
+      auto& cell = blob.cells_[static_cast<std::size_t>(r) * n + c];
+      cell.assign(cfg.cell_bytes, 0);
+      const std::uint64_t offset =
+          (static_cast<std::uint64_t>(r) * k + c) * cfg.cell_bytes;
+      if (offset < data.size()) {
+        const std::size_t take =
+            std::min<std::size_t>(cfg.cell_bytes, data.size() - offset);
+        std::memcpy(cell.data(), data.data() + offset, take);
+      }
+    }
+  }
+
+  const ReedSolomon rs(k, n);
+
+  // Extend each of the first k rows from k to n cells.
+  for (std::uint32_t r = 0; r < k; ++r) {
+    std::vector<std::vector<std::uint8_t>> row_data(k);
+    for (std::uint32_t c = 0; c < k; ++c) {
+      row_data[c] = blob.cells_[static_cast<std::size_t>(r) * n + c];
+    }
+    auto parity = rs.encode(row_data);
+    for (std::uint32_t p = 0; p < n - k; ++p) {
+      blob.cells_[static_cast<std::size_t>(r) * n + k + p] = std::move(parity[p]);
+    }
+  }
+
+  // Extend every column (including parity columns) from k to n cells.
+  // Linearity of the code makes the bottom-right quadrant consistent whether
+  // rows or columns are extended first.
+  for (std::uint32_t c = 0; c < n; ++c) {
+    std::vector<std::vector<std::uint8_t>> col_data(k);
+    for (std::uint32_t r = 0; r < k; ++r) {
+      col_data[r] = blob.cells_[static_cast<std::size_t>(r) * n + c];
+    }
+    auto parity = rs.encode(col_data);
+    for (std::uint32_t p = 0; p < n - k; ++p) {
+      blob.cells_[static_cast<std::size_t>(k + p) * n + c] = std::move(parity[p]);
+    }
+  }
+
+  // Commit to every extended row.
+  blob.row_commitments_.resize(n);
+  std::vector<std::uint8_t> row_bytes;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    row_bytes.clear();
+    row_bytes.reserve(static_cast<std::size_t>(n) * cfg.cell_bytes);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const auto& cell = blob.cells_[static_cast<std::size_t>(r) * n + c];
+      row_bytes.insert(row_bytes.end(), cell.begin(), cell.end());
+    }
+    blob.row_commitments_[r] = crypto::commit(row_bytes);
+  }
+  return blob;
+}
+
+const std::vector<std::uint8_t>& ExtendedBlob::cell(std::uint32_t row,
+                                                    std::uint32_t col) const {
+  if (row >= cfg_.n || col >= cfg_.n) throw std::out_of_range("cell index");
+  return cells_[static_cast<std::size_t>(row) * cfg_.n + col];
+}
+
+const crypto::Commitment& ExtendedBlob::row_commitment(std::uint32_t row) const {
+  if (row >= cfg_.n) throw std::out_of_range("row index");
+  return row_commitments_[row];
+}
+
+crypto::Proof ExtendedBlob::cell_proof(std::uint32_t row, std::uint32_t col) const {
+  return crypto::prove_cell(row_commitment(row), col, cell(row, col));
+}
+
+bool ExtendedBlob::verify_cell(std::uint32_t row, std::uint32_t col,
+                               std::span<const std::uint8_t> payload,
+                               const crypto::Proof& proof) const {
+  if (row >= cfg_.n || col >= cfg_.n) return false;
+  return crypto::verify_cell(row_commitments_[row], col, payload, proof);
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> ExtendedBlob::reconstruct_line(
+    const BlobConfig& cfg, std::span<const std::vector<std::uint8_t>> cells,
+    std::span<const std::uint32_t> indices) {
+  const ReedSolomon rs(cfg.k, cfg.n);
+  return rs.reconstruct_all(cells, indices);
+}
+
+std::vector<std::uint8_t> ExtendedBlob::original_data() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(cfg_.original_bytes());
+  for (std::uint32_t r = 0; r < cfg_.k; ++r) {
+    for (std::uint32_t c = 0; c < cfg_.k; ++c) {
+      const auto& cell = cells_[static_cast<std::size_t>(r) * cfg_.n + c];
+      out.insert(out.end(), cell.begin(), cell.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace pandas::erasure

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/kzg_sim.h"
+#include "erasure/reed_solomon.h"
+
+/// The two-dimensional erasure-coded blob of Danksharding (paper §3, Fig 2).
+///
+/// A blob aggregates layer-2 data into a k x k cell matrix (default 256x256
+/// cells of 512 bytes = 32 MB) and extends it with a 2-D Reed-Solomon code to
+/// n x n (default 512x512, 140 MB on the wire including per-cell proofs).
+/// Every row and every column is a codeword of the same (k, n) code, so any
+/// 50% of a line's cells reconstruct the line.
+namespace pandas::erasure {
+
+/// Geometry of a blob. The paper's Danksharding target is
+/// {k=256, n=512, cell_bytes=512}; tests use smaller instances.
+struct BlobConfig {
+  std::uint32_t k = 256;          ///< original cells per line
+  std::uint32_t n = 512;          ///< extended cells per line (n = 2k typical)
+  std::uint32_t cell_bytes = 512; ///< payload bytes per cell (even)
+
+  [[nodiscard]] std::uint64_t original_bytes() const noexcept {
+    return static_cast<std::uint64_t>(k) * k * cell_bytes;
+  }
+  /// Wire size of a single cell: payload + 48 B KZG proof.
+  [[nodiscard]] std::uint32_t cell_wire_bytes() const noexcept {
+    return cell_bytes + static_cast<std::uint32_t>(crypto::kProofSize);
+  }
+  [[nodiscard]] std::uint64_t extended_wire_bytes() const noexcept {
+    return static_cast<std::uint64_t>(n) * n * cell_wire_bytes();
+  }
+  /// Danksharding defaults: 32 MB original, 140 MB extended.
+  [[nodiscard]] static BlobConfig danksharding() noexcept { return {}; }
+};
+
+/// A fully materialized extended blob: n x n cells with real payload bytes,
+/// per-row commitments and per-cell proofs. Used by the example applications
+/// and the erasure test-suite; the network simulator tracks cell *presence*
+/// only (see src/core/custody.h) for scalability, exactly as the paper's
+/// PeerSim simulator does.
+class ExtendedBlob {
+ public:
+  /// Encodes `data` (k*k cells, row-major, each cell_bytes long; shorter
+  /// input is zero-padded) into the full extended matrix.
+  static ExtendedBlob encode(const BlobConfig& cfg,
+                             std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const BlobConfig& config() const noexcept { return cfg_; }
+
+  /// Cell payload at (row, col), both in [0, n).
+  [[nodiscard]] const std::vector<std::uint8_t>& cell(std::uint32_t row,
+                                                      std::uint32_t col) const;
+
+  /// Commitment for a row (all n rows have commitments; the first k
+  /// correspond to the KZGCs registered in the blob-carrying transaction,
+  /// the rest are derivable and shipped alongside).
+  [[nodiscard]] const crypto::Commitment& row_commitment(std::uint32_t row) const;
+
+  /// Proof for cell (row, col) against row_commitment(row).
+  [[nodiscard]] crypto::Proof cell_proof(std::uint32_t row, std::uint32_t col) const;
+
+  /// Verifies a received cell payload + proof against this blob's
+  /// commitments (what a node does before accepting a cell).
+  [[nodiscard]] bool verify_cell(std::uint32_t row, std::uint32_t col,
+                                 std::span<const std::uint8_t> payload,
+                                 const crypto::Proof& proof) const;
+
+  /// Reconstructs a full row from >= k (cell_index, payload) pairs.
+  /// Returns all n cells of the row, or nullopt if fewer than k provided.
+  [[nodiscard]] static std::optional<std::vector<std::vector<std::uint8_t>>>
+  reconstruct_line(const BlobConfig& cfg,
+                   std::span<const std::vector<std::uint8_t>> cells,
+                   std::span<const std::uint32_t> indices);
+
+  /// Extracts the original data bytes (k*k cells) back out.
+  [[nodiscard]] std::vector<std::uint8_t> original_data() const;
+
+ private:
+  ExtendedBlob(BlobConfig cfg) : cfg_(cfg) {}
+
+  BlobConfig cfg_;
+  // cells_[row * n + col]
+  std::vector<std::vector<std::uint8_t>> cells_;
+  std::vector<crypto::Commitment> row_commitments_;
+};
+
+}  // namespace pandas::erasure

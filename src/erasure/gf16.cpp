@@ -1,0 +1,34 @@
+#include "erasure/gf16.h"
+
+namespace pandas::erasure {
+
+const GF16& GF16::instance() {
+  static const GF16 table;
+  return table;
+}
+
+GF16::GF16() : exp_(2 * kGroupOrder), log_(kOrder, 0) {
+  // Build exp/log tables by repeated multiplication by the generator x
+  // (value 2), reducing modulo the primitive polynomial.
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < kGroupOrder; ++i) {
+    exp_[i] = static_cast<Elem>(x);
+    log_[x] = i;
+    x <<= 1;
+    if (x & kOrder) x ^= kPoly;
+  }
+  // Duplicate the table so mul/div need no modulo on the exponent sum.
+  for (std::uint32_t i = 0; i < kGroupOrder; ++i) {
+    exp_[kGroupOrder + i] = exp_[i];
+  }
+}
+
+GF16::Elem GF16::pow(Elem a, std::uint32_t e) const noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const std::uint64_t l =
+      (static_cast<std::uint64_t>(log_[a]) * e) % kGroupOrder;
+  return exp_[l];
+}
+
+}  // namespace pandas::erasure

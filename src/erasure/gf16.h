@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// Arithmetic over GF(2^16).
+///
+/// Danksharding's extended blob doubles each 256-cell row/column to 512
+/// cells; a Reed-Solomon code with n = 512 codeword symbols needs a field
+/// with at least 512 elements, so the common GF(2^8) codes do not fit.
+/// We use GF(2^16) with the primitive polynomial
+///   x^16 + x^12 + x^3 + x + 1   (0x1100B),
+/// and log/exp tables for O(1) multiplication and division.
+namespace pandas::erasure {
+
+class GF16 {
+ public:
+  using Elem = std::uint16_t;
+  static constexpr std::uint32_t kOrder = 1u << 16;         // field size
+  static constexpr std::uint32_t kGroupOrder = kOrder - 1;  // multiplicative
+  static constexpr std::uint32_t kPoly = 0x1100B;           // reduction poly
+
+  /// Returns the process-wide table singleton (tables are ~576 KB, built
+  /// once on first use; thread-safe via static-local initialization).
+  static const GF16& instance();
+
+  [[nodiscard]] Elem add(Elem a, Elem b) const noexcept {
+    return static_cast<Elem>(a ^ b);  // characteristic 2: add == sub == xor
+  }
+
+  [[nodiscard]] Elem mul(Elem a, Elem b) const noexcept {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  /// a / b; b must be non-zero.
+  [[nodiscard]] Elem div(Elem a, Elem b) const noexcept {
+    if (a == 0) return 0;
+    return exp_[log_[a] + kGroupOrder - log_[b]];
+  }
+
+  /// Multiplicative inverse; a must be non-zero.
+  [[nodiscard]] Elem inv(Elem a) const noexcept {
+    return exp_[kGroupOrder - log_[a]];
+  }
+
+  /// a^e for e >= 0.
+  [[nodiscard]] Elem pow(Elem a, std::uint32_t e) const noexcept;
+
+  /// The generator alpha = x (element 2).
+  [[nodiscard]] Elem alpha_pow(std::uint32_t e) const noexcept {
+    return exp_[e % kGroupOrder];
+  }
+
+ private:
+  GF16();
+  std::vector<Elem> exp_;       // size 2*(kGroupOrder), avoids one modulo
+  std::vector<std::uint32_t> log_;  // size kOrder; log_[0] unused
+};
+
+}  // namespace pandas::erasure

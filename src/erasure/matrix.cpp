@@ -1,0 +1,100 @@
+#include "erasure/matrix.h"
+
+#include <stdexcept>
+
+namespace pandas::erasure {
+
+Matrix Matrix::identity(std::uint32_t n) {
+  Matrix m(n, n);
+  for (std::uint32_t i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+Matrix Matrix::vandermonde(std::uint32_t rows, std::uint32_t cols) {
+  const GF16& gf = GF16::instance();
+  if (rows >= GF16::kGroupOrder) {
+    throw std::invalid_argument("vandermonde: too many rows for GF(2^16)");
+  }
+  Matrix m(rows, cols);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    const GF16::Elem point = gf.alpha_pow(r);
+    GF16::Elem v = 1;
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      m.set(r, c, v);
+      v = gf.mul(v, point);
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& o) const {
+  if (cols_ != o.rows_) throw std::invalid_argument("matrix dims mismatch");
+  const GF16& gf = GF16::instance();
+  Matrix out(rows_, o.cols_);
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    for (std::uint32_t k = 0; k < cols_; ++k) {
+      const GF16::Elem a = at(r, k);
+      if (a == 0) continue;
+      const GF16::Elem* orow = o.row(k);
+      GF16::Elem* out_row = out.row(r);
+      for (std::uint32_t c = 0; c < o.cols_; ++c) {
+        out_row[c] = gf.add(out_row[c], gf.mul(a, orow[c]));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  if (rows_ != cols_) return std::nullopt;
+  const GF16& gf = GF16::instance();
+  const std::uint32_t n = rows_;
+  Matrix work = *this;
+  Matrix inv = identity(n);
+
+  for (std::uint32_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::uint32_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != col) {
+      for (std::uint32_t c = 0; c < n; ++c) {
+        std::swap(work.row(col)[c], work.row(pivot)[c]);
+        std::swap(inv.row(col)[c], inv.row(pivot)[c]);
+      }
+    }
+    // Normalize pivot row.
+    const GF16::Elem p = work.at(col, col);
+    if (p != 1) {
+      const GF16::Elem pinv = gf.inv(p);
+      for (std::uint32_t c = 0; c < n; ++c) {
+        work.row(col)[c] = gf.mul(work.row(col)[c], pinv);
+        inv.row(col)[c] = gf.mul(inv.row(col)[c], pinv);
+      }
+    }
+    // Eliminate everywhere else.
+    for (std::uint32_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const GF16::Elem factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::uint32_t c = 0; c < n; ++c) {
+        work.row(r)[c] =
+            gf.add(work.row(r)[c], gf.mul(factor, work.row(col)[c]));
+        inv.row(r)[c] = gf.add(inv.row(r)[c], gf.mul(factor, inv.row(col)[c]));
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::uint32_t>& indices) const {
+  Matrix out(static_cast<std::uint32_t>(indices.size()), cols_);
+  for (std::uint32_t i = 0; i < indices.size(); ++i) {
+    const GF16::Elem* src = row(indices[i]);
+    GF16::Elem* dst = out.row(i);
+    for (std::uint32_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+}  // namespace pandas::erasure

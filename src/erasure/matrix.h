@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "erasure/gf16.h"
+
+/// Dense matrices over GF(2^16) with the operations Reed-Solomon needs:
+/// multiplication, Gauss-Jordan inversion, and submatrix extraction.
+namespace pandas::erasure {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::uint32_t rows, std::uint32_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, 0) {}
+
+  [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] GF16::Elem at(std::uint32_t r, std::uint32_t c) const noexcept {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  void set(std::uint32_t r, std::uint32_t c, GF16::Elem v) noexcept {
+    data_[static_cast<std::size_t>(r) * cols_ + c] = v;
+  }
+  [[nodiscard]] const GF16::Elem* row(std::uint32_t r) const noexcept {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+  [[nodiscard]] GF16::Elem* row(std::uint32_t r) noexcept {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  [[nodiscard]] static Matrix identity(std::uint32_t n);
+
+  /// Vandermonde matrix V[r][c] = alpha_r ^ c with alpha_r = generator^r,
+  /// guaranteeing distinct non-zero evaluation points for r < 2^16 - 1.
+  [[nodiscard]] static Matrix vandermonde(std::uint32_t rows, std::uint32_t cols);
+
+  [[nodiscard]] Matrix multiply(const Matrix& o) const;
+
+  /// Gauss-Jordan inverse; nullopt if singular.
+  [[nodiscard]] std::optional<Matrix> inverted() const;
+
+  /// New matrix formed from the given row indices of this one.
+  [[nodiscard]] Matrix select_rows(const std::vector<std::uint32_t>& indices) const;
+
+  [[nodiscard]] bool operator==(const Matrix& o) const noexcept = default;
+
+ private:
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::vector<GF16::Elem> data_;
+};
+
+}  // namespace pandas::erasure

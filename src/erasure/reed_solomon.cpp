@@ -1,0 +1,113 @@
+#include "erasure/reed_solomon.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace pandas::erasure {
+
+ReedSolomon::ReedSolomon(std::uint32_t k, std::uint32_t n) : k_(k), n_(n) {
+  if (k == 0 || k > n || n >= GF16::kGroupOrder) {
+    throw std::invalid_argument("ReedSolomon: invalid (k, n)");
+  }
+  // Systematic generator: G = V(n, k) * inv(V(k, k)). The top k rows of G
+  // form the identity, so codeword[0..k) == data.
+  const Matrix v = Matrix::vandermonde(n, k);
+  std::vector<std::uint32_t> top(k);
+  for (std::uint32_t i = 0; i < k; ++i) top[i] = i;
+  const auto inv = v.select_rows(top).inverted();
+  if (!inv) throw std::logic_error("Vandermonde top square singular");
+  generator_ = v.multiply(*inv);
+}
+
+std::vector<GF16::Elem> ReedSolomon::generator_row(std::uint32_t i) const {
+  std::vector<GF16::Elem> out(k_);
+  const GF16::Elem* r = generator_.row(i);
+  for (std::uint32_t c = 0; c < k_; ++c) out[c] = r[c];
+  return out;
+}
+
+void ReedSolomon::apply_row(std::span<const GF16::Elem> coeffs,
+                            std::span<const std::vector<std::uint8_t>> shards,
+                            std::vector<std::uint8_t>& out) {
+  const GF16& gf = GF16::instance();
+  const std::size_t bytes = shards.empty() ? 0 : shards[0].size();
+  out.assign(bytes, 0);
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    const GF16::Elem c = coeffs[j];
+    if (c == 0) continue;
+    const auto& shard = shards[j];
+    for (std::size_t b = 0; b + 1 < bytes; b += 2) {
+      const auto sym = static_cast<GF16::Elem>(
+          static_cast<std::uint16_t>(shard[b]) |
+          (static_cast<std::uint16_t>(shard[b + 1]) << 8));
+      const GF16::Elem prod = gf.mul(c, sym);
+      out[b] = static_cast<std::uint8_t>(out[b] ^ (prod & 0xff));
+      out[b + 1] = static_cast<std::uint8_t>(out[b + 1] ^ (prod >> 8));
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
+    std::span<const std::vector<std::uint8_t>> data) const {
+  if (data.size() != k_) throw std::invalid_argument("encode: need k shards");
+  const std::size_t bytes = data[0].size();
+  if (bytes % 2 != 0) throw std::invalid_argument("encode: odd shard size");
+  for (const auto& d : data) {
+    if (d.size() != bytes) throw std::invalid_argument("encode: ragged shards");
+  }
+  std::vector<std::vector<std::uint8_t>> parity(n_ - k_);
+  for (std::uint32_t p = 0; p < n_ - k_; ++p) {
+    std::vector<GF16::Elem> coeffs(k_);
+    const GF16::Elem* row = generator_.row(k_ + p);
+    for (std::uint32_t c = 0; c < k_; ++c) coeffs[c] = row[c];
+    apply_row(coeffs, data, parity[p]);
+  }
+  return parity;
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::reconstruct_data(
+    std::span<const std::vector<std::uint8_t>> shards,
+    std::span<const std::uint32_t> indices) const {
+  if (shards.size() != indices.size() || shards.size() < k_) return std::nullopt;
+
+  // Use the first k distinct indices.
+  std::vector<std::uint32_t> rows;
+  std::vector<std::uint32_t> chosen;  // positions into `shards`
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < indices.size() && rows.size() < k_; ++i) {
+    if (indices[i] >= n_ || seen.count(indices[i]) != 0) continue;
+    seen.insert(indices[i]);
+    rows.push_back(indices[i]);
+    chosen.push_back(i);
+  }
+  if (rows.size() < k_) return std::nullopt;
+
+  const Matrix sub = generator_.select_rows(rows);
+  const auto inv = sub.inverted();
+  if (!inv) return std::nullopt;  // cannot happen for Vandermonde-derived G
+
+  std::vector<std::vector<std::uint8_t>> picked(k_);
+  for (std::uint32_t i = 0; i < k_; ++i) picked[i] = shards[chosen[i]];
+
+  std::vector<std::vector<std::uint8_t>> data(k_);
+  for (std::uint32_t r = 0; r < k_; ++r) {
+    std::vector<GF16::Elem> coeffs(k_);
+    const GF16::Elem* row = inv->row(r);
+    for (std::uint32_t c = 0; c < k_; ++c) coeffs[c] = row[c];
+    apply_row(coeffs, picked, data[r]);
+  }
+  return data;
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::reconstruct_all(
+    std::span<const std::vector<std::uint8_t>> shards,
+    std::span<const std::uint32_t> indices) const {
+  auto data = reconstruct_data(shards, indices);
+  if (!data) return std::nullopt;
+  auto parity = encode(*data);
+  data->reserve(n_);
+  for (auto& p : parity) data->push_back(std::move(p));
+  return data;
+}
+
+}  // namespace pandas::erasure

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "erasure/matrix.h"
+
+/// Systematic Reed-Solomon erasure code over GF(2^16).
+///
+/// A codec for parameters (k, n) maps k data shards to n coded shards such
+/// that ANY k of the n shards reconstruct the data — the property the paper
+/// relies on for row/column reconstruction from half the cells (§3, Fig 3).
+/// The first k shards equal the data (systematic), matching the extended
+/// blob layout where cells [0, 256) of a line are the original data and
+/// cells [256, 512) are parity.
+///
+/// Shards are byte buffers of even length; each pair of bytes is one
+/// GF(2^16) symbol lane, and all lanes are coded independently with the same
+/// generator matrix.
+namespace pandas::erasure {
+
+class ReedSolomon {
+ public:
+  /// Requires 0 < k <= n and n < 65535.
+  ReedSolomon(std::uint32_t k, std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t data_shards() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t total_shards() const noexcept { return n_; }
+
+  /// Encodes k data shards (all the same even size) into n-k parity shards.
+  /// Returns the parity shards only.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const std::vector<std::uint8_t>> data) const;
+
+  /// Reconstructs the k data shards from any >= k available shards.
+  /// `shards[i]` is the shard with codeword index `indices[i]`.
+  /// Returns nullopt if fewer than k shards were provided or indices repeat.
+  [[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>> reconstruct_data(
+      std::span<const std::vector<std::uint8_t>> shards,
+      std::span<const std::uint32_t> indices) const;
+
+  /// Full reconstruction: data + re-encoded parity (all n shards).
+  [[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>> reconstruct_all(
+      std::span<const std::vector<std::uint8_t>> shards,
+      std::span<const std::uint32_t> indices) const;
+
+  /// Row `i` of the systematic generator matrix (1 x k), used to compute a
+  /// single missing shard without full decode.
+  [[nodiscard]] std::vector<GF16::Elem> generator_row(std::uint32_t i) const;
+
+ private:
+  /// out = coeffs · shards (per 16-bit lane).
+  static void apply_row(std::span<const GF16::Elem> coeffs,
+                        std::span<const std::vector<std::uint8_t>> shards,
+                        std::vector<std::uint8_t>& out);
+
+  std::uint32_t k_;
+  std::uint32_t n_;
+  Matrix generator_;  // n x k systematic generator (top k rows = identity)
+};
+
+}  // namespace pandas::erasure

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+/// Minimal command-line parsing for the bench binaries:
+///   --nodes N  --slots N  --seed N  --quick  --policy NAME  --no-boost ...
+namespace pandas::harness {
+
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  [[nodiscard]] bool has(const std::string& flag) const {
+    for (int i = 1; i < argc_; ++i) {
+      if (flag == argv_[i]) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& flag,
+                                     std::int64_t fallback) const {
+    for (int i = 1; i + 1 < argc_; ++i) {
+      if (flag == argv_[i]) return std::atoll(argv_[i + 1]);
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] double get_double(const std::string& flag, double fallback) const {
+    for (int i = 1; i + 1 < argc_; ++i) {
+      if (flag == argv_[i]) return std::atof(argv_[i + 1]);
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] std::string get_str(const std::string& flag,
+                                    const std::string& fallback) const {
+    for (int i = 1; i + 1 < argc_; ++i) {
+      if (flag == argv_[i]) return argv_[i + 1];
+    }
+    return fallback;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace pandas::harness

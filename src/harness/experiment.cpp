@@ -1,0 +1,233 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "core/assignment.h"
+
+namespace pandas::harness {
+
+namespace {
+constexpr std::uint64_t kBlockTopic = 0xb10cULL;
+}
+
+PandasExperiment::PandasExperiment(PandasConfig cfg)
+    : cfg_(std::move(cfg)),
+      directory_(net::Directory::create(cfg_.net.nodes)),
+      harness_rng_(util::mix64(cfg_.net.seed ^ 0x6861726eULL)) {
+  setup();
+}
+
+PandasExperiment::~PandasExperiment() = default;
+
+void PandasExperiment::setup() {
+  engine_ = std::make_unique<sim::Engine>(cfg_.net.seed);
+  topology_ = sim::Topology::generate(cfg_.net.topology, cfg_.net.seed);
+  transport_ = std::make_unique<net::SimTransport>(*engine_, topology_,
+                                                   cfg_.net.transport);
+
+  const std::uint32_t n = cfg_.net.nodes;
+
+  // Assign nodes to random topology vertices (reusing vertices when the
+  // network outgrows the trace, as the paper does for N > 10,000).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto vertex = static_cast<std::uint32_t>(
+        harness_rng_.uniform(topology_.vertex_count()));
+    transport_->add_node(vertex);
+  }
+  // The builder lives on a well-connected (cloud) vertex.
+  const auto best = topology_.best_vertices(cfg_.net.builder_best_fraction);
+  const auto builder_vertex = best[harness_rng_.uniform(best.size())];
+  builder_index_ = transport_->add_node(builder_vertex, cfg_.net.builder_up_bps,
+                                        cfg_.net.builder_down_bps);
+
+  // Epoch 0 assignment (slots of one run stay within one epoch; the
+  // short-liveness of F across epochs is covered by unit tests).
+  assignment_ = std::make_unique<core::AssignmentTable>(
+      cfg_.params, directory_, core::epoch_seed(cfg_.net.seed, 0));
+
+  // Views: full by default; independent random subsets for the
+  // out-of-view-fault scenario (builder keeps a full view, §8.2).
+  views_.resize(n);
+  builder_view_ = core::View::full(n);
+
+  // Dead nodes (fail-silent crashes / free-riders).
+  dead_.assign(n, false);
+  if (cfg_.dead_fraction > 0.0) {
+    const auto dead_count = static_cast<std::uint32_t>(
+        cfg_.dead_fraction * static_cast<double>(n));
+    const auto picks = harness_rng_.sample_distinct(n, dead_count);
+    for (const auto i : picks) {
+      dead_[i] = true;
+      transport_->set_dead(i, true);
+    }
+  }
+
+  nodes_.reserve(n);
+  block_arrival_.assign(n, -1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (cfg_.out_of_view_fraction > 0.0) {
+      views_[i] = core::View::random_subset(n, 1.0 - cfg_.out_of_view_fraction,
+                                            harness_rng_, i);
+    } else {
+      views_[i] = core::View::full(n);
+    }
+    auto node = std::make_unique<core::PandasNode>(*engine_, *transport_, i,
+                                                   cfg_.params);
+    node->configure_epoch(assignment_.get());
+    node->set_view(&views_[i]);
+    nodes_.push_back(std::move(node));
+  }
+
+  // Block-dissemination GossipSub channel (one global topic, §2).
+  if (cfg_.block_gossip) {
+    gossip_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto g = std::make_unique<gossip::GossipSubNode>(*engine_, *transport_, i);
+      // Each node knows ~24 random peers on the block topic.
+      const std::uint32_t peers = std::min<std::uint32_t>(24, n - 1);
+      const auto picks = harness_rng_.sample_distinct(n, peers + 1);
+      for (const auto p : picks) {
+        if (p != i) g->add_topic_peer(kBlockTopic, p);
+      }
+      g->set_delivery_callback(
+          [this, i](net::NodeIndex, const net::GossipDataMsg& msg) {
+            if (msg.topic == kBlockTopic && block_arrival_[i] < 0) {
+              block_arrival_[i] = engine_->now();
+            }
+          });
+      gossip_.push_back(std::move(g));
+    }
+    for (auto& g : gossip_) {
+      g->subscribe(kBlockTopic);
+      g->start_heartbeat();
+    }
+  }
+
+  // Message dispatch.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    transport_->set_handler(i, [this, i](net::NodeIndex from, net::Message&& msg) {
+      if (nodes_[i]->handle_message(from, msg)) return;
+      if (cfg_.block_gossip) gossip_[i]->handle(from, msg);
+    });
+  }
+
+  builder_ = std::make_unique<core::Builder>(*engine_, *transport_,
+                                             builder_index_, cfg_.params);
+
+  // Warm-up: let the gossip meshes stabilize before the first slot.
+  if (cfg_.block_gossip) {
+    engine_->run_until(engine_->now() + 3 * sim::kSecond);
+  }
+}
+
+void PandasExperiment::maybe_rotate_epoch(std::uint64_t slot) {
+  const std::uint64_t epoch = slot / sim::kSlotsPerEpoch;
+  if (epoch == current_epoch_ && assignment_ != nullptr) return;
+  current_epoch_ = epoch;
+  assignment_ = std::make_unique<core::AssignmentTable>(
+      cfg_.params, directory_, core::epoch_seed(cfg_.net.seed, epoch));
+  for (auto& node : nodes_) node->configure_epoch(assignment_.get());
+}
+
+core::Builder::SeedingReport PandasExperiment::run_slot(std::uint64_t slot,
+                                                        PandasResults& out) {
+  const sim::Time slot_start = engine_->now();
+  const std::uint32_t n = cfg_.net.nodes;
+  maybe_rotate_epoch(slot);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    nodes_[i]->begin_slot(slot);
+    block_arrival_[i] = -1;
+  }
+
+  // The proposer (a random node) publishes the block over gossip while the
+  // builder concurrently seeds blob cells (Fig 4/5).
+  if (cfg_.block_gossip) {
+    std::uint32_t proposer;
+    do {
+      proposer = static_cast<std::uint32_t>(harness_rng_.uniform(n));
+    } while (dead_[proposer]);
+    net::GossipDataMsg block;
+    block.topic = kBlockTopic;
+    block.msg_id = util::mix64(0xb10c0000ULL + slot);
+    block.slot = slot;
+    block.extra_bytes = cfg_.block_bytes;
+    block_arrival_[proposer] = slot_start;
+    gossip_[proposer]->publish(std::move(block));
+  }
+
+  auto plan = core::plan_seeding(cfg_.params, *assignment_, builder_view_,
+                                 cfg_.policy, harness_rng_);
+  const auto report =
+      builder_->seed(slot, *assignment_, builder_view_, plan, harness_rng_);
+
+  engine_->run_until(slot_start + cfg_.slot_duration);
+
+  // Collect per-node records (correct nodes only; dead nodes are not part of
+  // the population whose completion the paper reports).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (dead_[i]) continue;
+    const auto& rec = nodes_[i]->record();
+    out.records += 1;
+    if (rec.seed_time) out.seed_ms.add(sim::to_ms(*rec.seed_time));
+    if (rec.consolidation_time) {
+      out.consolidation_ms.add(sim::to_ms(*rec.consolidation_time));
+      if (rec.seed_time) {
+        out.consolidation_from_seed_ms.add(
+            sim::to_ms(*rec.consolidation_time - *rec.seed_time));
+      }
+    } else {
+      out.consolidation_misses += 1;
+    }
+    if (rec.sampling_time) {
+      out.sampling_ms.add(sim::to_ms(*rec.sampling_time));
+    } else {
+      out.sampling_misses += 1;
+    }
+    out.fetch_messages.add(static_cast<double>(rec.fetch_messages));
+    out.fetch_mb.add(static_cast<double>(rec.fetch_bytes) / 1e6);
+    out.seed_cells.add(static_cast<double>(rec.seed_cells));
+    if (cfg_.block_gossip && block_arrival_[i] >= 0) {
+      out.block_ms.add(sim::to_ms(block_arrival_[i] - slot_start));
+    }
+
+    // Per-round fetch telemetry (Table 1).
+    const auto* fetcher = nodes_[i]->fetcher();
+    if (fetcher != nullptr && fetcher->initial_outstanding() > 0) {
+      const auto& rounds = fetcher->round_stats();
+      const auto baseline = static_cast<double>(fetcher->initial_outstanding());
+      if (out.rounds.size() < rounds.size()) out.rounds.resize(rounds.size());
+      for (std::size_t r = 0; r < rounds.size(); ++r) {
+        auto& agg = out.rounds[r];
+        const auto& st = rounds[r];
+        agg.messages.add(st.messages_sent);
+        agg.requested.add(st.cells_requested);
+        agg.replies_in.add(st.replies_in_round);
+        agg.replies_after.add(st.replies_after_round);
+        agg.cells_in.add(st.cells_in_round);
+        agg.cells_after.add(st.cells_after_round);
+        agg.duplicates.add(st.duplicates);
+        agg.reconstructed.add(st.reconstructed);
+        agg.coverage_pct.add(
+            100.0 * (1.0 - static_cast<double>(st.remaining_after) / baseline));
+      }
+    }
+  }
+  return report;
+}
+
+PandasResults PandasExperiment::run() {
+  PandasResults out;
+  double builder_bytes = 0;
+  double builder_msgs = 0;
+  for (std::uint32_t s = 0; s < cfg_.slots; ++s) {
+    const auto report = run_slot(s, out);
+    builder_bytes += static_cast<double>(report.bytes);
+    builder_msgs += static_cast<double>(report.messages);
+  }
+  out.builder_bytes_per_slot = builder_bytes / cfg_.slots;
+  out.builder_msgs_per_slot = builder_msgs / cfg_.slots;
+  return out;
+}
+
+}  // namespace pandas::harness

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/node.h"
+#include "core/seeding.h"
+#include "gossip/gossipsub.h"
+#include "net/directory.h"
+#include "net/sim_transport.h"
+#include "sim/engine.h"
+#include "sim/topology.h"
+#include "util/stats.h"
+
+/// Experiment harness: builds a simulated network (topology + transport +
+/// directory + assignment), runs slot cycles of the protocol under test, and
+/// aggregates the per-node phase timings / traffic statistics reported in
+/// the paper's evaluation (§8).
+namespace pandas::harness {
+
+struct NetworkConfig {
+  std::uint32_t nodes = 1000;
+  std::uint64_t seed = 42;
+  sim::TopologyConfig topology{};        // defaults: 10,000 vertices
+  net::SimTransportConfig transport{};   // defaults: 3% loss, 25 Mbps nodes
+  double builder_up_bps = 10e9;          // medium cloud instance (§4.1)
+  double builder_down_bps = 10e9;
+  double builder_best_fraction = 0.2;    // builder vertex drawn from best 20%
+};
+
+struct PandasConfig {
+  NetworkConfig net{};
+  core::ProtocolParams params{};
+  core::SeedingPolicy policy = core::SeedingPolicy::redundant(8);
+  std::uint32_t slots = 10;
+  /// Fraction of dead (crashed / free-riding) nodes (Fig 15a).
+  double dead_fraction = 0.0;
+  /// Fraction of the network *missing* from each node's view (Fig 15b);
+  /// 0.2 means every node sees a random 80% of the network.
+  double out_of_view_fraction = 0.0;
+  /// Run the block-dissemination GossipSub channel alongside (Fig 9a).
+  bool block_gossip = true;
+  std::uint32_t block_bytes = 128 * 1024;
+  /// Simulated time between slot starts; phases must finish well within it.
+  sim::Time slot_duration = sim::kSlotDuration;
+};
+
+/// Aggregates over all (correct node, slot) pairs.
+struct PandasResults {
+  util::Samples seed_ms;                    // Fig 9a
+  util::Samples consolidation_from_seed_ms; // Fig 9b
+  util::Samples consolidation_ms;           // Fig 9c
+  util::Samples sampling_ms;                // Fig 9d
+  util::Samples block_ms;                   // Fig 9a (gossip comparison)
+  util::Samples fetch_messages;             // Fig 10 / 13b
+  util::Samples fetch_mb;                   // Fig 10 / 13c
+  util::Samples seed_cells;                 // Table 1 ("cells received")
+  /// Node-slots that never finished within the slot (counted as misses).
+  std::uint64_t consolidation_misses = 0;
+  std::uint64_t sampling_misses = 0;
+  std::uint64_t records = 0;
+
+  /// Per-fetch-round aggregation (Table 1): sample sets over nodes.
+  struct RoundAgg {
+    util::Samples messages, requested, replies_in, replies_after, cells_in,
+        cells_after, duplicates, reconstructed, coverage_pct;
+  };
+  std::vector<RoundAgg> rounds;
+
+  /// Builder-side totals (per slot averages).
+  double builder_bytes_per_slot = 0;
+  double builder_msgs_per_slot = 0;
+
+  /// Fraction of correct node-slots whose sampling met the 4 s deadline.
+  [[nodiscard]] double deadline_fraction(double deadline_ms = 4000.0) const {
+    if (records == 0) return 0.0;
+    const double met =
+        sampling_ms.fraction_below(deadline_ms) *
+        static_cast<double>(sampling_ms.count());
+    return met / static_cast<double>(records);
+  }
+};
+
+/// Runs PANDAS (§6-§7) over the simulated network.
+class PandasExperiment {
+ public:
+  explicit PandasExperiment(PandasConfig cfg);
+  ~PandasExperiment();
+
+  /// Runs the configured number of slots and returns the aggregates.
+  PandasResults run();
+
+  /// Access for white-box tests.
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] net::SimTransport& transport() { return *transport_; }
+  [[nodiscard]] core::PandasNode& node(net::NodeIndex i) { return *nodes_[i]; }
+  [[nodiscard]] net::NodeIndex builder_index() const { return builder_index_; }
+  [[nodiscard]] const core::AssignmentTable& assignment() const {
+    return *assignment_;
+  }
+
+  /// Runs a single slot starting at the current engine time; exposed so
+  /// tests can interleave custom events. Returns per-slot builder report.
+  core::Builder::SeedingReport run_slot(std::uint64_t slot, PandasResults& out);
+
+ private:
+  void setup();
+
+  PandasConfig cfg_;
+  std::unique_ptr<sim::Engine> engine_;
+  sim::Topology topology_;
+  std::unique_ptr<net::SimTransport> transport_;
+  net::Directory directory_;
+  std::unique_ptr<core::AssignmentTable> assignment_;
+  std::vector<core::View> views_;
+  std::vector<std::unique_ptr<core::PandasNode>> nodes_;
+  std::vector<std::unique_ptr<gossip::GossipSubNode>> gossip_;
+  std::vector<bool> dead_;
+  std::unique_ptr<core::Builder> builder_;
+  core::View builder_view_;
+  net::NodeIndex builder_index_ = net::kInvalidNode;
+  util::Xoshiro256 harness_rng_;
+  std::vector<sim::Time> block_arrival_;  // per node, per current slot
+  std::uint64_t current_epoch_ = 0;
+
+  /// Rebuilds the assignment table when `slot` crosses an epoch boundary
+  /// (F is short-lived, §5) and points every node at the new table.
+  void maybe_rotate_epoch(std::uint64_t slot);
+};
+
+}  // namespace pandas::harness

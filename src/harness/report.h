@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/stats.h"
+
+/// Console reporting helpers shared by the bench binaries: each bench prints
+/// the same rows/series as the corresponding paper table or figure.
+namespace pandas::harness {
+
+/// Prints "label: n=.. min=.. p50=.. mean=.. p99=.. max=..".
+inline void print_summary(const std::string& label, const util::Samples& s,
+                          const std::string& unit) {
+  std::printf("  %-34s %s\n", label.c_str(), util::summarize(s, unit).c_str());
+}
+
+/// Prints a CDF as "value fraction" rows (default 20 points) — the series
+/// behind the paper's distribution plots.
+inline void print_cdf(const std::string& label, const util::Samples& s,
+                      std::size_t points = 20) {
+  std::printf("  CDF %s (%zu samples):\n", label.c_str(), s.count());
+  for (const auto& [v, f] : s.cdf(points)) {
+    std::printf("    %10.1f  %6.4f\n", v, f);
+  }
+}
+
+/// Prints "mean +- stddev" in Table-1 style.
+inline std::string mean_std(const util::Samples& s) {
+  if (s.empty()) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f +- %.0f", s.mean(), s.stddev());
+  return buf;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace pandas::harness

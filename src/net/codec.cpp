@@ -1,0 +1,384 @@
+#include "net/codec.h"
+
+#include <cstring>
+
+namespace pandas::net {
+
+namespace {
+
+/// Message type tags (stable wire identifiers, independent of the variant's
+/// alternative order).
+enum class Tag : std::uint8_t {
+  kSeed = 1,
+  kCellQuery = 2,
+  kCellReply = 3,
+  kGossipData = 4,
+  kGossipIHave = 5,
+  kGossipIWant = 6,
+  kGossipGraft = 7,
+  kGossipPrune = 8,
+  kDhtFindNode = 9,
+  kDhtNodes = 10,
+  kDhtStore = 11,
+  kDhtStoreAck = 12,
+  kDhtFindValue = 13,
+  kDhtValue = 14,
+};
+
+/// Hard cap on decoded sequence lengths: bounds allocations from hostile
+/// datagrams (a real datagram cannot carry more than ~16 M entries anyway).
+constexpr std::uint32_t kMaxSeq = 1u << 24;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void cells(const std::vector<CellId>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto c : v) u32(c.packed());
+  }
+  void ids(const std::vector<std::uint64_t>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto id : v) u64(id);
+  }
+  void nodes(const std::vector<NodeIndex>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const auto n : v) u32(n);
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(uN(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(uN(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(uN(4)); }
+  std::uint64_t u64() { return uN(8); }
+
+  bool bytes(std::span<std::uint8_t> out) {
+    if (!ensure(out.size())) return false;
+    std::memcpy(out.data(), data_.data() + pos_, out.size());
+    pos_ += out.size();
+    return true;
+  }
+
+  bool cells(std::vector<CellId>& out) {
+    const auto count = u32();
+    if (!ok_ || count > kMaxSeq || !ensure(static_cast<std::size_t>(count) * 4)) {
+      return fail();
+    }
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) out.push_back(CellId::unpack(u32()));
+    return ok_;
+  }
+
+  bool ids(std::vector<std::uint64_t>& out) {
+    const auto count = u32();
+    if (!ok_ || count > kMaxSeq || !ensure(static_cast<std::size_t>(count) * 8)) {
+      return fail();
+    }
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) out.push_back(u64());
+    return ok_;
+  }
+
+  bool nodes(std::vector<NodeIndex>& out) {
+    const auto count = u32();
+    if (!ok_ || count > kMaxSeq || !ensure(static_cast<std::size_t>(count) * 4)) {
+      return fail();
+    }
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) out.push_back(u32());
+    return ok_;
+  }
+
+ private:
+  std::uint64_t uN(std::size_t n) {
+    if (!ensure(n)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+  bool ensure(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) return fail();
+    return true;
+  }
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void put_node_id(Writer& w, const crypto::NodeId& id) { w.bytes(id.bytes); }
+
+bool get_node_id(Reader& r, crypto::NodeId& id) { return r.bytes(id.bytes); }
+
+void put_boost(Writer& w, const BoostMap& boost) {
+  std::uint32_t lines = 0;
+  for (const auto& lb : boost) {
+    if (lb) ++lines;
+  }
+  w.u32(lines);
+  for (const auto& lb : boost) {
+    if (!lb) continue;
+    w.u16(lb->line.packed());
+    w.u32(static_cast<std::uint32_t>(lb->entries.size()));
+    for (const auto& [node, pos] : lb->entries) {
+      w.u32(node);
+      w.u16(pos);
+    }
+  }
+}
+
+bool get_boost(Reader& r, BoostMap& boost) {
+  const auto lines = r.u32();
+  if (!r.ok() || lines > 4096) return false;
+  boost.reserve(lines);
+  for (std::uint32_t l = 0; l < lines; ++l) {
+    auto lb = std::make_shared<LineBoost>();
+    const auto packed = r.u16();
+    lb->line.kind = (packed & 0x8000) ? LineRef::Kind::kCol : LineRef::Kind::kRow;
+    lb->line.index = static_cast<std::uint16_t>(packed & 0x7fff);
+    const auto count = r.u32();
+    if (!r.ok() || count > kMaxSeq) return false;
+    lb->entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto node = r.u32();
+      const auto pos = r.u16();
+      if (!r.ok()) return false;
+      lb->entries.emplace_back(node, pos);
+    }
+    lb->finalize();
+    boost.push_back(std::move(lb));
+  }
+  return r.ok();
+}
+
+struct EncodeVisitor {
+  Writer& w;
+
+  void operator()(const SeedMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSeed));
+    w.u64(m.slot);
+    w.cells(m.cells);
+    put_boost(w, m.boost);
+  }
+  void operator()(const CellQueryMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kCellQuery));
+    w.u64(m.slot);
+    w.cells(m.cells);
+  }
+  void operator()(const CellReplyMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kCellReply));
+    w.u64(m.slot);
+    w.cells(m.cells);
+  }
+  void operator()(const GossipDataMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kGossipData));
+    w.u64(m.topic);
+    w.u64(m.msg_id);
+    w.u64(m.slot);
+    w.cells(m.cells);
+    w.u32(m.extra_bytes);
+    w.u32(m.hops);
+  }
+  void operator()(const GossipIHaveMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kGossipIHave));
+    w.u64(m.topic);
+    w.ids(m.msg_ids);
+  }
+  void operator()(const GossipIWantMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kGossipIWant));
+    w.ids(m.msg_ids);
+  }
+  void operator()(const GossipGraftMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kGossipGraft));
+    w.u64(m.topic);
+  }
+  void operator()(const GossipPruneMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kGossipPrune));
+    w.u64(m.topic);
+  }
+  void operator()(const DhtFindNodeMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kDhtFindNode));
+    w.u64(m.rpc_id);
+    put_node_id(w, m.target);
+  }
+  void operator()(const DhtNodesMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kDhtNodes));
+    w.u64(m.rpc_id);
+    w.nodes(m.nodes);
+  }
+  void operator()(const DhtStoreMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kDhtStore));
+    w.u64(m.rpc_id);
+    put_node_id(w, m.key);
+    w.cells(m.cells);
+  }
+  void operator()(const DhtStoreAckMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kDhtStoreAck));
+    w.u64(m.rpc_id);
+  }
+  void operator()(const DhtFindValueMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kDhtFindValue));
+    w.u64(m.rpc_id);
+    put_node_id(w, m.key);
+  }
+  void operator()(const DhtValueMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kDhtValue));
+    w.u64(m.rpc_id);
+    w.u8(m.found ? 1 : 0);
+    w.cells(m.cells);
+    w.nodes(m.closer);
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  Writer w;
+  std::visit(EncodeVisitor{w}, msg);
+  return w.take();
+}
+
+std::optional<Message> decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  const auto tag = r.u8();
+  if (!r.ok()) return std::nullopt;
+
+  std::optional<Message> out;
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kSeed: {
+      SeedMsg m;
+      m.slot = r.u64();
+      if (!r.cells(m.cells) || !get_boost(r, m.boost)) return std::nullopt;
+      out = std::move(m);
+      break;
+    }
+    case Tag::kCellQuery: {
+      CellQueryMsg m;
+      m.slot = r.u64();
+      if (!r.cells(m.cells)) return std::nullopt;
+      out = std::move(m);
+      break;
+    }
+    case Tag::kCellReply: {
+      CellReplyMsg m;
+      m.slot = r.u64();
+      if (!r.cells(m.cells)) return std::nullopt;
+      out = std::move(m);
+      break;
+    }
+    case Tag::kGossipData: {
+      GossipDataMsg m;
+      m.topic = r.u64();
+      m.msg_id = r.u64();
+      m.slot = r.u64();
+      if (!r.cells(m.cells)) return std::nullopt;
+      m.extra_bytes = r.u32();
+      m.hops = r.u32();
+      out = std::move(m);
+      break;
+    }
+    case Tag::kGossipIHave: {
+      GossipIHaveMsg m;
+      m.topic = r.u64();
+      if (!r.ids(m.msg_ids)) return std::nullopt;
+      out = std::move(m);
+      break;
+    }
+    case Tag::kGossipIWant: {
+      GossipIWantMsg m;
+      if (!r.ids(m.msg_ids)) return std::nullopt;
+      out = std::move(m);
+      break;
+    }
+    case Tag::kGossipGraft: {
+      GossipGraftMsg m;
+      m.topic = r.u64();
+      out = std::move(m);
+      break;
+    }
+    case Tag::kGossipPrune: {
+      GossipPruneMsg m;
+      m.topic = r.u64();
+      out = std::move(m);
+      break;
+    }
+    case Tag::kDhtFindNode: {
+      DhtFindNodeMsg m;
+      m.rpc_id = r.u64();
+      if (!get_node_id(r, m.target)) return std::nullopt;
+      out = std::move(m);
+      break;
+    }
+    case Tag::kDhtNodes: {
+      DhtNodesMsg m;
+      m.rpc_id = r.u64();
+      if (!r.nodes(m.nodes)) return std::nullopt;
+      out = std::move(m);
+      break;
+    }
+    case Tag::kDhtStore: {
+      DhtStoreMsg m;
+      m.rpc_id = r.u64();
+      if (!get_node_id(r, m.key) || !r.cells(m.cells)) return std::nullopt;
+      out = std::move(m);
+      break;
+    }
+    case Tag::kDhtStoreAck: {
+      DhtStoreAckMsg m;
+      m.rpc_id = r.u64();
+      out = std::move(m);
+      break;
+    }
+    case Tag::kDhtFindValue: {
+      DhtFindValueMsg m;
+      m.rpc_id = r.u64();
+      if (!get_node_id(r, m.key)) return std::nullopt;
+      out = std::move(m);
+      break;
+    }
+    case Tag::kDhtValue: {
+      DhtValueMsg m;
+      m.rpc_id = r.u64();
+      m.found = r.u8() != 0;
+      if (!r.cells(m.cells) || !r.nodes(m.closer)) return std::nullopt;
+      out = std::move(m);
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return out;
+}
+
+}  // namespace pandas::net

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/messages.h"
+
+/// Binary wire codec for PANDAS messages.
+///
+/// The discrete-event simulator never serializes (it models sizes only);
+/// the real-socket UDP transport (net/udp_transport.h) uses this codec.
+/// Format: little-endian fixed-width integers, length-prefixed sequences,
+/// one leading type tag. decode() is strict: any truncation, trailing
+/// garbage, unknown tag, or length overflow yields nullopt — a remote peer
+/// can never crash the parser.
+///
+/// Cell payload bytes are not part of the control structure: a deployment
+/// attaches them from the custody store keyed by the encoded CellIds (the
+/// simulator and the loopback demo exchange presence information, exactly
+/// like the paper's PeerSim model).
+namespace pandas::net {
+
+/// Serializes a message. Never fails.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Parses a datagram produced by encode(). Strict; nullopt on any anomaly.
+[[nodiscard]] std::optional<Message> decode(std::span<const std::uint8_t> data);
+
+}  // namespace pandas::net

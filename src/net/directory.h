@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "crypto/node_id.h"
+#include "net/messages.h"
+
+/// Global registry mapping dense simulation node indices to their 256-bit
+/// node IDs — the stand-in for Ethereum Node Records (ENRs) learned by
+/// crawling the discovery DHT (§2, §4.1). Views (src/core/view.h) are
+/// per-node subsets of this directory; the directory itself is the ground
+/// truth "set of nodes that exist".
+namespace pandas::net {
+
+class Directory {
+ public:
+  /// Creates `count` nodes with deterministic IDs derived from their index.
+  static Directory create(std::uint32_t count) {
+    Directory d;
+    d.ids_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      d.ids_.push_back(crypto::NodeId::from_label(i));
+    }
+    return d;
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(ids_.size());
+  }
+  [[nodiscard]] const crypto::NodeId& id_of(NodeIndex n) const {
+    return ids_.at(n);
+  }
+
+ private:
+  std::vector<crypto::NodeId> ids_;
+};
+
+}  // namespace pandas::net

@@ -1,0 +1,129 @@
+#include "net/messages.h"
+
+#include <algorithm>
+
+namespace pandas::net {
+
+namespace {
+
+std::uint32_t boost_wire_bytes(const BoostMap& boost) noexcept {
+  std::uint32_t total = 0;
+  for (const auto& lb : boost) {
+    if (lb) total += lb->wire_runs * kBoostRunWireBytes + 4;
+  }
+  return total;
+}
+
+struct WireSizeVisitor {
+  std::uint32_t operator()(const SeedMsg& m) const noexcept {
+    return kMsgHeaderBytes + kSignatureBytes +
+           static_cast<std::uint32_t>(m.cells.size()) * kCellWireBytes +
+           boost_wire_bytes(m.boost);
+  }
+  std::uint32_t operator()(const CellQueryMsg& m) const noexcept {
+    return kMsgHeaderBytes +
+           static_cast<std::uint32_t>(m.cells.size()) * kCellIdWireBytes;
+  }
+  std::uint32_t operator()(const CellReplyMsg& m) const noexcept {
+    return kMsgHeaderBytes +
+           static_cast<std::uint32_t>(m.cells.size()) * kCellWireBytes;
+  }
+  std::uint32_t operator()(const GossipDataMsg& m) const noexcept {
+    return kMsgHeaderBytes + m.extra_bytes +
+           static_cast<std::uint32_t>(m.cells.size()) * kCellWireBytes;
+  }
+  std::uint32_t operator()(const GossipIHaveMsg& m) const noexcept {
+    return kMsgHeaderBytes + static_cast<std::uint32_t>(m.msg_ids.size()) * 8;
+  }
+  std::uint32_t operator()(const GossipIWantMsg& m) const noexcept {
+    return kMsgHeaderBytes + static_cast<std::uint32_t>(m.msg_ids.size()) * 8;
+  }
+  std::uint32_t operator()(const GossipGraftMsg&) const noexcept {
+    return kMsgHeaderBytes;
+  }
+  std::uint32_t operator()(const GossipPruneMsg&) const noexcept {
+    return kMsgHeaderBytes;
+  }
+  std::uint32_t operator()(const DhtFindNodeMsg&) const noexcept {
+    return kMsgHeaderBytes + 32;
+  }
+  std::uint32_t operator()(const DhtNodesMsg& m) const noexcept {
+    // Each returned contact is an ENR-ish record: id + endpoint (~38 B).
+    return kMsgHeaderBytes + static_cast<std::uint32_t>(m.nodes.size()) * 38;
+  }
+  std::uint32_t operator()(const DhtStoreMsg& m) const noexcept {
+    return kMsgHeaderBytes + 32 +
+           static_cast<std::uint32_t>(m.cells.size()) * kCellWireBytes;
+  }
+  std::uint32_t operator()(const DhtStoreAckMsg&) const noexcept {
+    return kMsgHeaderBytes;
+  }
+  std::uint32_t operator()(const DhtFindValueMsg&) const noexcept {
+    return kMsgHeaderBytes + 32;
+  }
+  std::uint32_t operator()(const DhtValueMsg& m) const noexcept {
+    return kMsgHeaderBytes + 1 +
+           static_cast<std::uint32_t>(m.cells.size()) * kCellWireBytes +
+           static_cast<std::uint32_t>(m.closer.size()) * 38;
+  }
+};
+
+template <typename T>
+inline constexpr bool kCarriesCells =
+    std::is_same_v<T, SeedMsg> || std::is_same_v<T, CellReplyMsg> ||
+    std::is_same_v<T, GossipDataMsg> || std::is_same_v<T, DhtStoreMsg> ||
+    std::is_same_v<T, DhtValueMsg>;
+
+}  // namespace
+
+std::uint32_t wire_size(const Message& msg) noexcept {
+  return std::visit(WireSizeVisitor{}, msg);
+}
+
+std::pair<std::size_t, std::size_t> LineBoost::range_of(NodeIndex node) const {
+  const auto lo = std::lower_bound(
+      entries.begin(), entries.end(), node,
+      [](const auto& e, NodeIndex n) { return e.first < n; });
+  auto hi = lo;
+  while (hi != entries.end() && hi->first == node) ++hi;
+  return {static_cast<std::size_t>(lo - entries.begin()),
+          static_cast<std::size_t>(hi - entries.begin())};
+}
+
+std::size_t carried_cells(const Message& msg) noexcept {
+  return std::visit(
+      [](const auto& m) -> std::size_t {
+        using T = std::remove_cvref_t<decltype(m)>;
+        if constexpr (kCarriesCells<T>) {
+          return m.cells.size();
+        } else {
+          return 0;
+        }
+      },
+      msg);
+}
+
+void drop_cells(Message& msg, const std::vector<std::uint32_t>& positions) {
+  std::visit(
+      [&](auto& m) {
+        using T = std::remove_cvref_t<decltype(m)>;
+        if constexpr (kCarriesCells<T>) {
+          if (positions.empty()) return;
+          // positions are sorted ascending; compact in one pass.
+          std::vector<CellId>& v = m.cells;
+          std::size_t write = 0;
+          std::size_t drop_i = 0;
+          for (std::size_t read = 0; read < v.size(); ++read) {
+            if (drop_i < positions.size() && positions[drop_i] == read) {
+              ++drop_i;
+              continue;
+            }
+            v[write++] = v[read];
+          }
+          v.resize(write);
+        }
+      },
+      msg);
+}
+
+}  // namespace pandas::net

@@ -1,0 +1,146 @@
+#include "net/sim_transport.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pandas::net {
+
+SimTransport::SimTransport(sim::Engine& engine, const sim::Topology& topology,
+                           SimTransportConfig cfg)
+    : engine_(engine),
+      topology_(topology),
+      cfg_(cfg),
+      loss_rng_(engine.rng_stream(0x6c6f7373 /* "loss" */)) {}
+
+NodeIndex SimTransport::add_node(std::uint32_t vertex, double up_bps,
+                                 double down_bps) {
+  if (vertex >= topology_.vertex_count()) {
+    throw std::invalid_argument("SimTransport::add_node: bad vertex");
+  }
+  Link link;
+  link.vertex = vertex;
+  link.up_bps = up_bps;
+  link.down_bps = down_bps;
+  links_.push_back(link);
+  handlers_.emplace_back();
+  stats_.emplace_back();
+  return static_cast<NodeIndex>(links_.size() - 1);
+}
+
+void SimTransport::set_handler(NodeIndex node, Handler handler) {
+  handlers_.at(node) = std::move(handler);
+}
+
+void SimTransport::set_dead(NodeIndex node, bool dead) {
+  links_.at(node).dead = dead;
+}
+
+void SimTransport::reset_stats() {
+  for (auto& s : stats_) s.reset();
+}
+
+void SimTransport::reset_links() {
+  for (auto& l : links_) {
+    l.up_busy_until = 0;
+    l.down_busy_until = 0;
+  }
+}
+
+bool SimTransport::apply_loss(Message& msg) {
+  if (cfg_.loss_rate <= 0.0) return true;
+  if (cfg_.reliable_seeding && std::holds_alternative<SeedMsg>(msg)) return true;
+  const std::size_t cells = carried_cells(msg);
+  const std::uint32_t size = wire_size(msg);
+  if (cells >= 2 && size > kPacketPayloadBytes) {
+    // Cell-carrying multi-packet message: cells travel ~2 per packet and are
+    // lost per packet; the message "arrives" as long as any packet survives.
+    const std::size_t cells_per_packet =
+        std::max<std::size_t>(1, kPacketPayloadBytes / kCellWireBytes);
+    std::vector<std::uint32_t> dropped;
+    for (std::size_t base = 0; base < cells; base += cells_per_packet) {
+      if (loss_rng_.bernoulli(cfg_.loss_rate)) {
+        const std::size_t end = std::min(cells, base + cells_per_packet);
+        for (std::size_t i = base; i < end; ++i) {
+          dropped.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+    }
+    if (dropped.size() == cells) return false;  // every packet lost
+    drop_cells(msg, dropped);
+    return true;
+  }
+  // Small / control message: one packet, one Bernoulli draw. For messages
+  // spanning a few packets without cells (e.g. large boost-only seeds) we
+  // still draw once per packet and lose all-or-nothing on the first packet,
+  // a deliberate simplification (headers ride the first packet).
+  return !loss_rng_.bernoulli(cfg_.loss_rate);
+}
+
+void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
+  if (from >= links_.size() || to >= links_.size()) {
+    throw std::out_of_range("SimTransport::send: unknown endpoint");
+  }
+  Link& src = links_[from];
+  if (src.dead) return;  // dead nodes do not transmit
+
+  const std::uint32_t payload = wire_size(msg);
+  const std::uint32_t packets =
+      std::max<std::uint32_t>(1, (payload + kPacketPayloadBytes - 1) / kPacketPayloadBytes);
+  const std::uint64_t total_bytes =
+      payload + static_cast<std::uint64_t>(packets) * cfg_.per_packet_overhead;
+
+  auto& sstats = stats_[from];
+  sstats.msgs_sent += 1;
+  sstats.bytes_sent += total_bytes;
+
+  // Uplink serialization (store-and-forward at the sender NIC).
+  const sim::Time now = engine_.now();
+  const sim::Time tx_time = static_cast<sim::Time>(
+      std::ceil(static_cast<double>(total_bytes) * 8.0 / src.up_bps *
+                static_cast<double>(sim::kSecond)));
+  const sim::Time departure = std::max(now, src.up_busy_until) + tx_time;
+  src.up_busy_until = departure;
+
+  // Loss is decided at send time to keep the RNG stream independent of
+  // event interleaving. A fully lost message still consumed uplink.
+  if (!apply_loss(msg)) return;
+  if (to == from) {
+    // Loopback: deliver after the serialization delay only.
+    engine_.schedule_at(departure, [this, from, to, m = std::move(msg)]() mutable {
+      auto& rstats = stats_[to];
+      rstats.msgs_received += 1;
+      rstats.bytes_received += wire_size(m);
+      if (handlers_[to]) handlers_[to](from, std::move(m));
+    });
+    return;
+  }
+
+  const sim::Time owd = topology_.owd(src.vertex, links_[to].vertex);
+  const sim::Time arrival_start = departure + owd;
+
+  // Receiver-side downlink serialization is applied when the first byte
+  // arrives; we model it lazily by scheduling at arrival_start and computing
+  // queueing against down_busy_until then (event order at equal times is
+  // deterministic, so this stays reproducible).
+  engine_.schedule_at(
+      arrival_start,
+      [this, from, to, total_bytes, m = std::move(msg)]() mutable {
+        Link& dst = links_[to];
+        if (dst.dead) return;  // dead nodes do not receive
+        const sim::Time rx_time = static_cast<sim::Time>(
+            std::ceil(static_cast<double>(total_bytes) * 8.0 / dst.down_bps *
+                      static_cast<double>(sim::kSecond)));
+        const sim::Time delivered =
+            std::max(engine_.now(), dst.down_busy_until) + rx_time;
+        dst.down_busy_until = delivered;
+        engine_.schedule_at(delivered, [this, from, to, m = std::move(m)]() mutable {
+          if (links_[to].dead) return;
+          auto& rstats = stats_[to];
+          rstats.msgs_received += 1;
+          rstats.bytes_received += wire_size(m);
+          if (handlers_[to]) handlers_[to](from, std::move(m));
+        });
+      });
+}
+
+}  // namespace pandas::net

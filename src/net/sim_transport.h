@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.h"
+#include "sim/engine.h"
+#include "sim/topology.h"
+
+/// Simulated UDP transport over the discrete-event engine.
+///
+/// Models, per the paper's testbed (§8.1):
+///  - propagation: one-way delay from the latency topology (RTT/2);
+///  - serialization: per-node uplink/downlink capacity (25 Mbps for nodes,
+///    10 Gbps for the builder) with store-and-forward queueing at both NICs;
+///  - loss: 3 % i.i.d. packet loss. Cell-carrying messages degrade by losing
+///    individual cell-sized fragments (each ~2 cells per 1.2 KB packet);
+///    control messages are dropped wholesale;
+///  - per-packet framing overhead added to byte counts;
+///  - dead nodes (fail-silent / free-riders, §4.1): mail to them vanishes
+///    and they never send.
+namespace pandas::net {
+
+struct SimTransportConfig {
+  double loss_rate = 0.03;
+  double node_up_bps = 25e6;
+  double node_down_bps = 25e6;
+  /// Bytes of UDP/IP framing charged per packet.
+  std::uint32_t per_packet_overhead = 28;
+  /// Builder seed messages travel loss-free (the prototype seeds over
+  /// libp2p streams, which are reliable; the 3 % UDP loss applies to the
+  /// peer-to-peer fetch exchanges). Without this, the minimal policy — one
+  /// copy of exactly the reconstruction threshold — would deadlock, whereas
+  /// the paper reports it completing (§8.1).
+  bool reliable_seeding = true;
+};
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::Engine& engine, const sim::Topology& topology,
+               SimTransportConfig cfg = {});
+
+  /// Registers a node living on `vertex` with the given link capacities.
+  /// Returns its NodeIndex. All nodes must be added before first send.
+  NodeIndex add_node(std::uint32_t vertex, double up_bps, double down_bps);
+  NodeIndex add_node(std::uint32_t vertex) {
+    return add_node(vertex, cfg_.node_up_bps, cfg_.node_down_bps);
+  }
+
+  void send(NodeIndex from, NodeIndex to, Message msg) override;
+  void set_handler(NodeIndex node, Handler handler) override;
+
+  /// Marks a node dead (crash / free-rider): it neither sends nor receives.
+  void set_dead(NodeIndex node, bool dead);
+  [[nodiscard]] bool is_dead(NodeIndex node) const { return links_[node].dead; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return links_.size(); }
+  [[nodiscard]] const TrafficStats& stats(NodeIndex node) const {
+    return stats_[node];
+  }
+  void reset_stats();
+
+  /// Resets link queues (e.g. at a slot boundary in long runs).
+  void reset_links();
+
+  [[nodiscard]] const SimTransportConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint32_t vertex_of(NodeIndex n) const { return links_[n].vertex; }
+
+ private:
+  struct Link {
+    std::uint32_t vertex = 0;
+    double up_bps = 0;
+    double down_bps = 0;
+    sim::Time up_busy_until = 0;
+    sim::Time down_busy_until = 0;
+    bool dead = false;
+  };
+
+  /// Applies the loss model; returns false if the whole message is lost.
+  bool apply_loss(Message& msg);
+
+  sim::Engine& engine_;
+  const sim::Topology& topology_;
+  SimTransportConfig cfg_;
+  std::vector<Link> links_;
+  std::vector<Handler> handlers_;
+  std::vector<TrafficStats> stats_;
+  util::Xoshiro256 loss_rng_;
+};
+
+}  // namespace pandas::net

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/messages.h"
+
+/// Transport abstraction. PANDAS uses one-way, connectionless (UDP-style)
+/// exchanges with no delivery guarantee and no NACKs (§4.3); every protocol
+/// component is written against this interface so it runs identically over
+/// the discrete-event SimTransport or any future real-socket transport.
+namespace pandas::net {
+
+class Transport {
+ public:
+  /// Delivery callback: (sender, message). The message may have been
+  /// degraded in flight (lost cells) by the loss model.
+  using Handler = std::function<void(NodeIndex from, Message&& msg)>;
+
+  virtual ~Transport() = default;
+
+  /// Fire-and-forget send. May silently drop the message (loss, dead peer).
+  virtual void send(NodeIndex from, NodeIndex to, Message msg) = 0;
+
+  /// Registers the receive handler for a node. One handler per node.
+  virtual void set_handler(NodeIndex node, Handler handler) = 0;
+};
+
+/// Per-node traffic counters (drives Fig 10 / Fig 13 style statistics).
+struct TrafficStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  void reset() { *this = TrafficStats{}; }
+};
+
+}  // namespace pandas::net

@@ -1,0 +1,167 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "net/codec.h"
+
+namespace pandas::net {
+
+namespace {
+
+/// Splits a cell-carrying message into datagram-sized chunks. Non-cell
+/// messages pass through unchanged.
+std::vector<Message> fragment(Message msg, std::size_t max_cells) {
+  std::vector<Message> out;
+  const std::size_t cells = carried_cells(msg);
+  if (cells <= max_cells) {
+    out.push_back(std::move(msg));
+    return out;
+  }
+  // Only reply/seed/store-style messages get big; split their cell vector.
+  std::visit(
+      [&](auto& m) {
+        using T = std::remove_cvref_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, SeedMsg> ||
+                      std::is_same_v<T, CellReplyMsg> ||
+                      std::is_same_v<T, GossipDataMsg> ||
+                      std::is_same_v<T, DhtStoreMsg> ||
+                      std::is_same_v<T, DhtValueMsg>) {
+          const auto all = std::move(m.cells);
+          for (std::size_t base = 0; base < all.size(); base += max_cells) {
+            T part = m;  // copies the header fields (boost only on first)
+            part.cells.assign(
+                all.begin() + static_cast<std::ptrdiff_t>(base),
+                all.begin() + static_cast<std::ptrdiff_t>(
+                                  std::min(all.size(), base + max_cells)));
+            if constexpr (std::is_same_v<T, SeedMsg>) {
+              if (base != 0) part.boost.clear();
+            }
+            out.emplace_back(std::move(part));
+          }
+        } else {
+          out.emplace_back(std::move(m));
+        }
+      },
+      msg);
+  return out;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(sim::Engine& engine)
+    : engine_(engine), port_to_node_(65536, kInvalidNode) {}
+
+UdpTransport::~UdpTransport() {
+  for (const int fd : sockets_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+NodeIndex UdpTransport::add_endpoint() {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::system_error(errno, std::generic_category(), "bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw std::system_error(errno, std::generic_category(), "getsockname");
+  }
+  // Generous buffers: seeding bursts many datagrams at once.
+  const int buf = 4 * 1024 * 1024;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+
+  const auto node = static_cast<NodeIndex>(sockets_.size());
+  sockets_.push_back(fd);
+  ports_.push_back(ntohs(addr.sin_port));
+  handlers_.emplace_back();
+  stats_.emplace_back();
+  port_to_node_[ports_.back()] = node;
+  return node;
+}
+
+void UdpTransport::set_handler(NodeIndex node, Handler handler) {
+  handlers_.at(node) = std::move(handler);
+}
+
+void UdpTransport::send(NodeIndex from, NodeIndex to, Message msg) {
+  if (from >= sockets_.size() || to >= sockets_.size()) {
+    throw std::out_of_range("UdpTransport::send: unknown endpoint");
+  }
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  dst.sin_port = htons(ports_[to]);
+
+  for (auto& part : fragment(std::move(msg), max_cells_per_datagram)) {
+    const auto bytes = encode(part);
+    auto& st = stats_[from];
+    st.msgs_sent += 1;
+    st.bytes_sent += bytes.size();
+    // Fire-and-forget: a full socket buffer is genuine UDP loss.
+    (void)::sendto(sockets_[from], bytes.data(), bytes.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&dst), sizeof(dst));
+  }
+}
+
+void UdpTransport::dispatch(NodeIndex to, std::span<const std::uint8_t> datagram,
+                            std::uint16_t source_port) {
+  auto msg = decode(datagram);
+  if (!msg) {
+    ++decode_failures_;
+    return;
+  }
+  auto& st = stats_[to];
+  st.msgs_received += 1;
+  st.bytes_received += datagram.size();
+  const NodeIndex from =
+      source_port < port_to_node_.size() ? port_to_node_[source_port] : kInvalidNode;
+  if (handlers_[to]) handlers_[to](from, std::move(*msg));
+}
+
+void UdpTransport::poll(sim::Time max_wait) {
+  std::vector<pollfd> fds(sockets_.size());
+  for (std::size_t i = 0; i < sockets_.size(); ++i) {
+    fds[i] = {sockets_[i], POLLIN, 0};
+  }
+  const int timeout_ms =
+      static_cast<int>(std::max<sim::Time>(0, max_wait) / sim::kMillisecond);
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return;
+
+  std::uint8_t buf[65536];
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (!(fds[i].revents & POLLIN)) continue;
+    // Drain everything queued on this socket.
+    while (true) {
+      sockaddr_in src{};
+      socklen_t len = sizeof(src);
+      const auto n = ::recvfrom(sockets_[i], buf, sizeof(buf), 0,
+                                reinterpret_cast<sockaddr*>(&src), &len);
+      if (n < 0) break;  // EAGAIN: drained
+      dispatch(static_cast<NodeIndex>(i),
+               std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)),
+               ntohs(src.sin_port));
+    }
+  }
+}
+
+}  // namespace pandas::net

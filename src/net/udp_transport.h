@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.h"
+#include "sim/engine.h"
+
+/// Real-socket UDP transport.
+///
+/// PANDAS communicates over one-way, connectionless UDP with no signalling
+/// (§4.3). This transport runs the very same protocol components that the
+/// simulator drives — PandasNode, Builder, GossipSubNode, KademliaNode —
+/// over actual AF_INET datagram sockets bound to 127.0.0.1, using the binary
+/// codec of net/codec.h. Combine it with sim::Engine::run_realtime(), whose
+/// idle hook calls poll():
+///
+///   sim::Engine engine;
+///   net::UdpTransport transport(engine);
+///   auto a = transport.add_endpoint();
+///   ...
+///   engine.run_realtime(2 * sim::kSecond,
+///                       [&](sim::Time w) { transport.poll(w); });
+///
+/// All endpoints live in one process (the 1,000-node deployment of the paper
+/// runs 13 such processes per server); the NodeIndex -> UDP port directory
+/// is kept locally. Oversized datagrams are fragmented at the codec level
+/// by the sender splitting cell lists (see max_cells_per_datagram).
+namespace pandas::net {
+
+class UdpTransport final : public Transport {
+ public:
+  /// `engine` provides timers for the components; poll() is driven by its
+  /// realtime idle hook.
+  explicit UdpTransport(sim::Engine& engine);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Binds a new datagram socket on 127.0.0.1 (ephemeral port) and returns
+  /// the endpoint's NodeIndex. Throws std::system_error on socket failure.
+  NodeIndex add_endpoint();
+
+  void send(NodeIndex from, NodeIndex to, Message msg) override;
+  void set_handler(NodeIndex node, Handler handler) override;
+
+  /// Drains all readable sockets, waiting up to `max_wait` for the first
+  /// datagram. Decoded messages are dispatched to handlers inline.
+  void poll(sim::Time max_wait);
+
+  [[nodiscard]] std::size_t endpoint_count() const noexcept {
+    return sockets_.size();
+  }
+  [[nodiscard]] std::uint16_t port_of(NodeIndex n) const { return ports_.at(n); }
+  [[nodiscard]] const TrafficStats& stats(NodeIndex n) const { return stats_.at(n); }
+  [[nodiscard]] std::uint64_t decode_failures() const noexcept {
+    return decode_failures_;
+  }
+
+  /// Messages whose encoded form exceeds the datagram budget are split into
+  /// several datagrams by partitioning their cell list (mirrors the
+  /// simulator's per-packet loss granularity).
+  std::size_t max_cells_per_datagram = 2048;
+
+ private:
+  void dispatch(NodeIndex to, std::span<const std::uint8_t> datagram,
+                std::uint16_t source_port);
+
+  sim::Engine& engine_;
+  std::vector<int> sockets_;          // per endpoint fd
+  std::vector<std::uint16_t> ports_;  // per endpoint bound port
+  std::vector<Handler> handlers_;
+  std::vector<TrafficStats> stats_;
+  std::vector<NodeIndex> port_to_node_;  // sparse map, indexed by port
+  std::uint64_t decode_failures_ = 0;
+};
+
+}  // namespace pandas::net

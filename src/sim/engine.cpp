@@ -1,0 +1,92 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <limits>
+#include <stdexcept>
+
+namespace pandas::sim {
+
+std::string format_time(Time t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f ms", to_ms(t));
+  return buf;
+}
+
+void Engine::schedule_at(Time t, Callback fn) {
+  if (t < now_) {
+    throw std::logic_error("Engine::schedule_at: time in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+std::uint64_t Engine::run_until(Time limit) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= limit) {
+    // priority_queue::top() is const; move out via const_cast, which is safe
+    // because we pop immediately and never observe the moved-from state.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++n;
+  }
+  executed_ += n;
+  if (queue_.empty() && limit != std::numeric_limits<Time>::max()) {
+    now_ = limit;  // advance the clock to the requested horizon
+  } else if (!queue_.empty() && queue_.top().time > limit) {
+    now_ = limit;
+  }
+  return n;
+}
+
+void Engine::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+std::uint64_t Engine::run_realtime(Time duration,
+                                   const std::function<void(Time)>& idle) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const Time virtual_start = now_;
+  std::uint64_t executed = 0;
+
+  auto wall_now = [&]() -> Time {
+    return virtual_start +
+           std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - wall_start)
+               .count();
+  };
+
+  while (true) {
+    const Time wall = wall_now();
+    if (wall >= virtual_start + duration) break;
+
+    // Execute timers that have come due.
+    while (!queue_.empty() && queue_.top().time <= wall) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = std::max(now_, ev.time);
+      ev.fn();
+      ++executed;
+    }
+    now_ = std::max(now_, wall);
+
+    // Sleep/poll until the next timer or for a small bounded interval.
+    Time max_wait = virtual_start + duration - wall;
+    if (!queue_.empty()) {
+      max_wait = std::min(max_wait, queue_.top().time - wall);
+    }
+    max_wait = std::clamp<Time>(max_wait, 0, 20 * kMillisecond);
+    if (idle) {
+      idle(max_wait);
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(max_wait));
+    }
+  }
+  executed_ += executed;
+  return executed;
+}
+
+}  // namespace pandas::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/prng.h"
+
+/// The discrete-event simulation engine: a virtual clock plus an ordered
+/// queue of callbacks. Events scheduled for the same instant execute in
+/// scheduling order (a monotone sequence number breaks ties), which makes
+/// every run bit-reproducible for a given seed.
+namespace pandas::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Engine(std::uint64_t seed = 1) : rng_(seed), seed_(seed) {}
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now).
+  void schedule_at(Time t, Callback fn);
+
+  /// Schedules `fn` to run `delay` after the current time.
+  void schedule_in(Time delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Runs events until the queue empties or the clock passes `limit`.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(Time limit);
+
+  /// Runs until the queue is empty.
+  std::uint64_t run() { return run_until(std::numeric_limits<Time>::max()); }
+
+  /// Real-time mode: advances the virtual clock in lockstep with the wall
+  /// clock for `duration`, executing timers when they come due and invoking
+  /// `idle(max_wait)` between them (e.g. to poll sockets — see
+  /// net::UdpTransport). Returns the number of events executed.
+  std::uint64_t run_realtime(Time duration,
+                             const std::function<void(Time max_wait)>& idle);
+
+  /// Discards all pending events (used between slots by the harness).
+  void clear();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  /// The engine's master RNG. Components should derive independent streams
+  /// via rng_stream() rather than sharing this directly.
+  [[nodiscard]] util::Xoshiro256& rng() noexcept { return rng_; }
+
+  /// Derives a deterministic, independent RNG stream for a named component
+  /// (e.g. per-node fetch randomness), so adding components or reordering
+  /// calls does not perturb unrelated random sequences.
+  [[nodiscard]] util::Xoshiro256 rng_stream(std::uint64_t stream_id) const noexcept {
+    return util::Xoshiro256(util::mix64(seed_ ^ util::mix64(stream_id)));
+  }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  util::Xoshiro256 rng_;
+  std::uint64_t seed_;
+};
+
+}  // namespace pandas::sim

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// Virtual time for the discrete-event simulator.
+///
+/// All protocol timing in PANDAS is expressed against Ethereum's slot clock:
+/// slots of 12 s, an attestation deadline 4 s into the slot, fetch-round
+/// timeouts of 400/200/100 ms. We count microseconds in a signed 64-bit
+/// integer (± ~292,000 years — ample).
+namespace pandas::sim {
+
+using Time = std::int64_t;
+
+inline constexpr Time kMicrosecond = 1;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Ethereum consensus constants (paper §2).
+inline constexpr Time kSlotDuration = 12 * kSecond;
+inline constexpr Time kAttestationDeadline = 4 * kSecond;
+inline constexpr int kSlotsPerEpoch = 32;
+
+[[nodiscard]] inline double to_ms(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+[[nodiscard]] inline Time from_ms(double ms) noexcept {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Human-readable rendering, e.g. "1234.5 ms".
+[[nodiscard]] std::string format_time(Time t);
+
+}  // namespace pandas::sim

@@ -1,0 +1,92 @@
+#include "util/prng.h"
+
+#include <cmath>
+#include <numbers>
+
+#ifdef _MSC_VER
+#include <intrin.h>
+#endif
+
+namespace pandas::util {
+
+namespace {
+/// 64x64 -> high 64 bits of the 128-bit product.
+std::uint64_t mulhi64(std::uint64_t a, std::uint64_t b) noexcept {
+#ifdef __SIZEOF_INT128__
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b)) >> 64);
+#else
+  return __umulh(a, b);
+#endif
+}
+}  // namespace
+
+std::uint64_t Xoshiro256::uniform(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased method.
+  std::uint64_t x = (*this)();
+  std::uint64_t hi = mulhi64(x, bound);
+  std::uint64_t lo = x * bound;
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      hi = mulhi64(x, bound);
+      lo = x * bound;
+    }
+  }
+  return hi;
+}
+
+std::int64_t Xoshiro256::uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Xoshiro256::exponential(double mean) noexcept {
+  double u = uniform01();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Xoshiro256::normal(double mean, double stddev) noexcept {
+  // Box-Muller transform; we deliberately discard the second variate to keep
+  // the generator state a simple function of call count.
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<std::uint32_t> Xoshiro256::sample_distinct(std::uint32_t bound,
+                                                       std::uint32_t count) {
+  std::vector<std::uint32_t> out;
+  if (bound == 0 || count == 0) return out;
+  if (count > bound) count = bound;
+  out.reserve(count);
+  if (count * 4 >= bound) {
+    // Dense case: partial Fisher-Yates over all indices.
+    std::vector<std::uint32_t> idx(bound);
+    for (std::uint32_t i = 0; i < bound; ++i) idx[i] = i;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto j = i + static_cast<std::uint32_t>(uniform(bound - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+  } else {
+    // Sparse case: rejection sampling with a small local set. With
+    // count*4 < bound the expected number of retries is < 1/3 per draw.
+    std::vector<bool> seen(bound, false);
+    while (out.size() < count) {
+      const auto v = static_cast<std::uint32_t>(uniform(bound));
+      if (!seen[v]) {
+        seen[v] = true;
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pandas::util

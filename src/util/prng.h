@@ -1,0 +1,110 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+/// Deterministic pseudo-random number generation used throughout PANDAS.
+///
+/// The protocol requires *deterministic* randomness in two places:
+///  - the cell-to-node assignment F(node, epoch), which every participant must
+///    compute identically from the epoch seed (paper §5), and
+///  - reproducible experiments: every simulator run is a pure function of its
+///    configured seed.
+///
+/// We use splitmix64 for seeding/stream-splitting and xoshiro256** as the
+/// workhorse generator (fast, 256-bit state, passes BigCrush).
+namespace pandas::util {
+
+/// One step of the splitmix64 generator. Useful for hashing small integers
+/// into well-distributed 64-bit values and for seeding larger generators.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes a single 64-bit value (stateless convenience wrapper).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator so it
+/// can be used with <random> distributions, but the helper methods below are
+/// preferred as they are portable across standard library implementations
+/// (std:: distributions are not bit-reproducible across vendors).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from one 64-bit seed via splitmix64.
+  explicit Xoshiro256(std::uint64_t seed = 0) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& w : state_) w = splitmix64(s);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Normally distributed value (Box-Muller; one value per call).
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Samples `count` *distinct* integers from [0, bound) via partial
+  /// Fisher-Yates on an index vector when count is large relative to bound,
+  /// or rejection sampling when it is small. Result order is random.
+  [[nodiscard]] std::vector<std::uint32_t> sample_distinct(std::uint32_t bound,
+                                                           std::uint32_t count);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace pandas::util

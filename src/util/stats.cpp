@@ -1,0 +1,121 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace pandas::util {
+
+void Samples::add(double v) {
+  values_.push_back(v);
+  sorted_valid_ = false;
+}
+
+void Samples::clear() {
+  values_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::min() const {
+  if (values_.empty()) throw std::logic_error("Samples::min on empty set");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  if (values_.empty()) throw std::logic_error("Samples::max on empty set");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Samples::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Samples::mean() const {
+  if (values_.empty()) throw std::logic_error("Samples::mean on empty set");
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) throw std::logic_error("Samples::percentile on empty set");
+  ensure_sorted();
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double Samples::fraction_below(double threshold) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> Samples::cdf(std::size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty() || max_points == 0) return out;
+  ensure_sorted();
+  const std::size_t n = sorted_.size();
+  const std::size_t points = std::min(max_points, n);
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Pick evenly spaced order statistics, always including the last.
+    const std::size_t idx =
+        (points == 1) ? n - 1 : (i * (n - 1)) / (points - 1);
+    out.emplace_back(sorted_[idx],
+                     static_cast<double>(idx + 1) / static_cast<double>(n));
+  }
+  return out;
+}
+
+std::string summarize(const Samples& s, const std::string& unit) {
+  if (s.empty()) return "n=0";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.1f%s p50=%.1f%s mean=%.1f%s p99=%.1f%s max=%.1f%s",
+                s.count(), s.min(), unit.c_str(), s.median(), unit.c_str(),
+                s.mean(), unit.c_str(), s.percentile(99.0), unit.c_str(),
+                s.max(), unit.c_str());
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace pandas::util

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Lightweight statistics used by the evaluation harness: summary statistics,
+/// percentiles and CDF series matching the plots reported in the paper
+/// (median / P99 / max of per-node phase times, message and byte counts).
+namespace pandas::util {
+
+/// Accumulates samples and answers percentile / moment queries.
+/// Samples are stored; queries sort lazily (O(n log n) once per mutation).
+class Samples {
+ public:
+  void add(double v);
+  void reserve(std::size_t n) { values_.reserve(n); }
+  void clear();
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const;
+
+  /// Percentile in [0, 100] with linear interpolation between order
+  /// statistics (matches numpy's default "linear" method).
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Fraction of samples <= threshold (empirical CDF evaluated at one point).
+  [[nodiscard]] double fraction_below(double threshold) const;
+
+  /// Empirical CDF as (value, cumulative_fraction) pairs, downsampled to at
+  /// most `max_points` points. Useful for printing figure series.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(
+      std::size_t max_points = 100) const;
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// One-line summary: "n=.. min=.. p50=.. mean=.. p99=.. max=..", with values
+/// printed via `unit` suffix (e.g. "ms", "MB").
+[[nodiscard]] std::string summarize(const Samples& s, const std::string& unit);
+
+/// Formats a byte count with binary-ish units as used in the paper
+/// (KB/MB/GB with 1000 multiplier, matching the paper's "140 MB" figures).
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace pandas::util

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/assignment.h"
+
+namespace pandas::core {
+namespace {
+
+ProtocolParams default_params() { return {}; }
+
+TEST(EpochSeed, DeterministicAndRotating) {
+  EXPECT_EQ(epoch_seed(1, 0), epoch_seed(1, 0));
+  EXPECT_NE(epoch_seed(1, 0), epoch_seed(1, 1));
+  EXPECT_NE(epoch_seed(1, 0), epoch_seed(2, 0));
+}
+
+TEST(Assignment, DeterministicAcrossCallers) {
+  // The property §5 requires: two nodes with inconsistent views compute the
+  // same F(n, e) because it depends only on the epoch seed and n's ID.
+  const auto params = default_params();
+  const auto seed = epoch_seed(42, 3);
+  const auto id = crypto::NodeId::from_label(17);
+  const auto a = compute_assignment(params, seed, id);
+  const auto b = compute_assignment(params, seed, id);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.cols, b.cols);
+}
+
+TEST(Assignment, CorrectCardinalityAndRange) {
+  const auto params = default_params();
+  const auto seed = epoch_seed(1, 0);
+  for (std::uint64_t label = 0; label < 50; ++label) {
+    const auto al =
+        compute_assignment(params, seed, crypto::NodeId::from_label(label));
+    EXPECT_EQ(al.rows.size(), params.rows_per_node);
+    EXPECT_EQ(al.cols.size(), params.cols_per_node);
+    // Distinct and sorted.
+    std::set<std::uint16_t> rows(al.rows.begin(), al.rows.end());
+    std::set<std::uint16_t> cols(al.cols.begin(), al.cols.end());
+    EXPECT_EQ(rows.size(), al.rows.size());
+    EXPECT_EQ(cols.size(), al.cols.size());
+    for (const auto r : al.rows) EXPECT_LT(r, params.matrix_n);
+    for (const auto c : al.cols) EXPECT_LT(c, params.matrix_n);
+    EXPECT_TRUE(std::is_sorted(al.rows.begin(), al.rows.end()));
+  }
+}
+
+TEST(Assignment, ShortLived) {
+  // §5: the assignment must change across epochs (unpredictably).
+  const auto params = default_params();
+  const auto id = crypto::NodeId::from_label(9);
+  const auto e0 = compute_assignment(params, epoch_seed(7, 0), id);
+  const auto e1 = compute_assignment(params, epoch_seed(7, 1), id);
+  EXPECT_NE(e0.rows, e1.rows);  // 8-of-512 collision is ~impossible
+}
+
+TEST(Assignment, HasLineLookups) {
+  const auto params = default_params();
+  const auto al =
+      compute_assignment(params, epoch_seed(3, 0), crypto::NodeId::from_label(1));
+  for (const auto r : al.rows) {
+    EXPECT_TRUE(al.has_row(r));
+    EXPECT_TRUE(al.has_line(net::LineRef::row(r)));
+  }
+  for (const auto c : al.cols) EXPECT_TRUE(al.has_col(c));
+  // A row not in the set.
+  for (std::uint16_t r = 0; r < params.matrix_n; ++r) {
+    if (!std::binary_search(al.rows.begin(), al.rows.end(), r)) {
+      EXPECT_FALSE(al.has_row(r));
+      break;
+    }
+  }
+  EXPECT_EQ(al.lines().size(), al.rows.size() + al.cols.size());
+}
+
+TEST(Assignment, UniformLoadAcrossLines) {
+  // Statistical check: with N nodes the expected number of nodes per line is
+  // N * 8 / 512; no line should be wildly off (this is what keeps per-line
+  // custody populations healthy, §6.2).
+  const auto params = default_params();
+  const auto dir = net::Directory::create(2000);
+  const AssignmentTable table(params, dir, epoch_seed(5, 0));
+  const double expected = 2000.0 * params.rows_per_node / params.matrix_n;
+  for (std::uint32_t r = 0; r < params.matrix_n; ++r) {
+    const auto& nodes = table.assigned_to(net::LineRef::row(
+        static_cast<std::uint16_t>(r)));
+    EXPECT_GT(static_cast<double>(nodes.size()), expected * 0.3) << "row " << r;
+    EXPECT_LT(static_cast<double>(nodes.size()), expected * 2.5) << "row " << r;
+  }
+}
+
+TEST(AssignmentTable, ConsistentWithComputeAssignment) {
+  const auto params = default_params();
+  const auto dir = net::Directory::create(100);
+  const auto seed = epoch_seed(11, 2);
+  const AssignmentTable table(params, dir, seed);
+  for (net::NodeIndex i = 0; i < 100; ++i) {
+    const auto direct = compute_assignment(params, seed, dir.id_of(i));
+    EXPECT_EQ(table.of(i).rows, direct.rows);
+    EXPECT_EQ(table.of(i).cols, direct.cols);
+  }
+}
+
+TEST(AssignmentTable, InvertedIndexMatchesForward) {
+  const auto params = default_params();
+  const auto dir = net::Directory::create(300);
+  const AssignmentTable table(params, dir, epoch_seed(13, 0));
+
+  // Forward -> inverted.
+  for (net::NodeIndex i = 0; i < 300; ++i) {
+    for (const auto r : table.of(i).rows) {
+      const auto& nodes = table.assigned_to(net::LineRef::row(r));
+      EXPECT_TRUE(std::binary_search(nodes.begin(), nodes.end(), i));
+      EXPECT_TRUE(table.node_has_row(i, r));
+    }
+    for (const auto c : table.of(i).cols) {
+      const auto& nodes = table.assigned_to(net::LineRef::col(c));
+      EXPECT_TRUE(std::binary_search(nodes.begin(), nodes.end(), i));
+      EXPECT_TRUE(table.node_has_col(i, c));
+    }
+  }
+  // Inverted -> forward.
+  for (std::uint16_t r = 0; r < params.matrix_n; ++r) {
+    for (const auto n : table.assigned_to(net::LineRef::row(r))) {
+      EXPECT_TRUE(table.of(n).has_row(r));
+    }
+  }
+}
+
+TEST(AssignmentTable, ExplicitAssignmentsConstructor) {
+  ProtocolParams params;
+  params.matrix_n = 16;
+  params.matrix_k = 8;
+  std::vector<AssignedLines> per_node(3);
+  per_node[0].rows = {1, 2};
+  per_node[0].cols = {3};
+  per_node[1].rows = {2};
+  per_node[1].cols = {3, 4};
+  per_node[2].rows = {5};
+  per_node[2].cols = {};
+  const AssignmentTable table(params, per_node);
+  EXPECT_EQ(table.assigned_to(net::LineRef::row(2)),
+            (std::vector<net::NodeIndex>{0, 1}));
+  EXPECT_EQ(table.assigned_to(net::LineRef::col(3)),
+            (std::vector<net::NodeIndex>{0, 1}));
+  EXPECT_EQ(table.assigned_to(net::LineRef::row(5)),
+            (std::vector<net::NodeIndex>{2}));
+  EXPECT_TRUE(table.assigned_to(net::LineRef::row(9)).empty());
+  EXPECT_TRUE(table.node_has_col(1, 4));
+  EXPECT_FALSE(table.node_has_col(2, 4));
+}
+
+TEST(ProtocolParams, FetchSchedules) {
+  ProtocolParams p;
+  // Timeouts: 400, 200, 100, 100, ... (§7).
+  EXPECT_EQ(p.timeout_for_round(1), 400 * sim::kMillisecond);
+  EXPECT_EQ(p.timeout_for_round(2), 200 * sim::kMillisecond);
+  EXPECT_EQ(p.timeout_for_round(3), 100 * sim::kMillisecond);
+  EXPECT_EQ(p.timeout_for_round(10), 100 * sim::kMillisecond);
+  // Cumulative redundancy: 1, 2, 3, ..., capped at 10 (Fig 8).
+  EXPECT_EQ(p.redundancy_for_round(1), 1u);
+  EXPECT_EQ(p.redundancy_for_round(2), 2u);
+  EXPECT_EQ(p.redundancy_for_round(4), 4u);
+  EXPECT_EQ(p.redundancy_for_round(30), 10u);
+  // Constant (non-adaptive) ablation (Fig 11).
+  p.adaptive = false;
+  EXPECT_EQ(p.timeout_for_round(5), 400 * sim::kMillisecond);
+  EXPECT_EQ(p.redundancy_for_round(5), 1u);
+}
+
+TEST(ProtocolParams, CellsPerNode) {
+  ProtocolParams p;
+  // 8*512 + 8*512 - 64 intersections = 8128 distinct cells (~4.4 MB wire).
+  EXPECT_EQ(p.cells_per_node(), 8128u);
+  EXPECT_NEAR(p.cells_per_node() * 560.0 / 1e6, 4.4, 0.3);
+  EXPECT_EQ(p.lines_total(), 1024u);
+}
+
+}  // namespace
+}  // namespace pandas::core

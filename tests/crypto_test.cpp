@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/kzg_sim.h"
+#include "crypto/node_id.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+
+namespace pandas::crypto {
+namespace {
+
+// ------------------------------------------------------------------- SHA-256
+// FIPS 180-4 test vectors.
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256(std::string_view{"abc"})),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(std::string_view{
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  // Split points around the 64-byte block boundary exercise buffering.
+  const std::string msg(200, 'x');
+  const auto expected = sha256(std::string_view{msg});
+  for (std::size_t split : {1u, 55u, 63u, 64u, 65u, 127u, 128u, 199u}) {
+    Sha256 h;
+    h.update(std::string_view{msg}.substr(0, split));
+    h.update(std::string_view{msg}.substr(split));
+    EXPECT_EQ(h.finalize(), expected) << "split=" << split;
+  }
+}
+
+TEST(Sha256, IntegerUpdatesBigEndian) {
+  Sha256 a;
+  a.update_u64(0x0102030405060708ULL);
+  const std::uint8_t bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  Sha256 b;
+  b.update(std::span<const std::uint8_t>(bytes, 8));
+  EXPECT_EQ(a.finalize(), b.finalize());
+}
+
+TEST(Sha256, DigestPrefix64) {
+  Digest d{};
+  d[0] = 0x01;
+  d[7] = 0xff;
+  EXPECT_EQ(digest_prefix64(d), 0x01000000000000ffULL);
+}
+
+// ------------------------------------------------------------------- NodeId
+
+TEST(NodeId, FromLabelDeterministic) {
+  EXPECT_EQ(NodeId::from_label(5), NodeId::from_label(5));
+  EXPECT_NE(NodeId::from_label(5), NodeId::from_label(6));
+}
+
+TEST(NodeId, XorProperties) {
+  const auto a = NodeId::from_label(1);
+  const auto b = NodeId::from_label(2);
+  EXPECT_EQ(a.xor_with(a).bytes, (std::array<std::uint8_t, 32>{}));
+  EXPECT_EQ(a.xor_with(b), b.xor_with(a));
+}
+
+TEST(NodeId, LogDistance) {
+  NodeId a{}, b{};
+  EXPECT_EQ(a.log_distance(b), -1);
+  b.bytes[31] = 0x01;  // lowest bit differs
+  EXPECT_EQ(a.log_distance(b), 0);
+  b = NodeId{};
+  b.bytes[0] = 0x80;  // highest bit differs
+  EXPECT_EQ(a.log_distance(b), 255);
+  b = NodeId{};
+  b.bytes[30] = 0x02;  // bit 9
+  EXPECT_EQ(a.log_distance(b), 9);
+}
+
+TEST(NodeId, CloserTo) {
+  NodeId target{};
+  NodeId near{}, far{};
+  near.bytes[31] = 0x01;
+  far.bytes[0] = 0x80;
+  EXPECT_TRUE(near.closer_to(target, far));
+  EXPECT_FALSE(far.closer_to(target, near));
+  EXPECT_FALSE(near.closer_to(target, near));  // strict
+}
+
+// --------------------------------------------------------------- Signatures
+
+TEST(Signature, SignVerifyRoundTrip) {
+  const auto kp = KeyPair::from_seed(42);
+  const std::string msg = "seed message for slot 17";
+  const auto sig = sign(kp.secret, std::span<const std::uint8_t>(
+                                       reinterpret_cast<const std::uint8_t*>(
+                                           msg.data()),
+                                       msg.size()));
+  EXPECT_TRUE(verify(kp.pub,
+                     std::span<const std::uint8_t>(
+                         reinterpret_cast<const std::uint8_t*>(msg.data()),
+                         msg.size()),
+                     sig));
+}
+
+TEST(Signature, WrongKeyRejected) {
+  const auto kp1 = KeyPair::from_seed(1);
+  const auto kp2 = KeyPair::from_seed(2);
+  const std::uint8_t msg[] = {1, 2, 3};
+  const auto sig = sign(kp1.secret, msg);
+  EXPECT_FALSE(verify(kp2.pub, msg, sig));
+}
+
+TEST(Signature, TamperedMessageRejected) {
+  const auto kp = KeyPair::from_seed(3);
+  const std::uint8_t msg[] = {1, 2, 3};
+  const std::uint8_t tampered[] = {1, 2, 4};
+  const auto sig = sign(kp.secret, msg);
+  EXPECT_FALSE(verify(kp.pub, tampered, sig));
+}
+
+TEST(Signature, TamperedSignatureRejected) {
+  const auto kp = KeyPair::from_seed(4);
+  const std::uint8_t msg[] = {9};
+  auto sig = sign(kp.secret, msg);
+  sig[0] ^= 0x01;
+  EXPECT_FALSE(verify(kp.pub, msg, sig));
+}
+
+// ------------------------------------------------------------ Simulated KZG
+
+TEST(KzgSim, CommitDeterministic) {
+  const std::uint8_t row[] = {1, 2, 3, 4};
+  EXPECT_EQ(commit(row), commit(row));
+  const std::uint8_t other[] = {1, 2, 3, 5};
+  EXPECT_NE(commit(row), commit(other));
+}
+
+TEST(KzgSim, ProveVerifyRoundTrip) {
+  const std::uint8_t row[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto c = commit(row);
+  const std::uint8_t cell[] = {1, 2};
+  const auto proof = prove_cell(c, 0, cell);
+  EXPECT_TRUE(verify_cell(c, 0, cell, proof));
+}
+
+TEST(KzgSim, WrongIndexRejected) {
+  const std::uint8_t row[] = {1, 2, 3, 4};
+  const auto c = commit(row);
+  const std::uint8_t cell[] = {1, 2};
+  const auto proof = prove_cell(c, 0, cell);
+  EXPECT_FALSE(verify_cell(c, 1, cell, proof));
+}
+
+TEST(KzgSim, CorruptedCellRejected) {
+  const std::uint8_t row[] = {1, 2, 3, 4};
+  const auto c = commit(row);
+  const std::uint8_t cell[] = {1, 2};
+  const std::uint8_t bad[] = {1, 3};
+  const auto proof = prove_cell(c, 0, cell);
+  EXPECT_FALSE(verify_cell(c, 0, bad, proof));
+}
+
+TEST(KzgSim, SizesMatchDanksharding) {
+  EXPECT_EQ(kCommitmentSize, 48u);
+  EXPECT_EQ(kProofSize, 48u);
+}
+
+}  // namespace
+}  // namespace pandas::crypto

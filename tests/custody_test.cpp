@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/custody.h"
+
+namespace pandas::core {
+namespace {
+
+ProtocolParams small_params() {
+  ProtocolParams p;
+  p.matrix_k = 4;
+  p.matrix_n = 8;
+  p.rows_per_node = 2;
+  p.cols_per_node = 2;
+  return p;
+}
+
+AssignedLines lines_rc(std::vector<std::uint16_t> rows,
+                       std::vector<std::uint16_t> cols) {
+  AssignedLines al;
+  al.rows = std::move(rows);
+  al.cols = std::move(cols);
+  return al;
+}
+
+TEST(Custody, StartsEmpty) {
+  const auto p = small_params();
+  CustodyState cs(p, lines_rc({1, 3}, {0, 5}));
+  EXPECT_FALSE(cs.all_lines_complete());
+  EXPECT_EQ(cs.complete_line_count(), 0u);
+  EXPECT_EQ(cs.held_cells(), 0u);
+  EXPECT_FALSE(cs.has_cell({1, 0}));
+}
+
+TEST(Custody, AddAssignedCells) {
+  const auto p = small_params();
+  CustodyState cs(p, lines_rc({1, 3}, {0, 5}));
+  const std::vector<net::CellId> cells{{1, 2}, {3, 7}, {6, 0}};
+  const auto res = cs.add_cells(cells, false);
+  EXPECT_EQ(res.new_cells, 3u);
+  EXPECT_EQ(res.duplicates, 0u);
+  EXPECT_TRUE(cs.has_cell({1, 2}));
+  EXPECT_TRUE(cs.has_cell({3, 7}));
+  EXPECT_TRUE(cs.has_cell({6, 0}));  // via column 0
+  EXPECT_EQ(cs.line_count(net::LineRef::row(1)), 1u);
+  EXPECT_EQ(cs.line_count(net::LineRef::col(0)), 1u);
+}
+
+TEST(Custody, DuplicatesCounted) {
+  const auto p = small_params();
+  CustodyState cs(p, lines_rc({1}, {}));
+  const std::vector<net::CellId> cells{{1, 2}};
+  cs.add_cells(cells, false);
+  const auto res = cs.add_cells(cells, false);
+  EXPECT_EQ(res.new_cells, 0u);
+  EXPECT_EQ(res.duplicates, 1u);
+}
+
+TEST(Custody, IntersectionCellCountedOnceAcrossIndexes) {
+  const auto p = small_params();
+  CustodyState cs(p, lines_rc({1}, {2}));
+  // (1,2) is both in row 1 and col 2.
+  const std::vector<net::CellId> cells{{1, 2}};
+  const auto res = cs.add_cells(cells, false);
+  EXPECT_EQ(res.new_cells, 1u);
+  EXPECT_EQ(cs.held_cells(), 1u);
+  // Re-adding is one duplicate, not two.
+  const auto res2 = cs.add_cells(cells, false);
+  EXPECT_EQ(res2.duplicates, 1u);
+  EXPECT_EQ(cs.held_cells(), 1u);
+}
+
+TEST(Custody, ExtrasKeptOnlyWhenRequested) {
+  const auto p = small_params();
+  CustodyState cs(p, lines_rc({1}, {2}));
+  const std::vector<net::CellId> stray{{5, 5}};
+  auto res = cs.add_cells(stray, false);
+  EXPECT_EQ(res.new_cells, 0u);
+  EXPECT_FALSE(cs.has_cell({5, 5}));
+  res = cs.add_cells(stray, true);
+  EXPECT_EQ(res.new_cells, 1u);
+  EXPECT_TRUE(cs.has_cell({5, 5}));
+}
+
+TEST(Custody, LineCompletesAtKViaReconstruction) {
+  const auto p = small_params();  // k=4, n=8
+  CustodyState cs(p, lines_rc({2}, {}));
+  std::vector<net::CellId> cells;
+  for (std::uint16_t c = 0; c < 3; ++c) cells.push_back({2, c});
+  auto res = cs.add_cells(cells, false);
+  EXPECT_TRUE(res.completed.empty());
+  EXPECT_FALSE(cs.line_complete(net::LineRef::row(2)));
+
+  // The 4th cell hits k: the line completes and the 4 remaining cells are
+  // reconstructed.
+  res = cs.add_cells({{net::CellId{2, 3}}}, false);
+  ASSERT_EQ(res.completed.size(), 1u);
+  EXPECT_EQ(res.completed[0], net::LineRef::row(2));
+  EXPECT_EQ(res.reconstructed, 4u);
+  EXPECT_TRUE(cs.line_complete(net::LineRef::row(2)));
+  EXPECT_EQ(cs.line_count(net::LineRef::row(2)), 8u);
+  EXPECT_TRUE(cs.has_cell({2, 7}));
+  // obtained = 1 received + 4 reconstructed.
+  EXPECT_EQ(res.obtained.size(), 5u);
+  EXPECT_TRUE(cs.all_lines_complete());
+}
+
+TEST(Custody, ReconstructionCascadesIntoCrossingLines) {
+  const auto p = small_params();  // k=4, n=8
+  // Row 0 and col 0 assigned. Fill col 0 with 3 cells (rows 5,6,7), and row
+  // 0 with cells 1..4 (not touching col 0). Completing row 0 reconstructs
+  // (0,0), which gives col 0 its 4th cell and completes it too.
+  CustodyState cs(p, lines_rc({0}, {0}));
+  std::vector<net::CellId> col_cells{{5, 0}, {6, 0}, {7, 0}};
+  cs.add_cells(col_cells, false);
+  std::vector<net::CellId> row_cells{{0, 1}, {0, 2}, {0, 3}};
+  cs.add_cells(row_cells, false);
+  EXPECT_EQ(cs.complete_line_count(), 0u);
+
+  const auto res = cs.add_cells({{net::CellId{0, 4}}}, false);
+  EXPECT_EQ(res.completed.size(), 2u);  // row 0, then col 0 via cascade
+  EXPECT_TRUE(cs.line_complete(net::LineRef::row(0)));
+  EXPECT_TRUE(cs.line_complete(net::LineRef::col(0)));
+  EXPECT_TRUE(cs.all_lines_complete());
+  EXPECT_TRUE(cs.has_cell({3, 0}));  // reconstructed via column completion
+}
+
+TEST(Custody, HeldCellsAccounting) {
+  const auto p = small_params();
+  CustodyState cs(p, lines_rc({1, 2}, {3}));
+  cs.add_cells({{net::CellId{1, 0}, net::CellId{2, 3}, net::CellId{0, 3}}}, false);
+  // (2,3) sits in row 2 AND col 3 -> counted once.
+  EXPECT_EQ(cs.held_cells(), 3u);
+}
+
+TEST(Custody, LineCountForUnassignedLineIsZero) {
+  const auto p = small_params();
+  CustodyState cs(p, lines_rc({1}, {2}));
+  EXPECT_EQ(cs.line_count(net::LineRef::row(7)), 0u);
+  EXPECT_FALSE(cs.line_complete(net::LineRef::row(7)));
+}
+
+TEST(Custody, BatchCompletionOrderInsensitive) {
+  // Delivering all cells of a line in one batch completes it exactly once.
+  const auto p = small_params();
+  CustodyState cs(p, lines_rc({4}, {}));
+  std::vector<net::CellId> cells;
+  for (std::uint16_t c = 0; c < 8; ++c) cells.push_back({4, c});
+  const auto res = cs.add_cells(cells, false);
+  EXPECT_EQ(res.completed.size(), 1u);
+  EXPECT_EQ(res.new_cells, 8u);
+  EXPECT_EQ(res.reconstructed, 0u);  // nothing left to reconstruct
+}
+
+TEST(Custody, FullDankshardingLine) {
+  // Default parameters: a line completes at 256 of 512.
+  ProtocolParams p;
+  CustodyState cs(p, lines_rc({100}, {}));
+  std::vector<net::CellId> cells;
+  for (std::uint16_t c = 0; c < 255; ++c) cells.push_back({100, c});
+  auto res = cs.add_cells(cells, false);
+  EXPECT_TRUE(res.completed.empty());
+  res = cs.add_cells({{net::CellId{100, 300}}}, false);
+  EXPECT_EQ(res.completed.size(), 1u);
+  EXPECT_EQ(res.reconstructed, 256u);
+  EXPECT_EQ(cs.line_count(net::LineRef::row(100)), 512u);
+}
+
+}  // namespace
+}  // namespace pandas::core

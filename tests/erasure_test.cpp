@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "erasure/extended_blob.h"
+#include "erasure/gf16.h"
+#include "erasure/matrix.h"
+#include "erasure/reed_solomon.h"
+#include "util/prng.h"
+
+namespace pandas::erasure {
+namespace {
+
+// ----------------------------------------------------------------- GF(2^16)
+
+TEST(GF16, AdditionIsXor) {
+  const auto& gf = GF16::instance();
+  EXPECT_EQ(gf.add(0x1234, 0x00ff), 0x12cb);
+  EXPECT_EQ(gf.add(5, 5), 0);
+}
+
+TEST(GF16, MultiplicativeIdentityAndZero) {
+  const auto& gf = GF16::instance();
+  for (GF16::Elem a : {1, 2, 255, 4096, 65535}) {
+    EXPECT_EQ(gf.mul(a, 1), a);
+    EXPECT_EQ(gf.mul(1, a), a);
+    EXPECT_EQ(gf.mul(a, 0), 0);
+    EXPECT_EQ(gf.mul(0, a), 0);
+  }
+}
+
+TEST(GF16, InverseProperty) {
+  const auto& gf = GF16::instance();
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<GF16::Elem>(1 + rng.uniform(65535));
+    EXPECT_EQ(gf.mul(a, gf.inv(a)), 1) << "a=" << a;
+  }
+}
+
+TEST(GF16, DivisionInvertsMultiplication) {
+  const auto& gf = GF16::instance();
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<GF16::Elem>(rng.uniform(65536));
+    const auto b = static_cast<GF16::Elem>(1 + rng.uniform(65535));
+    EXPECT_EQ(gf.div(gf.mul(a, b), b), a);
+  }
+}
+
+TEST(GF16, MultiplicationCommutesAndAssociates) {
+  const auto& gf = GF16::instance();
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<GF16::Elem>(rng.uniform(65536));
+    const auto b = static_cast<GF16::Elem>(rng.uniform(65536));
+    const auto c = static_cast<GF16::Elem>(rng.uniform(65536));
+    EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+    EXPECT_EQ(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+    // Distributivity over xor-addition.
+    EXPECT_EQ(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+  }
+}
+
+TEST(GF16, PowMatchesRepeatedMul) {
+  const auto& gf = GF16::instance();
+  const GF16::Elem a = 0x1234;
+  GF16::Elem acc = 1;
+  for (std::uint32_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(gf.pow(a, e), acc);
+    acc = gf.mul(acc, a);
+  }
+}
+
+TEST(GF16, GeneratorHasFullOrder) {
+  const auto& gf = GF16::instance();
+  // alpha^(2^16-1) == 1 and alpha^k != 1 for proper divisors of the order.
+  EXPECT_EQ(gf.alpha_pow(GF16::kGroupOrder), 1);
+  for (std::uint32_t d : {3u, 5u, 17u, 257u, 65535u / 3u, 65535u / 5u}) {
+    if (d < GF16::kGroupOrder) EXPECT_NE(gf.alpha_pow(d), 1) << d;
+  }
+}
+
+// ------------------------------------------------------------------- Matrix
+
+TEST(Matrix, IdentityMultiplication) {
+  const auto id = Matrix::identity(5);
+  auto m = Matrix::vandermonde(5, 5);
+  EXPECT_EQ(id.multiply(m), m);
+  EXPECT_EQ(m.multiply(id), m);
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  const auto m = Matrix::vandermonde(8, 8);
+  const auto inv = m.inverted();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(m.multiply(*inv), Matrix::identity(8));
+  EXPECT_EQ(inv->multiply(m), Matrix::identity(8));
+}
+
+TEST(Matrix, SingularDetected) {
+  Matrix m(3, 3);  // all zeros
+  EXPECT_FALSE(m.inverted().has_value());
+  // Two equal rows.
+  Matrix m2(2, 2);
+  m2.set(0, 0, 7);
+  m2.set(0, 1, 9);
+  m2.set(1, 0, 7);
+  m2.set(1, 1, 9);
+  EXPECT_FALSE(m2.inverted().has_value());
+}
+
+TEST(Matrix, VandermondeSubmatricesInvertible) {
+  // Any k rows of an n x k Vandermonde matrix over distinct points form an
+  // invertible matrix — the property behind "any k shards reconstruct".
+  const auto v = Matrix::vandermonde(12, 4);
+  util::Xoshiro256 rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rows32 = rng.sample_distinct(12, 4);
+    std::vector<std::uint32_t> rows(rows32.begin(), rows32.end());
+    EXPECT_TRUE(v.select_rows(rows).inverted().has_value());
+  }
+}
+
+// ------------------------------------------------------------- Reed-Solomon
+
+std::vector<std::vector<std::uint8_t>> random_shards(std::uint32_t k,
+                                                     std::size_t bytes,
+                                                     std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint8_t>> shards(k);
+  for (auto& s : shards) {
+    s.resize(bytes);
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform(256));
+  }
+  return shards;
+}
+
+TEST(ReedSolomon, SystematicEncodeDecodeAllPatterns) {
+  const std::uint32_t k = 4, n = 8;
+  const ReedSolomon rs(k, n);
+  const auto data = random_shards(k, 32, 7);
+  auto parity = rs.encode(data);
+  ASSERT_EQ(parity.size(), n - k);
+
+  std::vector<std::vector<std::uint8_t>> all = data;
+  for (const auto& p : parity) all.push_back(p);
+
+  // Every 4-of-8 subset must reconstruct the data (70 subsets).
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (std::popcount(mask) != static_cast<int>(k)) continue;
+    std::vector<std::vector<std::uint8_t>> shards;
+    std::vector<std::uint32_t> indices;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        shards.push_back(all[i]);
+        indices.push_back(i);
+      }
+    }
+    const auto decoded = rs.reconstruct_data(shards, indices);
+    ASSERT_TRUE(decoded.has_value()) << "mask=" << mask;
+    EXPECT_EQ(*decoded, data) << "mask=" << mask;
+  }
+}
+
+TEST(ReedSolomon, ReconstructAllRegeneratesParity) {
+  const ReedSolomon rs(3, 6);
+  const auto data = random_shards(3, 16, 9);
+  auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> all = data;
+  for (const auto& p : parity) all.push_back(p);
+
+  // Reconstruct from parity shards only.
+  const std::vector<std::vector<std::uint8_t>> shards{all[3], all[4], all[5]};
+  const std::vector<std::uint32_t> indices{3, 4, 5};
+  const auto full = rs.reconstruct_all(shards, indices);
+  ASSERT_TRUE(full.has_value());
+  ASSERT_EQ(full->size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) EXPECT_EQ((*full)[i], all[i]);
+}
+
+TEST(ReedSolomon, TooFewShardsFails) {
+  const ReedSolomon rs(4, 8);
+  const auto data = random_shards(4, 8, 11);
+  const std::vector<std::vector<std::uint8_t>> shards{data[0], data[1], data[2]};
+  const std::vector<std::uint32_t> indices{0, 1, 2};
+  EXPECT_FALSE(rs.reconstruct_data(shards, indices).has_value());
+}
+
+TEST(ReedSolomon, DuplicateIndicesIgnored) {
+  const ReedSolomon rs(2, 4);
+  const auto data = random_shards(2, 8, 13);
+  auto parity = rs.encode(data);
+  // Provide shard 0 twice plus shard 1: still k distinct -> succeeds.
+  const std::vector<std::vector<std::uint8_t>> shards{data[0], data[0], data[1]};
+  const std::vector<std::uint32_t> indices{0, 0, 1};
+  const auto decoded = rs.reconstruct_data(shards, indices);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+  // Duplicates only: fewer than k distinct -> fails.
+  const std::vector<std::vector<std::uint8_t>> dup{data[0], data[0]};
+  const std::vector<std::uint32_t> dup_idx{0, 0};
+  EXPECT_FALSE(rs.reconstruct_data(dup, dup_idx).has_value());
+}
+
+TEST(ReedSolomon, InvalidParamsThrow) {
+  EXPECT_THROW(ReedSolomon(0, 4), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(5, 4), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(1, 70000), std::invalid_argument);
+}
+
+TEST(ReedSolomon, OddShardSizeRejected) {
+  const ReedSolomon rs(2, 4);
+  std::vector<std::vector<std::uint8_t>> data(2, std::vector<std::uint8_t>(3));
+  EXPECT_THROW(rs.encode(data), std::invalid_argument);
+}
+
+TEST(ReedSolomon, DanksharkingLineParameters) {
+  // The production (k=256, n=512) codec: spot-check one erasure pattern at a
+  // small shard size to keep the test fast.
+  const ReedSolomon rs(256, 512);
+  const auto data = random_shards(256, 2, 17);
+  auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> all = data;
+  for (auto& p : parity) all.push_back(std::move(p));
+
+  // Take the *last* 256 shards (all parity): hardest pattern.
+  std::vector<std::vector<std::uint8_t>> shards(all.begin() + 256, all.end());
+  std::vector<std::uint32_t> indices(256);
+  std::iota(indices.begin(), indices.end(), 256);
+  const auto decoded = rs.reconstruct_data(shards, indices);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+// ------------------------------------------------------------ ExtendedBlob
+
+BlobConfig small_cfg() {
+  BlobConfig cfg;
+  cfg.k = 4;
+  cfg.n = 8;
+  cfg.cell_bytes = 16;
+  return cfg;
+}
+
+std::vector<std::uint8_t> pattern_data(std::size_t size) {
+  std::vector<std::uint8_t> out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  return out;
+}
+
+TEST(ExtendedBlob, RoundTripOriginalData) {
+  const auto cfg = small_cfg();
+  const auto data = pattern_data(cfg.original_bytes());
+  const auto blob = ExtendedBlob::encode(cfg, data);
+  EXPECT_EQ(blob.original_data(), data);
+}
+
+TEST(ExtendedBlob, ShortInputZeroPadded) {
+  const auto cfg = small_cfg();
+  const auto data = pattern_data(10);
+  const auto blob = ExtendedBlob::encode(cfg, data);
+  const auto out = blob.original_data();
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), out.begin()));
+  for (std::size_t i = data.size(); i < out.size(); ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(ExtendedBlob, EveryRowIsACodeword) {
+  const auto cfg = small_cfg();
+  const auto blob = ExtendedBlob::encode(cfg, pattern_data(cfg.original_bytes()));
+  const ReedSolomon rs(cfg.k, cfg.n);
+  for (std::uint32_t r = 0; r < cfg.n; ++r) {
+    std::vector<std::vector<std::uint8_t>> first_k;
+    for (std::uint32_t c = 0; c < cfg.k; ++c) first_k.push_back(blob.cell(r, c));
+    const auto parity = rs.encode(first_k);
+    for (std::uint32_t p = 0; p < cfg.n - cfg.k; ++p) {
+      EXPECT_EQ(parity[p], blob.cell(r, cfg.k + p)) << "row " << r;
+    }
+  }
+}
+
+TEST(ExtendedBlob, EveryColumnIsACodeword) {
+  const auto cfg = small_cfg();
+  const auto blob = ExtendedBlob::encode(cfg, pattern_data(cfg.original_bytes()));
+  const ReedSolomon rs(cfg.k, cfg.n);
+  for (std::uint32_t c = 0; c < cfg.n; ++c) {
+    std::vector<std::vector<std::uint8_t>> first_k;
+    for (std::uint32_t r = 0; r < cfg.k; ++r) first_k.push_back(blob.cell(r, c));
+    const auto parity = rs.encode(first_k);
+    for (std::uint32_t p = 0; p < cfg.n - cfg.k; ++p) {
+      EXPECT_EQ(parity[p], blob.cell(cfg.k + p, c)) << "col " << c;
+    }
+  }
+}
+
+TEST(ExtendedBlob, LineReconstructionFromAnyHalf) {
+  const auto cfg = small_cfg();
+  const auto blob = ExtendedBlob::encode(cfg, pattern_data(cfg.original_bytes()));
+  util::Xoshiro256 rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint16_t row = static_cast<std::uint16_t>(rng.uniform(cfg.n));
+    const auto picks = rng.sample_distinct(cfg.n, cfg.k);
+    std::vector<std::vector<std::uint8_t>> cells;
+    std::vector<std::uint32_t> indices;
+    for (const auto c : picks) {
+      cells.push_back(blob.cell(row, c));
+      indices.push_back(c);
+    }
+    const auto line = ExtendedBlob::reconstruct_line(cfg, cells, indices);
+    ASSERT_TRUE(line.has_value());
+    for (std::uint32_t c = 0; c < cfg.n; ++c) {
+      EXPECT_EQ((*line)[c], blob.cell(row, c));
+    }
+  }
+}
+
+TEST(ExtendedBlob, CellProofsVerify) {
+  const auto cfg = small_cfg();
+  const auto blob = ExtendedBlob::encode(cfg, pattern_data(cfg.original_bytes()));
+  for (std::uint32_t r = 0; r < cfg.n; r += 3) {
+    for (std::uint32_t c = 0; c < cfg.n; c += 3) {
+      const auto proof = blob.cell_proof(r, c);
+      EXPECT_TRUE(blob.verify_cell(r, c, blob.cell(r, c), proof));
+      // Wrong payload fails.
+      auto bad = blob.cell(r, c);
+      bad[0] ^= 0xff;
+      EXPECT_FALSE(blob.verify_cell(r, c, bad, proof));
+    }
+  }
+}
+
+TEST(ExtendedBlob, WireSizesMatchPaper) {
+  const auto cfg = BlobConfig::danksharding();
+  EXPECT_EQ(cfg.original_bytes(), 32u * 1024 * 1024);  // 32 MB (paper §3)
+  EXPECT_EQ(cfg.cell_wire_bytes(), 560u);              // 512 + 48
+  // "the extended blob is (512 x 512) x (512 + 48) = 140 MB"
+  EXPECT_EQ(cfg.extended_wire_bytes(), 512ull * 512 * 560);
+  EXPECT_NEAR(static_cast<double>(cfg.extended_wire_bytes()) / 1e6, 146.8, 0.1);
+}
+
+TEST(ExtendedBlob, MinimalReconstructableProperty) {
+  // Fig 3-left: half the cells of k distinct rows enable full
+  // reconstruction (first reconstruct those rows, then every column has k
+  // cells, then remaining rows).
+  const auto cfg = small_cfg();
+  const auto blob = ExtendedBlob::encode(cfg, pattern_data(cfg.original_bytes()));
+  const ReedSolomon rs(cfg.k, cfg.n);
+
+  // Keep only cells (r, c) with r < k and c < k (the original quadrant).
+  // Step 1: rows 0..k-1 each have k cells -> reconstruct them fully.
+  std::vector<std::vector<std::vector<std::uint8_t>>> rows(cfg.n);
+  for (std::uint32_t r = 0; r < cfg.k; ++r) {
+    std::vector<std::vector<std::uint8_t>> cells;
+    std::vector<std::uint32_t> indices;
+    for (std::uint32_t c = 0; c < cfg.k; ++c) {
+      cells.push_back(blob.cell(r, c));
+      indices.push_back(c);
+    }
+    auto full = rs.reconstruct_all(cells, indices);
+    ASSERT_TRUE(full.has_value());
+    rows[r] = std::move(*full);
+  }
+  // Step 2: every column now has k cells -> reconstruct column bottoms.
+  for (std::uint32_t c = 0; c < cfg.n; ++c) {
+    std::vector<std::vector<std::uint8_t>> cells;
+    std::vector<std::uint32_t> indices;
+    for (std::uint32_t r = 0; r < cfg.k; ++r) {
+      cells.push_back(rows[r][c]);
+      indices.push_back(r);
+    }
+    const auto full = rs.reconstruct_all(cells, indices);
+    ASSERT_TRUE(full.has_value());
+    for (std::uint32_t r = 0; r < cfg.n; ++r) {
+      EXPECT_EQ((*full)[r], blob.cell(r, c)) << "cell " << r << "," << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pandas::erasure

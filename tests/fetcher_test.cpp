@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/fetcher.h"
+
+namespace pandas::core {
+namespace {
+
+/// Small deterministic world for fetcher unit tests: 6 nodes, 8x8 matrix
+/// (k=4), explicit assignments.
+struct World {
+  ProtocolParams params;
+  std::vector<AssignedLines> assignments;
+  std::unique_ptr<AssignmentTable> table;
+  sim::Engine engine{1};
+  View view;
+
+  World() {
+    params.matrix_k = 4;
+    params.matrix_n = 8;
+    params.rows_per_node = 1;
+    params.cols_per_node = 1;
+    params.candidates_per_line = 0;  // exhaustive for tests
+
+    // node 0: row 0 / col 0; node 1: row 0 / col 1; node 2: row 1 / col 0;
+    // node 3: row 1 / col 1; node 4: row 2 / col 2; node 5: row 3 / col 3.
+    assignments.resize(6);
+    auto set = [&](std::size_t i, std::uint16_t r, std::uint16_t c) {
+      assignments[i].rows = {r};
+      assignments[i].cols = {c};
+    };
+    set(0, 0, 0);
+    set(1, 0, 1);
+    set(2, 1, 0);
+    set(3, 1, 1);
+    set(4, 2, 2);
+    set(5, 3, 3);
+    table = std::make_unique<AssignmentTable>(params, assignments);
+    view = View::full(6);
+  }
+
+  std::shared_ptr<AdaptiveFetcher> make_fetcher(net::NodeIndex self) {
+    return std::make_shared<AdaptiveFetcher>(engine, params, *table, &view,
+                                             self, engine.rng_stream(self));
+  }
+};
+
+using Queries = std::map<net::NodeIndex, std::vector<net::CellId>>;
+
+AdaptiveFetcher::SendQueryFn collect(Queries& out) {
+  return [&out](net::NodeIndex target, std::vector<net::CellId> cells) {
+    auto& v = out[target];
+    v.insert(v.end(), cells.begin(), cells.end());
+  };
+}
+
+TEST(Fetcher, EmptyNeedIsImmediatelyComplete) {
+  World w;
+  auto f = w.make_fetcher(0);
+  Queries q;
+  f->start({}, {}, collect(q));
+  EXPECT_TRUE(f->complete());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(f->rounds_used(), 0u);
+}
+
+TEST(Fetcher, QueriesOnlyAssignedNodes) {
+  World w;
+  auto f = w.make_fetcher(0);  // self = node 0
+  // Want cell (1, 5): row 1 -> nodes 2, 3; col 5 -> nobody.
+  const std::vector<net::CellId> needed{{1, 5}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  ASSERT_FALSE(q.empty());
+  for (const auto& [node, cells] : q) {
+    EXPECT_TRUE(node == 2 || node == 3) << "queried node " << node;
+    for (const auto c : cells) EXPECT_EQ(c, (net::CellId{1, 5}));
+  }
+}
+
+TEST(Fetcher, NeverQueriesSelfOrOutOfView) {
+  World w;
+  w.view = View::full(6);
+  auto f = w.make_fetcher(2);  // node 2 is assigned row 1
+  const std::vector<net::CellId> needed{{1, 5}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  EXPECT_EQ(q.count(2), 0u) << "must not query itself";
+
+  // Restrict the view to exclude node 3: only... nobody left for row 1.
+  World w2;
+  util::Xoshiro256 vrng(5);
+  // Build a view containing only nodes {0, 1, 2} (excludes 3).
+  w2.view = View::random_subset(6, 0.0, vrng, 0);
+  auto f2 = w2.make_fetcher(0);
+  Queries q2;
+  f2->start(needed, {}, collect(q2));
+  EXPECT_TRUE(q2.empty()) << "no eligible candidate in view";
+  EXPECT_FALSE(f2->complete());
+}
+
+TEST(Fetcher, EachNodeQueriedOncePerCycle) {
+  World w;
+  auto f = w.make_fetcher(0);
+  const std::vector<net::CellId> needed{{1, 5}, {1, 6}};
+  std::map<net::NodeIndex, int> messages;
+  f->start(needed, {},
+           [&](net::NodeIndex target, std::vector<net::CellId>) {
+             messages[target] += 1;
+           });
+  // Within the first fetch cycle (before the 2-node candidate pool is
+  // exhausted) nobody is queried twice.
+  w.engine.run_until(500 * sim::kMillisecond);
+  for (const auto& [node, count] : messages) {
+    EXPECT_EQ(count, 1) << "node " << node << " queried twice in one cycle";
+  }
+  // With no replies ever arriving, the fetcher starts fresh cycles rather
+  // than stalling (lagging nodes re-fetch within the slot, §8.2) — but each
+  // cycle still queries a node at most once.
+  messages.clear();
+  w.engine.run_until(10 * sim::kSecond);
+  int max_count = 0;
+  for (const auto& [node, count] : messages) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 0) << "re-query cycles should continue";
+  EXPECT_FALSE(f->complete());
+}
+
+TEST(Fetcher, RedundancyGrowsAcrossRounds) {
+  World w;
+  auto f = w.make_fetcher(0);
+  const std::vector<net::CellId> needed{{1, 5}};  // servable by nodes 2 and 3
+  Queries q;
+  f->start(needed, {}, collect(q));
+  EXPECT_EQ(q.size(), 1u);  // round 1: k=1 -> one node
+  w.engine.run_until(sim::kSecond);
+  // Round 2 wants cumulative coverage 2 -> the second node gets queried too.
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Fetcher, ObtainedCellsLeaveF) {
+  World w;
+  auto f = w.make_fetcher(0);
+  const std::vector<net::CellId> needed{{1, 5}, {2, 2}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  EXPECT_EQ(f->outstanding(), 2u);
+  const std::vector<net::CellId> got{{1, 5}};
+  f->on_cells_obtained(got);
+  EXPECT_EQ(f->outstanding(), 1u);
+  f->on_cells_obtained(got);  // idempotent
+  EXPECT_EQ(f->outstanding(), 1u);
+  const std::vector<net::CellId> got2{{2, 2}};
+  f->on_cells_obtained(got2);
+  EXPECT_TRUE(f->complete());
+  EXPECT_EQ(f->initial_outstanding(), 2u);
+}
+
+TEST(Fetcher, StopsWhenComplete) {
+  World w;
+  auto f = w.make_fetcher(0);
+  const std::vector<net::CellId> needed{{1, 5}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  const std::vector<net::CellId> got{{1, 5}};
+  f->on_cells_obtained(got);
+  w.engine.run_until(5 * sim::kSecond);
+  EXPECT_TRUE(f->complete());
+  // No further queries after completion.
+  EXPECT_LE(q.size(), 1u);
+  EXPECT_LE(f->rounds_used(), 2u);
+}
+
+TEST(Fetcher, BoostedCandidatePreferredAndAskedSeededCells) {
+  World w;
+  // Node 0 fetches its row 0 cells; boost says node 1 was seeded cells
+  // (0,2) and (0,3).
+  auto lb = std::make_shared<net::LineBoost>();
+  lb->line = net::LineRef::row(0);
+  lb->entries = {{1, 2}, {1, 3}};
+  lb->finalize();
+  net::BoostMap boost{lb};
+
+  auto f = w.make_fetcher(0);
+  const std::vector<net::CellId> needed{{0, 2}, {0, 3}};
+  Queries q;
+  f->start(needed, boost, collect(q));
+  // k=1: both cells should be planned on the boosted node 1, nothing else.
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.begin()->first, 1u);
+  EXPECT_EQ(q.begin()->second.size(), 2u);
+}
+
+TEST(Fetcher, RoundStatsAttribution) {
+  World w;
+  auto f = w.make_fetcher(0);
+  const std::vector<net::CellId> needed{{1, 5}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  ASSERT_EQ(q.size(), 1u);
+  const auto target = q.begin()->first;
+
+  // Reply arrives within the 400 ms round-1 window.
+  w.engine.schedule_at(100 * sim::kMillisecond, [&] {
+    const std::vector<net::CellId> got{{1, 5}};
+    f->on_cells_obtained(got);
+    f->on_reply(target, 1, 0, 0);
+  });
+  w.engine.run_until(2 * sim::kSecond);
+  const auto& stats = f->round_stats();
+  ASSERT_GE(stats.size(), 1u);
+  EXPECT_EQ(stats[0].messages_sent, 1u);
+  EXPECT_EQ(stats[0].cells_requested, 1u);
+  EXPECT_EQ(stats[0].replies_in_round, 1u);
+  EXPECT_EQ(stats[0].cells_in_round, 1u);
+  EXPECT_EQ(stats[0].replies_after_round, 0u);
+}
+
+TEST(Fetcher, LateReplyAttributedAfterRound) {
+  World w;
+  auto f = w.make_fetcher(0);
+  const std::vector<net::CellId> needed{{1, 5}, {2, 2}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  std::vector<net::NodeIndex> round1_targets;
+  for (const auto& [node, cells] : q) round1_targets.push_back(node);
+
+  // Reply from a round-1 target lands 500 ms later (past the 400 ms round-1
+  // window but before the candidate pool exhausts and a new cycle begins).
+  w.engine.schedule_at(500 * sim::kMillisecond, [&] {
+    const std::vector<net::CellId> got{{1, 5}};
+    f->on_cells_obtained(got);
+    f->on_reply(round1_targets.front(), 1, 0, 0);
+  });
+  w.engine.run_until(600 * sim::kMillisecond);
+  const auto& stats = f->round_stats();
+  ASSERT_GE(stats.size(), 1u);
+  EXPECT_EQ(stats[0].replies_after_round, 1u);
+  EXPECT_EQ(stats[0].cells_after_round, 1u);
+}
+
+TEST(Fetcher, MaxRoundsBoundsEffort) {
+  World w;
+  w.params.max_rounds = 3;
+  w.table = std::make_unique<AssignmentTable>(w.params, w.assignments);
+  auto f = std::make_shared<AdaptiveFetcher>(w.engine, w.params, *w.table,
+                                             &w.view, 0, w.engine.rng_stream(9));
+  const std::vector<net::CellId> needed{{7, 7}};  // nobody assigned
+  Queries q;
+  f->start(needed, {}, collect(q));
+  w.engine.run_until(30 * sim::kSecond);
+  EXPECT_LE(f->rounds_used(), 3u);
+  EXPECT_FALSE(f->complete());
+}
+
+TEST(Fetcher, UnsolicitedReplyIgnored) {
+  World w;
+  auto f = w.make_fetcher(0);
+  const std::vector<net::CellId> needed{{1, 5}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  f->on_reply(/*from=*/5, 3, 1, 0);  // node 5 was never queried
+  const auto& stats = f->round_stats();
+  ASSERT_GE(stats.size(), 1u);
+  EXPECT_EQ(stats[0].replies_in_round + stats[0].replies_after_round, 0u);
+}
+
+}  // namespace
+}  // namespace pandas::core

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gossip/gossipsub.h"
+#include "net/sim_transport.h"
+
+namespace pandas::gossip {
+namespace {
+
+struct Net {
+  sim::Engine engine{3};
+  sim::Topology topology;
+  std::unique_ptr<net::SimTransport> transport;
+  std::vector<std::unique_ptr<GossipSubNode>> nodes;
+  std::vector<std::vector<std::uint64_t>> delivered;  // per node: msg ids
+
+  explicit Net(std::uint32_t n, double loss = 0.0, GossipSubConfig cfg = {}) {
+    sim::TopologyConfig tc;
+    tc.vertices = 200;
+    topology = sim::Topology::generate(tc, 7);
+    net::SimTransportConfig tcfg;
+    tcfg.loss_rate = loss;
+    transport = std::make_unique<net::SimTransport>(engine, topology, tcfg);
+    delivered.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      transport->add_node(i % topology.vertex_count());
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      nodes.push_back(
+          std::make_unique<GossipSubNode>(engine, *transport, i, cfg));
+      nodes[i]->set_delivery_callback(
+          [this, i](net::NodeIndex, const net::GossipDataMsg& msg) {
+            delivered[i].push_back(msg.msg_id);
+          });
+      transport->set_handler(i, [this, i](net::NodeIndex from, net::Message&& m) {
+        nodes[i]->handle(from, m);
+      });
+    }
+  }
+
+  /// Everyone knows everyone on the topic; subscribe all; warm up.
+  void wire_full(std::uint64_t topic) {
+    const auto n = nodes.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j) nodes[i]->add_topic_peer(topic, static_cast<net::NodeIndex>(j));
+      }
+    }
+    for (auto& node : nodes) {
+      node->subscribe(topic);
+      node->start_heartbeat();
+    }
+    engine.run_until(engine.now() + 3 * sim::kSecond);
+  }
+};
+
+TEST(GossipSub, FloodReachesAllSubscribers) {
+  Net net(30);
+  net.wire_full(1);
+  net::GossipDataMsg msg;
+  msg.topic = 1;
+  msg.msg_id = 99;
+  msg.extra_bytes = 1000;
+  net.nodes[0]->publish(msg);
+  net.engine.run_until(net.engine.now() + 5 * sim::kSecond);
+  int reached = 0;
+  for (std::size_t i = 1; i < net.nodes.size(); ++i) {
+    if (!net.delivered[i].empty()) ++reached;
+  }
+  EXPECT_EQ(reached, 29);
+}
+
+TEST(GossipSub, NoDuplicateDeliveries) {
+  Net net(20);
+  net.wire_full(1);
+  net::GossipDataMsg msg;
+  msg.topic = 1;
+  msg.msg_id = 7;
+  net.nodes[0]->publish(msg);
+  net.engine.run_until(net.engine.now() + 5 * sim::kSecond);
+  for (const auto& d : net.delivered) {
+    EXPECT_LE(d.size(), 1u);
+  }
+}
+
+TEST(GossipSub, MeshRespectsDegreeBounds) {
+  GossipSubConfig cfg;
+  Net net(40, 0.0, cfg);
+  net.wire_full(2);
+  // After warm-up, every mesh within [0, D_high]; subscribers aim for D.
+  for (const auto& node : net.nodes) {
+    EXPECT_LE(node->mesh(2).size(), cfg.mesh_high);
+    EXPECT_GE(node->mesh(2).size(), 1u);
+  }
+}
+
+TEST(GossipSub, LazyGossipRecoversFromLoss) {
+  // With heavy loss, eager push misses some nodes; IHAVE/IWANT on the
+  // heartbeat recovers them.
+  Net net(25, 0.25);
+  net.wire_full(3);
+  net::GossipDataMsg msg;
+  msg.topic = 3;
+  msg.msg_id = 5;
+  net.nodes[0]->publish(msg);
+  net.engine.run_until(net.engine.now() + 10 * sim::kSecond);
+  int reached = 0;
+  for (std::size_t i = 1; i < net.nodes.size(); ++i) {
+    if (!net.delivered[i].empty()) ++reached;
+  }
+  EXPECT_GE(reached, 22);
+}
+
+TEST(GossipSub, NonSubscriberFanoutPublish) {
+  Net net(10);
+  // Nodes 1..9 subscribe; node 0 only knows the peers (builder-style).
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 1; j < 10; ++j) {
+      if (i != j) net.nodes[i]->add_topic_peer(4, static_cast<net::NodeIndex>(j));
+    }
+  }
+  for (std::size_t i = 1; i < 10; ++i) {
+    net.nodes[i]->subscribe(4);
+    net.nodes[i]->start_heartbeat();
+  }
+  net.engine.run_until(net.engine.now() + 3 * sim::kSecond);
+  net::GossipDataMsg msg;
+  msg.topic = 4;
+  msg.msg_id = 11;
+  net.nodes[0]->publish(msg);
+  net.engine.run_until(net.engine.now() + 5 * sim::kSecond);
+  int reached = 0;
+  for (std::size_t i = 1; i < 10; ++i) {
+    if (!net.delivered[i].empty()) ++reached;
+  }
+  EXPECT_EQ(reached, 9);
+}
+
+TEST(GossipSub, HopCountIncreases) {
+  Net net(30);
+  net.wire_full(6);
+  std::uint32_t max_hops = 0;
+  for (auto& node : net.nodes) {
+    node->set_delivery_callback(
+        [&max_hops](net::NodeIndex, const net::GossipDataMsg& m) {
+          max_hops = std::max(max_hops, m.hops);
+        });
+  }
+  net::GossipDataMsg msg;
+  msg.topic = 6;
+  msg.msg_id = 12;
+  net.nodes[0]->publish(msg);
+  net.engine.run_until(net.engine.now() + 5 * sim::kSecond);
+  EXPECT_GE(max_hops, 1u);
+  EXPECT_LE(max_hops, 10u);  // small-world: few hops for 30 nodes
+}
+
+TEST(GossipSub, GraftRejectedWhenMeshFull) {
+  GossipSubConfig cfg;
+  cfg.mesh_degree = 2;
+  cfg.mesh_low = 1;
+  cfg.mesh_high = 2;
+  Net net(8, 0.0, cfg);
+  net.wire_full(9);
+  for (const auto& node : net.nodes) {
+    EXPECT_LE(node->mesh(9).size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace pandas::gossip

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/node.h"
+#include "core/retrieval.h"
+#include "core/seeding.h"
+#include "net/sim_transport.h"
+
+namespace pandas::core {
+namespace {
+
+/// Layer-2 retrieval against a live PANDAS network: after a slot completes,
+/// a client can pull any line from custodial nodes.
+struct RetrievalNet {
+  ProtocolParams params;
+  sim::Engine engine{33};
+  sim::Topology topology;
+  std::unique_ptr<net::SimTransport> transport;
+  net::Directory directory;
+  std::unique_ptr<AssignmentTable> table;
+  View view;
+  std::vector<std::unique_ptr<PandasNode>> nodes;
+  net::NodeIndex client_index = 0;
+  std::shared_ptr<RetrievalClient> client;
+
+  explicit RetrievalNet(std::uint32_t n = 120)
+      : directory(net::Directory::create(n)) {
+    params.matrix_k = 32;
+    params.matrix_n = 64;
+    params.rows_per_node = 4;
+    params.cols_per_node = 4;
+    params.samples_per_node = 8;
+    sim::TopologyConfig tc;
+    tc.vertices = 300;
+    topology = sim::Topology::generate(tc, 17);
+    transport = std::make_unique<net::SimTransport>(engine, topology,
+                                                    net::SimTransportConfig{});
+    for (std::uint32_t i = 0; i < n; ++i) transport->add_node(i % 300);
+    table = std::make_unique<AssignmentTable>(params, directory, epoch_seed(4, 0));
+    view = View::full(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto node = std::make_unique<PandasNode>(engine, *transport, i, params);
+      node->configure_epoch(table.get());
+      node->set_view(&view);
+      nodes.push_back(std::move(node));
+      transport->set_handler(i, [this, i](net::NodeIndex from, net::Message&& m) {
+        nodes[i]->handle_message(from, m);
+      });
+    }
+    // The layer-2 client is an extra endpoint outside the node population.
+    client_index = transport->add_node(5);
+    client = std::make_shared<RetrievalClient>(engine, *transport, client_index,
+                                               params, *table, &view);
+    transport->set_handler(client_index,
+                           [this](net::NodeIndex from, net::Message&& m) {
+                             client->handle_message(from, m);
+                           });
+  }
+
+  /// Runs a complete slot so nodes custody their lines.
+  void run_slot(std::uint64_t slot) {
+    const auto builder_index = transport->add_node(0, 10e9, 10e9);
+    Builder builder(engine, *transport, builder_index, params);
+    for (auto& node : nodes) node->begin_slot(slot);
+    util::Xoshiro256 rng(7);
+    const auto plan =
+        plan_seeding(params, *table, view, SeedingPolicy::redundant(8), rng);
+    builder.seed(slot, *table, view, plan, rng);
+    engine.run_until(engine.now() + 6 * sim::kSecond);
+  }
+};
+
+TEST(Retrieval, FetchesARowFromCustodians) {
+  RetrievalNet net;
+  net.run_slot(1);
+
+  bool called = false, ok = false;
+  net.client->retrieve_line(1, net::LineRef::row(7),
+                            [&](net::LineRef, bool success) {
+                              called = true;
+                              ok = success;
+                            });
+  net.engine.run_until(net.engine.now() + 5 * sim::kSecond);
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(ok);
+  EXPECT_GE(net.client->collected(net::LineRef::row(7)), net.params.matrix_k);
+  EXPECT_TRUE(net.client->line_retrievable(net::LineRef::row(7)));
+}
+
+TEST(Retrieval, FetchesAColumnToo) {
+  RetrievalNet net;
+  net.run_slot(2);
+  bool ok = false;
+  net.client->retrieve_line(2, net::LineRef::col(30),
+                            [&](net::LineRef, bool success) { ok = success; });
+  net.engine.run_until(net.engine.now() + 5 * sim::kSecond);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Retrieval, FailsCleanlyWhenDataWithheld) {
+  RetrievalNet net;
+  // No slot is run: nodes hold nothing and there is nothing to retrieve.
+  for (auto& node : net.nodes) node->begin_slot(9);
+  bool called = false, ok = true;
+  net.client->retrieve_line(9, net::LineRef::row(3),
+                            [&](net::LineRef, bool success) {
+                              called = true;
+                              ok = success;
+                            },
+                            /*peers_per_round=*/4,
+                            /*deadline=*/2 * sim::kSecond);
+  net.engine.run_until(net.engine.now() + 13 * sim::kSecond);
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Retrieval, MultipleLinesConcurrently) {
+  RetrievalNet net;
+  net.run_slot(3);
+  int successes = 0;
+  for (std::uint16_t r = 0; r < 6; ++r) {
+    net.client->retrieve_line(3, net::LineRef::row(r),
+                              [&](net::LineRef, bool success) {
+                                if (success) ++successes;
+                              });
+  }
+  net.engine.run_until(net.engine.now() + 6 * sim::kSecond);
+  EXPECT_EQ(successes, 6);
+}
+
+}  // namespace
+}  // namespace pandas::core

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/seeding.h"
+
+namespace pandas::core {
+namespace {
+
+struct Fixture {
+  ProtocolParams params;
+  net::Directory directory;
+  std::unique_ptr<AssignmentTable> table;
+  View view;
+  util::Xoshiro256 rng{17};
+
+  explicit Fixture(std::uint32_t nodes = 400) : directory(net::Directory::create(nodes)) {
+    table = std::make_unique<AssignmentTable>(params, directory,
+                                              epoch_seed(21, 0));
+    view = View::full(nodes);
+  }
+
+  SeedPlan plan(const SeedingPolicy& policy) {
+    return plan_seeding(params, *table, view, policy, rng);
+  }
+};
+
+/// Cell copies dispatched, recomputed from the plan.
+std::uint64_t copies_in_plan(const SeedPlan& plan) {
+  std::uint64_t total = 0;
+  for (const auto& cells : plan.cells_per_node) total += cells.size();
+  return total;
+}
+
+/// Distinct cells dispatched.
+std::set<std::uint32_t> distinct_cells(const SeedPlan& plan) {
+  std::set<std::uint32_t> out;
+  for (const auto& cells : plan.cells_per_node) {
+    for (const auto c : cells) out.insert(c.packed());
+  }
+  return out;
+}
+
+TEST(Seeding, MinimalBudgetIsOriginalQuadrant) {
+  Fixture f;
+  const auto plan = f.plan(SeedingPolicy::minimal());
+  // 256 x 256 cells, one copy each = ~36.7 MB of cell data (paper §6.1).
+  EXPECT_EQ(plan.total_cell_copies, 256u * 256u);
+  EXPECT_EQ(copies_in_plan(plan), 256u * 256u);
+  for (const auto packed : distinct_cells(plan)) {
+    const auto cell = net::CellId::unpack(packed);
+    EXPECT_LT(cell.row, 256);
+    EXPECT_LT(cell.col, 256);
+  }
+  EXPECT_NEAR(plan.total_cell_copies * 560.0 / 1e6, 36.7, 0.1);
+}
+
+TEST(Seeding, SingleBudgetIsExtendedBlobOnce) {
+  Fixture f;
+  const auto plan = f.plan(SeedingPolicy::single());
+  // Every extended cell once: 512*512 cells = 140 MB of wire data. A line
+  // whose assigned-node set happens to be empty at this network size keeps
+  // its cells withheld (they are recovered via the crossing axis), so allow
+  // a sub-percent shortfall.
+  EXPECT_GE(plan.total_cell_copies, 512u * 512u * 99 / 100);
+  EXPECT_LE(plan.total_cell_copies, 512u * 512u);
+  EXPECT_EQ(distinct_cells(plan).size(), plan.total_cell_copies);
+  EXPECT_NEAR(plan.total_cell_copies * 560.0 / 1e6, 146.8, 1.5);
+}
+
+TEST(Seeding, RedundantBudgetIsRTimesBlob) {
+  Fixture f;
+  const auto plan = f.plan(SeedingPolicy::redundant(8));
+  // ~8 copies of every cell = ~1,120 MB (paper: 1.09 GB). Parcel-level
+  // replica collisions can shave a copy occasionally.
+  EXPECT_GT(plan.total_cell_copies, 512ull * 512 * 7);
+  EXPECT_LE(plan.total_cell_copies, 512ull * 512 * 8);
+  EXPECT_GE(distinct_cells(plan).size(), 512u * 512u * 99 / 100);
+}
+
+TEST(Seeding, CellsOnlyGoToAssignedNodes) {
+  Fixture f(300);
+  const auto plan = f.plan(SeedingPolicy::redundant(4));
+  for (net::NodeIndex node = 0; node < 300; ++node) {
+    for (const auto cell : plan.cells_per_node[node]) {
+      const bool in_lines = f.table->node_has_row(node, cell.row) ||
+                            f.table->node_has_col(node, cell.col);
+      EXPECT_TRUE(in_lines) << "node " << node << " got cell outside custody";
+    }
+  }
+}
+
+TEST(Seeding, BoostEntriesMatchDispatch) {
+  Fixture f(300);
+  const auto plan = f.plan(SeedingPolicy::redundant(4));
+  // Every boost entry must correspond to a cell actually dispatched to that
+  // node.
+  std::vector<std::set<std::uint32_t>> node_cells(300);
+  for (net::NodeIndex n = 0; n < 300; ++n) {
+    for (const auto c : plan.cells_per_node[n]) node_cells[n].insert(c.packed());
+  }
+  for (std::uint16_t r = 0; r < f.params.matrix_n; ++r) {
+    const auto& lb = plan.row_boost[r];
+    if (!lb) continue;
+    EXPECT_EQ(lb->line, net::LineRef::row(r));
+    for (const auto& [node, pos] : lb->entries) {
+      EXPECT_TRUE(node_cells[node].count(net::CellId{r, pos}.packed()))
+          << "row boost entry not dispatched";
+    }
+    EXPECT_TRUE(std::is_sorted(lb->entries.begin(), lb->entries.end()));
+    EXPECT_GT(lb->wire_runs, 0u);
+  }
+  for (std::uint16_t c = 0; c < f.params.matrix_n; ++c) {
+    const auto& lb = plan.col_boost[c];
+    if (!lb) continue;
+    for (const auto& [node, pos] : lb->entries) {
+      EXPECT_TRUE(node_cells[node].count(net::CellId{pos, c}.packed()))
+          << "col boost entry not dispatched";
+    }
+  }
+}
+
+TEST(Seeding, BoostForCollectsNodeLines) {
+  Fixture f(300);
+  const auto plan = f.plan(SeedingPolicy::redundant(8));
+  const auto& lines = f.table->of(7);
+  const auto boost = plan.boost_for(lines);
+  // Redundant seeds both axes, so every line of the node has a boost.
+  EXPECT_EQ(boost.size(), lines.rows.size() + lines.cols.size());
+  for (const auto& lb : boost) {
+    ASSERT_TRUE(lb != nullptr);
+    EXPECT_TRUE(lines.has_line(lb->line));
+  }
+}
+
+TEST(Seeding, BoostDisabled) {
+  Fixture f(200);
+  auto policy = SeedingPolicy::redundant(8);
+  policy.boost_enabled = false;
+  const auto plan = f.plan(policy);
+  EXPECT_TRUE(plan.boost_for(f.table->of(0)).empty());
+}
+
+TEST(Seeding, BoostEntryCapRespected) {
+  Fixture f(300);
+  auto policy = SeedingPolicy::redundant(8);
+  policy.boost_entries_per_line = 100;
+  const auto plan = f.plan(policy);
+  for (const auto& lb : plan.row_boost) {
+    if (lb) EXPECT_LE(lb->entries.size(), 100u);
+  }
+}
+
+TEST(Seeding, ReplicasSpreadAcrossNodes) {
+  Fixture f(300);
+  const auto plan = f.plan(SeedingPolicy::redundant(8));
+  // A node can legitimately receive the same cell via its row and via its
+  // column (dual-axis dispatch), but never more than twice; and the copies
+  // of a cell must collectively reach several distinct nodes.
+  std::map<std::uint32_t, std::map<net::NodeIndex, int>> holders;
+  for (net::NodeIndex n = 0; n < 300; ++n) {
+    for (const auto c : plan.cells_per_node[n]) {
+      const int dupes = ++holders[c.packed()][n];
+      EXPECT_LE(dupes, 2) << "node " << n << " received a cell 3+ times";
+    }
+  }
+  double total = 0;
+  for (const auto& [cell, nodes] : holders) total += nodes.size();
+  // ~8 copies per cell spread over >= 6 distinct nodes on average.
+  EXPECT_GT(total / holders.size(), 6.0);
+}
+
+TEST(Seeding, RestrictedViewSkipsUnknownNodes) {
+  Fixture f(300);
+  util::Xoshiro256 vrng(3);
+  const auto partial = View::random_subset(300, 0.5, vrng);
+  const auto plan = plan_seeding(f.params, *f.table, partial,
+                                 SeedingPolicy::single(), f.rng);
+  for (net::NodeIndex n = 0; n < 300; ++n) {
+    if (!partial.contains(n)) {
+      EXPECT_TRUE(plan.cells_per_node[n].empty())
+          << "unknown node " << n << " was seeded";
+    }
+  }
+  // With ~150 known nodes (~2.3 per line) a noticeable share of rows has no
+  // known member; their cells stay withheld. Most cells still go out.
+  EXPECT_GE(distinct_cells(plan).size(), 512u * 512u * 80 / 100);
+}
+
+TEST(Seeding, DeterministicGivenRngState) {
+  Fixture a(200), b(200);
+  const auto pa = a.plan(SeedingPolicy::redundant(8));
+  const auto pb = b.plan(SeedingPolicy::redundant(8));
+  EXPECT_EQ(pa.total_cell_copies, pb.total_cell_copies);
+  for (net::NodeIndex n = 0; n < 200; ++n) {
+    EXPECT_EQ(pa.cells_per_node[n], pb.cells_per_node[n]);
+  }
+}
+
+}  // namespace
+}  // namespace pandas::core

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/topology.h"
+
+namespace pandas::sim {
+namespace {
+
+// ------------------------------------------------------------------- Engine
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, FifoForEqualTimes) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5, [&, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine engine;
+  Time seen = -1;
+  engine.schedule_at(123, [&] { seen = engine.now(); });
+  engine.run();
+  EXPECT_EQ(seen, 123);
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(10, [&] { ++fired; });
+  engine.schedule_at(100, [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), 50);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_until(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine engine;
+  std::vector<Time> times;
+  engine.schedule_at(10, [&] {
+    times.push_back(engine.now());
+    engine.schedule_in(5, [&] { times.push_back(engine.now()); });
+  });
+  engine.run();
+  EXPECT_EQ(times, (std::vector<Time>{10, 15}));
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine engine;
+  engine.schedule_at(10, [] {});
+  engine.run();
+  EXPECT_EQ(engine.now(), 10);
+  EXPECT_THROW(engine.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(Engine, RngStreamsIndependentAndDeterministic) {
+  Engine a(7), b(7);
+  auto s1 = a.rng_stream(1);
+  auto s1b = b.rng_stream(1);
+  auto s2 = a.rng_stream(2);
+  EXPECT_EQ(s1(), s1b());
+  EXPECT_NE(s1(), s2());
+}
+
+TEST(Engine, ClearDropsPending) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(10, [&] { ++fired; });
+  engine.clear();
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+// ----------------------------------------------------------------- Topology
+
+TopologyConfig small_topology() {
+  TopologyConfig cfg;
+  cfg.vertices = 2000;
+  return cfg;
+}
+
+TEST(Topology, Deterministic) {
+  const auto a = Topology::generate(small_topology(), 1);
+  const auto b = Topology::generate(small_topology(), 1);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.rtt_ms(i, i + 1), b.rtt_ms(i, i + 1));
+  }
+}
+
+TEST(Topology, RttSymmetricAndClamped) {
+  const auto topo = Topology::generate(small_topology(), 2);
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<std::uint32_t>(rng.uniform(topo.vertex_count()));
+    const auto v = static_cast<std::uint32_t>(rng.uniform(topo.vertex_count()));
+    const double rtt = topo.rtt_ms(u, v);
+    EXPECT_DOUBLE_EQ(rtt, topo.rtt_ms(v, u));
+    EXPECT_GE(rtt, 8.0);
+    EXPECT_LE(rtt, 438.0);
+  }
+}
+
+TEST(Topology, MatchesTraceStatistics) {
+  // Calibration against the IPFS trace the paper replays: RTT in [8, 438] ms
+  // with mean ~64 ms (see DESIGN.md substitution table). We accept a band
+  // around the trace's mean.
+  TopologyConfig cfg;
+  cfg.vertices = 4000;
+  const auto topo = Topology::generate(cfg, 42);
+  util::Xoshiro256 rng(4);
+  double sum = 0, mn = 1e9, mx = 0;
+  const int pairs = 20000;
+  for (int i = 0; i < pairs; ++i) {
+    std::uint32_t u = static_cast<std::uint32_t>(rng.uniform(cfg.vertices));
+    std::uint32_t v = static_cast<std::uint32_t>(rng.uniform(cfg.vertices));
+    if (u == v) continue;
+    const double rtt = topo.rtt_ms(u, v);
+    sum += rtt;
+    mn = std::min(mn, rtt);
+    mx = std::max(mx, rtt);
+  }
+  const double mean = sum / pairs;
+  EXPECT_GT(mean, 45.0);
+  EXPECT_LT(mean, 85.0);
+  EXPECT_LE(mn, 15.0);   // well-connected core exists
+  EXPECT_GE(mx, 250.0);  // long tail exists
+}
+
+TEST(Topology, OwdIsHalfRtt) {
+  const auto topo = Topology::generate(small_topology(), 5);
+  EXPECT_EQ(topo.owd(1, 2), from_ms(topo.rtt_ms(1, 2) * 0.5));
+}
+
+TEST(Topology, BestVerticesAreBetterThanAverage) {
+  const auto topo = Topology::generate(small_topology(), 6);
+  const auto best = topo.best_vertices(0.2);
+  EXPECT_EQ(best.size(), 400u);
+  double best_avg = 0;
+  for (const auto v : best) best_avg += topo.avg_rtt_ms(v);
+  best_avg /= static_cast<double>(best.size());
+  double overall = 0;
+  for (std::uint32_t v = 0; v < topo.vertex_count(); v += 10) {
+    overall += topo.avg_rtt_ms(v);
+  }
+  overall /= static_cast<double>(topo.vertex_count() / 10);
+  EXPECT_LT(best_avg, overall);
+}
+
+TEST(TimeFormat, Conversions) {
+  EXPECT_EQ(from_ms(1.5), 1500);
+  EXPECT_DOUBLE_EQ(to_ms(2500), 2.5);
+  EXPECT_EQ(kSlotDuration, 12 * kSecond);
+  EXPECT_EQ(kAttestationDeadline, 4 * kSecond);
+}
+
+}  // namespace
+}  // namespace pandas::sim

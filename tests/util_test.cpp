@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/bitmap.h"
+#include "util/prng.h"
+#include "util/stats.h"
+
+namespace pandas::util {
+namespace {
+
+// ---------------------------------------------------------------- Xoshiro256
+
+TEST(Prng, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, UniformRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Prng, UniformCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Prng, Uniform01InUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, BernoulliRate) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Prng, ExponentialMean) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Prng, NormalMoments) {
+  Xoshiro256 rng(19);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 3.0, 0.1);
+}
+
+TEST(Prng, SampleDistinctProperties) {
+  Xoshiro256 rng(23);
+  for (std::uint32_t bound : {1u, 5u, 100u, 1000u}) {
+    for (std::uint32_t count : {0u, 1u, bound / 2, bound, bound + 5}) {
+      const auto out = rng.sample_distinct(bound, count);
+      EXPECT_EQ(out.size(), std::min(bound, count));
+      std::set<std::uint32_t> s(out.begin(), out.end());
+      EXPECT_EQ(s.size(), out.size()) << "values must be distinct";
+      for (const auto v : out) EXPECT_LT(v, bound);
+    }
+  }
+}
+
+TEST(Prng, SampleDistinctUnbiased) {
+  // Every element should be picked roughly equally often.
+  Xoshiro256 rng(29);
+  std::vector<int> hist(20, 0);
+  for (int trial = 0; trial < 4000; ++trial) {
+    for (const auto v : rng.sample_distinct(20, 5)) hist[v] += 1;
+  }
+  for (const auto h : hist) EXPECT_NEAR(h, 1000, 150);
+}
+
+TEST(Prng, ShufflePreservesElements) {
+  Xoshiro256 rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Prng, Splitmix64KnownValues) {
+  // Reference values from the splitmix64 reference implementation with
+  // initial state 0.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(s), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(s), 0x06c45d188009454fULL);
+}
+
+// ------------------------------------------------------------------- Samples
+
+TEST(Samples, BasicMoments) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Samples, PercentileInterpolation) {
+  Samples s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+  EXPECT_NEAR(s.percentile(99), 39.7, 1e-9);
+}
+
+TEST(Samples, FractionBelow) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.fraction_below(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_below(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_below(1000.0), 1.0);
+}
+
+TEST(Samples, CdfMonotone) {
+  Samples s;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) s.add(rng.uniform01() * 100);
+  const auto cdf = s.cdf(25);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LE(cdf[i - 1].second, cdf[i].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Samples, EmptyThrows) {
+  Samples s;
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(Samples, MutationInvalidatesSortCache) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(500), "500 B");
+  EXPECT_EQ(format_bytes(1500), "1.50 KB");
+  EXPECT_EQ(format_bytes(140e6), "140.00 MB");
+  EXPECT_EQ(format_bytes(1.09e9), "1.09 GB");
+}
+
+// ----------------------------------------------------------------- Bitmap512
+
+TEST(Bitmap, SetTestReset) {
+  Bitmap512 bm;
+  EXPECT_FALSE(bm.test(0));
+  bm.set(0);
+  bm.set(63);
+  bm.set(64);
+  bm.set(511);
+  EXPECT_TRUE(bm.test(0));
+  EXPECT_TRUE(bm.test(63));
+  EXPECT_TRUE(bm.test(64));
+  EXPECT_TRUE(bm.test(511));
+  EXPECT_EQ(bm.count(), 4u);
+  bm.reset(63);
+  EXPECT_FALSE(bm.test(63));
+  EXPECT_EQ(bm.count(), 3u);
+}
+
+TEST(Bitmap, CountPrefix) {
+  Bitmap512 bm;
+  for (std::uint32_t i = 0; i < 512; i += 2) bm.set(i);
+  EXPECT_EQ(bm.count_prefix(0), 0u);
+  EXPECT_EQ(bm.count_prefix(1), 1u);
+  EXPECT_EQ(bm.count_prefix(10), 5u);
+  EXPECT_EQ(bm.count_prefix(512), 256u);
+  EXPECT_EQ(bm.count_prefix(600), 256u);
+}
+
+TEST(Bitmap, SetPrefix) {
+  Bitmap512 bm;
+  bm.set_prefix(100);
+  EXPECT_EQ(bm.count(), 100u);
+  EXPECT_TRUE(bm.test(99));
+  EXPECT_FALSE(bm.test(100));
+}
+
+TEST(Bitmap, SetBitsRoundTrip) {
+  Bitmap512 bm;
+  const std::vector<std::uint32_t> bits{0, 1, 63, 64, 127, 128, 300, 511};
+  for (const auto b : bits) bm.set(b);
+  EXPECT_EQ(bm.set_bits(512), bits);
+  // Limit excludes high bits.
+  const auto limited = bm.set_bits(128);
+  EXPECT_EQ(limited, (std::vector<std::uint32_t>{0, 1, 63, 64, 127}));
+}
+
+TEST(Bitmap, ClearBits) {
+  Bitmap512 bm;
+  bm.set_prefix(8);
+  bm.reset(3);
+  EXPECT_EQ(bm.clear_bits(8), (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(bm.clear_bits(10), (std::vector<std::uint32_t>{3, 8, 9}));
+}
+
+TEST(Bitmap, Contains) {
+  Bitmap512 a, b;
+  a.set(1);
+  a.set(100);
+  b.set(1);
+  EXPECT_TRUE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+  b.set(200);
+  EXPECT_FALSE(a.contains(b));
+}
+
+TEST(Bitmap, CountMinus) {
+  Bitmap512 a, b;
+  a.set_prefix(10);
+  b.set(0);
+  b.set(5);
+  EXPECT_EQ(a.count_minus(b, 512), 8u);
+  EXPECT_EQ(a.count_minus(b, 3), 2u);  // {1, 2}
+}
+
+}  // namespace
+}  // namespace pandas::util

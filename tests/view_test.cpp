@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "core/view.h"
+
+namespace pandas::core {
+namespace {
+
+TEST(View, FullContainsEverything) {
+  const auto v = View::full(10);
+  EXPECT_TRUE(v.is_full());
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.universe(), 10u);
+  for (net::NodeIndex i = 0; i < 10; ++i) EXPECT_TRUE(v.contains(i));
+  EXPECT_FALSE(v.contains(10));
+  EXPECT_FALSE(v.contains(net::kInvalidNode));
+  EXPECT_EQ(v.members().size(), 10u);
+}
+
+TEST(View, RandomSubsetFraction) {
+  util::Xoshiro256 rng(1);
+  const auto v = View::random_subset(10000, 0.7, rng);
+  EXPECT_FALSE(v.is_full());
+  EXPECT_NEAR(static_cast<double>(v.size()) / 10000.0, 0.7, 0.03);
+  const auto members = v.members();
+  EXPECT_EQ(members.size(), v.size());
+  for (const auto m : members) EXPECT_TRUE(v.contains(m));
+}
+
+TEST(View, AlwaysIncludeForced) {
+  util::Xoshiro256 rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto v = View::random_subset(100, 0.05, rng, 42);
+    EXPECT_TRUE(v.contains(42));
+  }
+}
+
+TEST(View, EmptySubset) {
+  util::Xoshiro256 rng(3);
+  const auto v = View::random_subset(50, 0.0, rng);
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.members().empty());
+}
+
+TEST(View, ViewsAreIndependent) {
+  // Two nodes' views drawn independently differ (the inconsistency the
+  // assignment function must tolerate, §4.1).
+  util::Xoshiro256 rng(4);
+  const auto a = View::random_subset(2000, 0.5, rng);
+  const auto b = View::random_subset(2000, 0.5, rng);
+  int differs = 0;
+  for (net::NodeIndex i = 0; i < 2000; ++i) {
+    if (a.contains(i) != b.contains(i)) ++differs;
+  }
+  EXPECT_GT(differs, 700);  // ~50% expected
+}
+
+}  // namespace
+}  // namespace pandas::core
