@@ -4,12 +4,16 @@
 // distribution plotted in Fig 9a.
 //
 //   ./build/bench/bench_fig09_phases [--nodes 1000] [--slots 10] [--quick]
-//                                    [--no-boost] [--cdf]
+//                                    [--no-boost] [--cdf] [--json]
+//                                    [--trace-out t.json] [--metrics-out m.json]
+//                                    [--records-out r.jsonl]
+//                                    [--trace-sample-rate R] [--trace-ring N]
 
 #include <cstdio>
 
 #include "harness/args.h"
 #include "harness/experiment.h"
+#include "harness/obs_cli.h"
 #include "harness/report.h"
 
 int main(int argc, char** argv) {
@@ -17,6 +21,7 @@ int main(int argc, char** argv) {
   harness::Args args(argc, argv);
   const bool quick = args.has("--quick");
   const bool cdf = args.has("--cdf");
+  const auto obs = harness::ObsCli::parse(args);
 
   const auto nodes =
       static_cast<std::uint32_t>(args.get_int("--nodes", quick ? 300 : 700));
@@ -36,30 +41,42 @@ int main(int argc, char** argv) {
     cfg.slots = slots;
     cfg.policy = policy;
     if (args.has("--no-boost")) cfg.policy.boost_enabled = false;
+    obs.apply(cfg);
 
     harness::PandasExperiment experiment(cfg);
     const auto res = experiment.run();
+    const auto snap = harness::snapshot_of("fig09/" + policy.name(), cfg, res);
 
-    harness::print_header("Fig 9 — policy " + policy.name() + " (" +
-                          std::to_string(nodes) + " nodes, " +
-                          std::to_string(slots) + " slots)");
-    harness::print_summary("(a) time to seeding", res.seed_ms, "ms");
-    harness::print_summary("(a) block via gossip", res.block_ms, "ms");
-    harness::print_summary("(b) consolidation (from seeding)",
-                           res.consolidation_from_seed_ms, "ms");
-    harness::print_summary("(c) consolidation (from start)",
-                           res.consolidation_ms, "ms");
-    harness::print_summary("(d) time to sampling", res.sampling_ms, "ms");
-    std::printf("  consolidation misses: %llu   sampling misses: %llu\n",
-                static_cast<unsigned long long>(res.consolidation_misses),
-                static_cast<unsigned long long>(res.sampling_misses));
-    std::printf("  met 4 s deadline: %.2f%%   builder egress/slot: %s\n",
-                100.0 * res.deadline_fraction(),
-                util::format_bytes(res.builder_bytes_per_slot).c_str());
-    if (cdf) {
-      harness::print_cdf("time to seeding (ms)", res.seed_ms);
-      harness::print_cdf("time to sampling (ms)", res.sampling_ms);
+    if (obs.json) {
+      harness::ObsCli::emit_json(snap);
+    } else {
+      harness::print_header("Fig 9 — policy " + policy.name() + " (" +
+                            std::to_string(nodes) + " nodes, " +
+                            std::to_string(slots) + " slots)");
+      harness::print_summary("(a) time to seeding",
+                             snap.series_named("seed_ms").summary, "ms");
+      harness::print_summary("(a) block via gossip",
+                             snap.series_named("block_ms").summary, "ms");
+      harness::print_summary(
+          "(b) consolidation (from seeding)",
+          snap.series_named("consolidation_from_seed_ms").summary, "ms");
+      harness::print_summary("(c) consolidation (from start)",
+                             snap.series_named("consolidation_ms").summary,
+                             "ms");
+      harness::print_summary("(d) time to sampling",
+                             snap.series_named("sampling_ms").summary, "ms");
+      std::printf("  consolidation misses: %llu   sampling misses: %llu\n",
+                  static_cast<unsigned long long>(snap.consolidation_misses),
+                  static_cast<unsigned long long>(snap.sampling_misses));
+      std::printf("  met 4 s deadline: %.2f%%   builder egress/slot: %s\n",
+                  100.0 * snap.deadline_fraction,
+                  util::format_bytes(snap.builder_bytes_per_slot).c_str());
+      if (cdf) {
+        harness::print_cdf(snap.series_named("seed_ms"));
+        harness::print_cdf(snap.series_named("sampling_ms"));
+      }
     }
+    obs.finish(experiment);
   }
   return 0;
 }

@@ -1,19 +1,25 @@
 // Reproduces Figure 10: distribution of messages and traffic volume for
 // fetching across nodes (both directions), for the three seeding strategies
-// at 1,000 nodes.
+// at 1,000 nodes. Also decomposes total transport traffic by message class
+// (seed / query / response / gossip / dht), the breakdown behind the
+// figure's per-phase bars.
 //
 //   ./build/bench/bench_fig10_bandwidth [--nodes 1000] [--slots 10] [--quick]
+//                                       [--json] [--trace-out F]
+//                                       [--metrics-out F] [--records-out F]
 
 #include <cstdio>
 
 #include "harness/args.h"
 #include "harness/experiment.h"
+#include "harness/obs_cli.h"
 #include "harness/report.h"
 
 int main(int argc, char** argv) {
   using namespace pandas;
   harness::Args args(argc, argv);
   const bool quick = args.has("--quick");
+  const auto obs = harness::ObsCli::parse(args);
   const auto nodes =
       static_cast<std::uint32_t>(args.get_int("--nodes", quick ? 300 : 500));
   const auto slots =
@@ -25,9 +31,11 @@ int main(int argc, char** argv) {
       core::SeedingPolicy::redundant(8),
   };
 
-  harness::print_header("Fig 10 — fetch messages & traffic per node (" +
-                        std::to_string(nodes) + " nodes, " +
-                        std::to_string(slots) + " slots)");
+  if (!obs.json) {
+    harness::print_header("Fig 10 — fetch messages & traffic per node (" +
+                          std::to_string(nodes) + " nodes, " +
+                          std::to_string(slots) + " slots)");
+  }
   for (const auto& policy : policies) {
     harness::PandasConfig cfg;
     cfg.net.nodes = nodes;
@@ -35,15 +43,39 @@ int main(int argc, char** argv) {
     cfg.slots = slots;
     cfg.policy = policy;
     cfg.block_gossip = false;
+    obs.apply(cfg);
 
     harness::PandasExperiment experiment(cfg);
     const auto res = experiment.run();
-    std::printf("\n  policy %s:\n", policy.name().c_str());
-    harness::print_summary("fetch messages (in+out)", res.fetch_messages, "");
-    harness::print_summary("fetch traffic (in+out)", res.fetch_mb, " MB");
-    std::printf("    EIP-7870 check: max traffic %.2f MB over a slot "
-                "(equivalent avg %.2f Mbps; budget 50/15 Mbps)\n",
-                res.fetch_mb.max(), res.fetch_mb.max() * 8.0 / 12.0);
+    const auto snap = harness::snapshot_of("fig10/" + policy.name(), cfg, res);
+
+    if (obs.json) {
+      harness::ObsCli::emit_json(snap);
+    } else {
+      std::printf("\n  policy %s:\n", policy.name().c_str());
+      harness::print_summary("fetch messages (in+out)",
+                             snap.series_named("fetch_messages").summary, "");
+      harness::print_summary("fetch traffic (in+out)",
+                             snap.series_named("fetch_mb").summary, " MB");
+      const auto fetch_mb_max = snap.series_named("fetch_mb").summary.max;
+      std::printf("    EIP-7870 check: max traffic %.2f MB over a slot "
+                  "(equivalent avg %.2f Mbps; budget 50/15 Mbps)\n",
+                  fetch_mb_max, fetch_mb_max * 8.0 / 12.0);
+      const auto totals = experiment.transport().typed_totals();
+      std::printf("    traffic by class (network-wide):\n");
+      for (std::size_t c = 0; c < net::kMsgClassCount; ++c) {
+        const auto& t = totals.by_class[c];
+        if (t.msgs_sent == 0) continue;
+        std::printf("      %-9s %10llu msgs  %12s sent  (%llu lost, "
+                    "%llu cells dropped)\n",
+                    net::msg_class_name(static_cast<net::MsgClass>(c)),
+                    static_cast<unsigned long long>(t.msgs_sent),
+                    util::format_bytes(static_cast<double>(t.bytes_sent)).c_str(),
+                    static_cast<unsigned long long>(t.msgs_lost),
+                    static_cast<unsigned long long>(t.cells_lost));
+      }
+    }
+    obs.finish(experiment);
   }
   return 0;
 }

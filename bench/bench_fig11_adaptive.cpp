@@ -4,24 +4,30 @@
 // seeding policy.
 //
 //   ./build/bench/bench_fig11_adaptive [--nodes 1000] [--slots 10] [--quick]
+//                                      [--json] [--trace-out F]
+//                                      [--metrics-out F] [--records-out F]
 
 #include <cstdio>
 
 #include "harness/args.h"
 #include "harness/experiment.h"
+#include "harness/obs_cli.h"
 #include "harness/report.h"
 
 int main(int argc, char** argv) {
   using namespace pandas;
   harness::Args args(argc, argv);
   const bool quick = args.has("--quick");
+  const auto obs = harness::ObsCli::parse(args);
   const auto nodes =
       static_cast<std::uint32_t>(args.get_int("--nodes", quick ? 300 : 500));
   const auto slots =
       static_cast<std::uint32_t>(args.get_int("--slots", quick ? 1 : 1));
 
-  harness::print_header("Fig 11 — adaptive vs constant fetching (" +
-                        std::to_string(nodes) + " nodes)");
+  if (!obs.json) {
+    harness::print_header("Fig 11 — adaptive vs constant fetching (" +
+                          std::to_string(nodes) + " nodes)");
+  }
   for (const bool adaptive : {true, false}) {
     harness::PandasConfig cfg;
     cfg.net.nodes = nodes;
@@ -30,15 +36,27 @@ int main(int argc, char** argv) {
     cfg.policy = core::SeedingPolicy::redundant(8);
     cfg.params.adaptive = adaptive;
     cfg.block_gossip = false;
+    obs.apply(cfg);
 
     harness::PandasExperiment experiment(cfg);
     const auto res = experiment.run();
-    std::printf("\n  %s strategy:\n", adaptive ? "adaptive" : "constant (t=400ms, k=1)");
-    harness::print_summary("(a) time to sampling", res.sampling_ms, "ms");
-    harness::print_summary("(b) messages in+out", res.fetch_messages, "");
-    std::printf("    sampling misses: %llu   met 4 s deadline: %.2f%%\n",
-                static_cast<unsigned long long>(res.sampling_misses),
-                100.0 * res.deadline_fraction());
+    const auto snap = harness::snapshot_of(
+        adaptive ? "fig11/adaptive" : "fig11/constant", cfg, res);
+
+    if (obs.json) {
+      harness::ObsCli::emit_json(snap);
+    } else {
+      std::printf("\n  %s strategy:\n",
+                  adaptive ? "adaptive" : "constant (t=400ms, k=1)");
+      harness::print_summary("(a) time to sampling",
+                             snap.series_named("sampling_ms").summary, "ms");
+      harness::print_summary("(b) messages in+out",
+                             snap.series_named("fetch_messages").summary, "");
+      std::printf("    sampling misses: %llu   met 4 s deadline: %.2f%%\n",
+                  static_cast<unsigned long long>(snap.sampling_misses),
+                  100.0 * snap.deadline_fraction);
+    }
+    obs.finish(experiment);
   }
   return 0;
 }

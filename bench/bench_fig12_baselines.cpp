@@ -4,25 +4,50 @@
 // equal builder egress budgets.
 //
 //   ./build/bench/bench_fig12_baselines [--nodes 1000] [--slots 10] [--quick]
+//                                       [--json] [--trace-out F]
+//                                       [--metrics-out F] [--records-out F]
+//
+// The trace/metrics/records exporters cover the PANDAS experiment; the
+// baseline harnesses report through the snapshot/--json path only.
 
 #include <cstdio>
 
 #include "harness/args.h"
 #include "harness/baseline_experiments.h"
+#include "harness/obs_cli.h"
 #include "harness/report.h"
+
+namespace {
+
+void print_baseline(const pandas::harness::ResultsSnapshot& snap,
+                    const char* title) {
+  std::printf("\n  %s:\n", title);
+  pandas::harness::print_summary(
+      "(a) time to sampling", snap.series_named("sampling_ms").summary, "ms");
+  pandas::harness::print_summary(
+      "(b) messages (transport)", snap.series_named("messages").summary, "");
+  std::printf("    sampling misses: %llu   met 4 s deadline: %.2f%%\n",
+              static_cast<unsigned long long>(snap.sampling_misses),
+              100.0 * snap.deadline_fraction);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pandas;
   harness::Args args(argc, argv);
   const bool quick = args.has("--quick");
+  const auto obs = harness::ObsCli::parse(args);
   const auto nodes =
       static_cast<std::uint32_t>(args.get_int("--nodes", quick ? 300 : 500));
   const auto slots =
       static_cast<std::uint32_t>(args.get_int("--slots", quick ? 1 : 1));
   const auto seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
 
-  harness::print_header("Fig 12 — PANDAS vs GossipSub-DAS vs DHT-DAS (" +
-                        std::to_string(nodes) + " nodes)");
+  if (!obs.json) {
+    harness::print_header("Fig 12 — PANDAS vs GossipSub-DAS vs DHT-DAS (" +
+                          std::to_string(nodes) + " nodes)");
+  }
 
   {
     harness::PandasConfig cfg;
@@ -31,13 +56,23 @@ int main(int argc, char** argv) {
     cfg.slots = slots;
     cfg.policy = core::SeedingPolicy::redundant(8);
     cfg.block_gossip = false;
-    const auto res = harness::PandasExperiment(cfg).run();
-    std::printf("\n  PANDAS (redundant r=8):\n");
-    harness::print_summary("(a) time to sampling", res.sampling_ms, "ms");
-    harness::print_summary("(b) fetch messages", res.fetch_messages, "");
-    std::printf("    sampling misses: %llu   met 4 s deadline: %.2f%%\n",
-                static_cast<unsigned long long>(res.sampling_misses),
-                100.0 * res.deadline_fraction());
+    obs.apply(cfg);
+    harness::PandasExperiment experiment(cfg);
+    const auto res = experiment.run();
+    const auto snap = harness::snapshot_of("fig12/pandas", cfg, res);
+    if (obs.json) {
+      harness::ObsCli::emit_json(snap);
+    } else {
+      std::printf("\n  PANDAS (redundant r=8):\n");
+      harness::print_summary("(a) time to sampling",
+                             snap.series_named("sampling_ms").summary, "ms");
+      harness::print_summary("(b) fetch messages",
+                             snap.series_named("fetch_messages").summary, "");
+      std::printf("    sampling misses: %llu   met 4 s deadline: %.2f%%\n",
+                  static_cast<unsigned long long>(snap.sampling_misses),
+                  100.0 * snap.deadline_fraction);
+    }
+    obs.finish(experiment);
   }
   {
     harness::GossipDasConfig cfg;
@@ -45,12 +80,13 @@ int main(int argc, char** argv) {
     cfg.net.seed = seed;
     cfg.slots = slots;
     const auto res = harness::GossipDasExperiment(cfg).run();
-    std::printf("\n  GossipSub-DAS baseline:\n");
-    harness::print_summary("(a) time to sampling", res.sampling_ms, "ms");
-    harness::print_summary("(b) messages (transport)", res.messages, "");
-    std::printf("    sampling misses: %llu   met 4 s deadline: %.2f%%\n",
-                static_cast<unsigned long long>(res.sampling_misses),
-                100.0 * res.deadline_fraction());
+    const auto snap =
+        harness::snapshot_of("fig12/gossip-das", cfg.net, slots, res);
+    if (obs.json) {
+      harness::ObsCli::emit_json(snap);
+    } else {
+      print_baseline(snap, "GossipSub-DAS baseline");
+    }
   }
   {
     harness::DhtDasConfig cfg;
@@ -58,12 +94,13 @@ int main(int argc, char** argv) {
     cfg.net.seed = seed;
     cfg.slots = slots;
     const auto res = harness::DhtDasExperiment(cfg).run();
-    std::printf("\n  Kademlia-DHT-DAS baseline:\n");
-    harness::print_summary("(a) time to sampling", res.sampling_ms, "ms");
-    harness::print_summary("(b) messages (transport)", res.messages, "");
-    std::printf("    sampling misses: %llu   met 4 s deadline: %.2f%%\n",
-                static_cast<unsigned long long>(res.sampling_misses),
-                100.0 * res.deadline_fraction());
+    const auto snap =
+        harness::snapshot_of("fig12/dht-das", cfg.net, slots, res);
+    if (obs.json) {
+      harness::ObsCli::emit_json(snap);
+    } else {
+      print_baseline(snap, "Kademlia-DHT-DAS baseline");
+    }
   }
   return 0;
 }

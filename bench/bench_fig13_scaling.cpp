@@ -3,22 +3,27 @@
 // with the redundant seeding strategy.
 //
 //   ./build/bench/bench_fig13_scaling [--quick] [--max-nodes 20000]
-//                                     [--slots 3]
+//                                     [--slots 3] [--json] [--trace-out F]
+//                                     [--metrics-out F] [--records-out F]
 //
 // Defaults stop at 5,000 nodes so the whole bench suite completes on a
-// laptop; pass --max-nodes 20000 for the paper's full sweep.
+// laptop; pass --max-nodes 20000 for the paper's full sweep. Large sweeps
+// pair well with --trace-sample-rate 0.01 and --trace-ring 4096 to bound
+// trace memory.
 
 #include <cstdio>
 #include <vector>
 
 #include "harness/args.h"
 #include "harness/experiment.h"
+#include "harness/obs_cli.h"
 #include "harness/report.h"
 
 int main(int argc, char** argv) {
   using namespace pandas;
   harness::Args args(argc, argv);
   const bool quick = args.has("--quick");
+  const auto obs = harness::ObsCli::parse(args);
   const auto max_nodes = static_cast<std::uint32_t>(
       args.get_int("--max-nodes", quick ? 1000 : 3000));
   const auto slots =
@@ -29,11 +34,13 @@ int main(int argc, char** argv) {
     if (n <= max_nodes) sizes.push_back(n);
   }
 
-  harness::print_header("Fig 13 — PANDAS scaling (redundant r=8, " +
-                        std::to_string(slots) + " slot(s) per size)");
-  std::printf("  %-7s %-10s %-10s %-10s %-9s %-10s %-10s %-8s\n", "N",
-              "seed p50", "cons p50", "samp p50", "samp p99", "msgs avg",
-              "MB avg", "met-4s");
+  if (!obs.json) {
+    harness::print_header("Fig 13 — PANDAS scaling (redundant r=8, " +
+                          std::to_string(slots) + " slot(s) per size)");
+    std::printf("  %-7s %-10s %-10s %-10s %-9s %-10s %-10s %-8s\n", "N",
+                "seed p50", "cons p50", "samp p50", "samp p99", "msgs avg",
+                "MB avg", "met-4s");
+  }
   for (const auto n : sizes) {
     harness::PandasConfig cfg;
     cfg.net.nodes = n;
@@ -41,17 +48,27 @@ int main(int argc, char** argv) {
     cfg.slots = slots;
     cfg.policy = core::SeedingPolicy::redundant(8);
     cfg.block_gossip = false;
+    obs.apply(cfg);
 
     harness::PandasExperiment experiment(cfg);
     const auto res = experiment.run();
-    std::printf("  %-7u %-10.0f %-10.0f %-10.0f %-9.0f %-10.0f %-10.2f %-7.2f%%\n",
-                n, res.seed_ms.empty() ? 0.0 : res.seed_ms.median(),
-                res.consolidation_ms.empty() ? 0.0 : res.consolidation_ms.median(),
-                res.sampling_ms.empty() ? 0.0 : res.sampling_ms.median(),
-                res.sampling_ms.empty() ? 0.0 : res.sampling_ms.percentile(99),
-                res.fetch_messages.mean(), res.fetch_mb.mean(),
-                100.0 * res.deadline_fraction());
-    std::fflush(stdout);
+    const auto snap =
+        harness::snapshot_of("fig13/n" + std::to_string(n), cfg, res);
+    if (obs.json) {
+      harness::ObsCli::emit_json(snap);
+    } else {
+      std::printf(
+          "  %-7u %-10.0f %-10.0f %-10.0f %-9.0f %-10.0f %-10.2f %-7.2f%%\n",
+          n, snap.series_named("seed_ms").summary.p50,
+          snap.series_named("consolidation_ms").summary.p50,
+          snap.series_named("sampling_ms").summary.p50,
+          snap.series_named("sampling_ms").summary.p99,
+          snap.series_named("fetch_messages").summary.mean,
+          snap.series_named("fetch_mb").summary.mean,
+          100.0 * snap.deadline_fraction);
+      std::fflush(stdout);
+    }
+    obs.finish(experiment);
   }
   return 0;
 }

@@ -3,19 +3,43 @@
 // nodes.
 //
 //   ./build/bench/bench_fig14_baseline_scaling [--quick] [--max-nodes 20000]
-//                                              [--slots 2]
+//                                              [--slots 2] [--json]
+//                                              [--trace-out F]
+//                                              [--metrics-out F]
+//                                              [--records-out F]
+//
+// The trace/metrics/records exporters cover the PANDAS runs; baselines
+// report through the snapshot/--json path only.
 
 #include <cstdio>
 #include <vector>
 
 #include "harness/args.h"
 #include "harness/baseline_experiments.h"
+#include "harness/obs_cli.h"
 #include "harness/report.h"
+
+namespace {
+
+void print_row(std::uint32_t n, const char* system,
+               const pandas::harness::ResultsSnapshot& snap,
+               const char* msgs_series, const char* mb_series) {
+  std::printf("  %-7u %-14s %8.0f / %-8.0f       %8.0f / %6.2f / %5.1f%%\n",
+              n, system, snap.series_named("sampling_ms").summary.p50,
+              snap.series_named("sampling_ms").summary.p99,
+              snap.series_named(msgs_series).summary.mean,
+              snap.series_named(mb_series).summary.mean,
+              100.0 * snap.deadline_fraction);
+  std::fflush(stdout);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pandas;
   harness::Args args(argc, argv);
   const bool quick = args.has("--quick");
+  const auto obs = harness::ObsCli::parse(args);
   const auto max_nodes = static_cast<std::uint32_t>(
       args.get_int("--max-nodes", quick ? 1000 : 1000));
   const auto slots =
@@ -27,10 +51,12 @@ int main(int argc, char** argv) {
     if (n <= max_nodes) sizes.push_back(n);
   }
 
-  harness::print_header("Fig 14 — baseline scaling (sampling p50/p99 ms, "
-                        "avg msgs, avg MB, met-4s %)");
-  std::printf("  %-7s %-14s %-28s %-28s\n", "N", "system",
-              "sampling p50/p99 (ms)", "msgs avg / MB avg / met-4s");
+  if (!obs.json) {
+    harness::print_header("Fig 14 — baseline scaling (sampling p50/p99 ms, "
+                          "avg msgs, avg MB, met-4s %)");
+    std::printf("  %-7s %-14s %-28s %-28s\n", "N", "system",
+                "sampling p50/p99 (ms)", "msgs avg / MB avg / met-4s");
+  }
   for (const auto n : sizes) {
     {
       harness::PandasConfig cfg;
@@ -39,14 +65,17 @@ int main(int argc, char** argv) {
       cfg.slots = slots;
       cfg.policy = core::SeedingPolicy::redundant(8);
       cfg.block_gossip = false;
-      const auto res = harness::PandasExperiment(cfg).run();
-      std::printf("  %-7u %-14s %8.0f / %-8.0f       %8.0f / %6.2f / %5.1f%%\n",
-                  n, "PANDAS",
-                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.median(),
-                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.percentile(99),
-                  res.fetch_messages.mean(), res.fetch_mb.mean(),
-                  100.0 * res.deadline_fraction());
-      std::fflush(stdout);
+      obs.apply(cfg);
+      harness::PandasExperiment experiment(cfg);
+      const auto res = experiment.run();
+      const auto snap =
+          harness::snapshot_of("fig14/pandas/n" + std::to_string(n), cfg, res);
+      if (obs.json) {
+        harness::ObsCli::emit_json(snap);
+      } else {
+        print_row(n, "PANDAS", snap, "fetch_messages", "fetch_mb");
+      }
+      obs.finish(experiment);
     }
     {
       harness::GossipDasConfig cfg;
@@ -54,13 +83,13 @@ int main(int argc, char** argv) {
       cfg.net.seed = seed;
       cfg.slots = slots;
       const auto res = harness::GossipDasExperiment(cfg).run();
-      std::printf("  %-7u %-14s %8.0f / %-8.0f       %8.0f / %6.2f / %5.1f%%\n",
-                  n, "GossipSub-DAS",
-                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.median(),
-                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.percentile(99),
-                  res.messages.mean(), res.traffic_mb.mean(),
-                  100.0 * res.deadline_fraction());
-      std::fflush(stdout);
+      const auto snap = harness::snapshot_of(
+          "fig14/gossip-das/n" + std::to_string(n), cfg.net, slots, res);
+      if (obs.json) {
+        harness::ObsCli::emit_json(snap);
+      } else {
+        print_row(n, "GossipSub-DAS", snap, "messages", "traffic_mb");
+      }
     }
     {
       harness::DhtDasConfig cfg;
@@ -68,13 +97,13 @@ int main(int argc, char** argv) {
       cfg.net.seed = seed;
       cfg.slots = slots;
       const auto res = harness::DhtDasExperiment(cfg).run();
-      std::printf("  %-7u %-14s %8.0f / %-8.0f       %8.0f / %6.2f / %5.1f%%\n",
-                  n, "DHT-DAS",
-                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.median(),
-                  res.sampling_ms.empty() ? 0.0 : res.sampling_ms.percentile(99),
-                  res.messages.mean(), res.traffic_mb.mean(),
-                  100.0 * res.deadline_fraction());
-      std::fflush(stdout);
+      const auto snap = harness::snapshot_of(
+          "fig14/dht-das/n" + std::to_string(n), cfg.net, slots, res);
+      if (obs.json) {
+        harness::ObsCli::emit_json(snap);
+      } else {
+        print_row(n, "DHT-DAS", snap, "messages", "traffic_mb");
+      }
     }
   }
   return 0;

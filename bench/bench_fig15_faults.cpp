@@ -5,6 +5,8 @@
 // deadline.
 //
 //   ./build/bench/bench_fig15_faults [--nodes 10000] [--slots 2] [--quick]
+//                                    [--json] [--trace-out F]
+//                                    [--metrics-out F] [--records-out F]
 //
 // Defaults run at 1,000 nodes so the suite completes on a laptop; pass
 // --nodes 10000 for the paper's scale.
@@ -13,12 +15,14 @@
 
 #include "harness/args.h"
 #include "harness/experiment.h"
+#include "harness/obs_cli.h"
 #include "harness/report.h"
 
 int main(int argc, char** argv) {
   using namespace pandas;
   harness::Args args(argc, argv);
   const bool quick = args.has("--quick");
+  const auto obs = harness::ObsCli::parse(args);
   const auto nodes = static_cast<std::uint32_t>(
       args.get_int("--nodes", quick ? 300 : 500));
   const auto slots =
@@ -26,11 +30,13 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
 
   for (const bool dead_mode : {true, false}) {
-    harness::print_header(std::string("Fig 15") + (dead_mode ? "a" : "b") +
-                          " — " + (dead_mode ? "dead" : "out-of-view") +
-                          " nodes (" + std::to_string(nodes) + " nodes)");
-    std::printf("  %-9s %-12s %-12s %-12s %-10s\n", "fraction", "cons p50",
-                "samp p50", "samp p99", "met-4s");
+    if (!obs.json) {
+      harness::print_header(std::string("Fig 15") + (dead_mode ? "a" : "b") +
+                            " — " + (dead_mode ? "dead" : "out-of-view") +
+                            " nodes (" + std::to_string(nodes) + " nodes)");
+      std::printf("  %-9s %-12s %-12s %-12s %-10s\n", "fraction", "cons p50",
+                  "samp p50", "samp p99", "met-4s");
+    }
     for (const double f : {0.0, 0.2, 0.4, 0.6, 0.8}) {
       harness::PandasConfig cfg;
       cfg.net.nodes = nodes;
@@ -43,16 +49,26 @@ int main(int argc, char** argv) {
       } else {
         cfg.out_of_view_fraction = f;
       }
+      obs.apply(cfg);
       harness::PandasExperiment experiment(cfg);
       const auto res = experiment.run();
-      std::printf("  %-9.0f%% %-12.0f %-12.0f %-12.0f %-9.1f%%\n", f * 100,
-                  res.consolidation_ms.empty() ? -1.0
-                                               : res.consolidation_ms.median(),
-                  res.sampling_ms.empty() ? -1.0 : res.sampling_ms.median(),
-                  res.sampling_ms.empty() ? -1.0
-                                          : res.sampling_ms.percentile(99),
-                  100.0 * res.deadline_fraction());
-      std::fflush(stdout);
+      const auto snap = harness::snapshot_of(
+          std::string("fig15") + (dead_mode ? "a" : "b") + "/f" +
+              std::to_string(static_cast<int>(f * 100)),
+          cfg, res);
+      if (obs.json) {
+        harness::ObsCli::emit_json(snap);
+      } else {
+        const auto& cons = snap.series_named("consolidation_ms").summary;
+        const auto& samp = snap.series_named("sampling_ms").summary;
+        std::printf("  %-9.0f%% %-12.0f %-12.0f %-12.0f %-9.1f%%\n", f * 100,
+                    cons.n == 0 ? -1.0 : cons.p50,
+                    samp.n == 0 ? -1.0 : samp.p50,
+                    samp.n == 0 ? -1.0 : samp.p99,
+                    100.0 * snap.deadline_fraction);
+        std::fflush(stdout);
+      }
+      obs.finish(experiment);
     }
   }
   return 0;

@@ -4,10 +4,15 @@
 // attacks are detected.
 //
 //   ./build/bench/bench_sampling_security [--samples 73] [--trials 200000]
+//
+// Accepts the shared observability flags (--trace-out / --metrics-out /
+// --records-out) for drop-in use in scripted sweeps; this bench runs no
+// network experiment, so the exports are trivially valid empty files.
 
 #include <cstdio>
 
 #include "harness/args.h"
+#include "harness/obs_cli.h"
 #include "harness/report.h"
 #include "util/prng.h"
 
@@ -33,6 +38,7 @@ int main(int argc, char** argv) {
   const auto samples = static_cast<std::uint32_t>(args.get_int("--samples", 73));
   const auto trials = static_cast<std::uint64_t>(
       args.get_int("--trials", 200000));
+  harness::ObsCli::parse(args).finish_empty();
 
   harness::print_header("Sampling security (paper §3)");
   std::printf("  s (samples per node)              : %u\n", samples);

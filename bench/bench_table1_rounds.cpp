@@ -3,17 +3,22 @@
 // seeding strategy at 1,000 nodes.
 //
 //   ./build/bench/bench_table1_rounds [--nodes 1000] [--slots 10] [--quick]
+//                                     [--json] [--trace-out F]
+//                                     [--metrics-out F] [--records-out F]
 
+#include <algorithm>
 #include <cstdio>
 
 #include "harness/args.h"
 #include "harness/experiment.h"
+#include "harness/obs_cli.h"
 #include "harness/report.h"
 
 int main(int argc, char** argv) {
   using namespace pandas;
   harness::Args args(argc, argv);
   const bool quick = args.has("--quick");
+  const auto obs = harness::ObsCli::parse(args);
 
   harness::PandasConfig cfg;
   cfg.net.nodes = static_cast<std::uint32_t>(
@@ -22,50 +27,62 @@ int main(int argc, char** argv) {
   cfg.net.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
   cfg.policy = core::SeedingPolicy::redundant(8);
   cfg.block_gossip = false;
+  obs.apply(cfg);
+
+  harness::PandasExperiment experiment(cfg);
+  const auto results = experiment.run();
+  const auto snap = harness::snapshot_of("table1/redundant-8", cfg, results);
+
+  if (obs.json) {
+    harness::ObsCli::emit_json(snap);
+    obs.finish(experiment);
+    return 0;
+  }
 
   harness::print_header(
       "Table 1: fetching performance per round (redundant r=8, " +
       std::to_string(cfg.net.nodes) + " nodes, " + std::to_string(cfg.slots) +
       " slots)");
 
-  harness::PandasExperiment experiment(cfg);
-  const auto results = experiment.run();
-
   std::printf("  seed cells received per node: %s\n",
               harness::mean_std(results.seed_cells).c_str());
-  const std::size_t rounds = std::min<std::size_t>(results.rounds.size(), 8);
+  const std::size_t rounds = std::min<std::size_t>(snap.table1.size(), 8);
   std::printf("\n  %-28s", "Round");
   for (std::size_t r = 0; r < rounds; ++r) std::printf("%18zu", r + 1);
   std::printf("\n");
   auto row = [&](const char* label, auto getter) {
     std::printf("  %-28s", label);
     for (std::size_t r = 0; r < rounds; ++r) {
-      std::printf("%18s", harness::mean_std(getter(results.rounds[r])).c_str());
+      std::printf("%18s", harness::mean_std(getter(snap.table1[r])).c_str());
     }
     std::printf("\n");
   };
-  using RA = harness::PandasResults::RoundAgg;
-  row("Messages sent", [](const RA& a) -> const util::Samples& { return a.messages; });
-  row("Cells requested", [](const RA& a) -> const util::Samples& { return a.requested; });
-  row("Replies received in round", [](const RA& a) -> const util::Samples& { return a.replies_in; });
-  row("Replies received after round", [](const RA& a) -> const util::Samples& { return a.replies_after; });
-  row("Cells received in round", [](const RA& a) -> const util::Samples& { return a.cells_in; });
-  row("Cells received after round", [](const RA& a) -> const util::Samples& { return a.cells_after; });
-  row("Received cells duplicates", [](const RA& a) -> const util::Samples& { return a.duplicates; });
-  row("Cells reconstructed", [](const RA& a) -> const util::Samples& { return a.reconstructed; });
+  using Row = harness::RoundRowSnapshot;
+  row("Messages sent", [](const Row& a) { return a.messages; });
+  row("Cells requested", [](const Row& a) { return a.requested; });
+  row("Replies received in round", [](const Row& a) { return a.replies_in; });
+  row("Replies received after round",
+      [](const Row& a) { return a.replies_after; });
+  row("Cells received in round", [](const Row& a) { return a.cells_in; });
+  row("Cells received after round", [](const Row& a) { return a.cells_after; });
+  row("Received cells duplicates", [](const Row& a) { return a.duplicates; });
+  row("Cells reconstructed", [](const Row& a) { return a.reconstructed; });
 
   std::printf("  %-28s", "Cumulative coverage of F");
   for (std::size_t r = 0; r < rounds; ++r) {
-    const auto& cov = results.rounds[r].coverage_pct;
-    std::printf("%17.0f%%", cov.empty() ? 0.0 : cov.mean());
+    std::printf("%17.0f%%", snap.table1[r].coverage_pct.mean);
   }
   std::printf("\n");
 
   harness::print_header("Context");
-  harness::print_summary("time to sampling", results.sampling_ms, "ms");
-  harness::print_summary("fetch messages/node", results.fetch_messages, "");
-  harness::print_summary("fetch traffic/node", results.fetch_mb, " MB");
+  harness::print_summary("time to sampling",
+                         snap.series_named("sampling_ms").summary, "ms");
+  harness::print_summary("fetch messages/node",
+                         snap.series_named("fetch_messages").summary, "");
+  harness::print_summary("fetch traffic/node",
+                         snap.series_named("fetch_mb").summary, " MB");
   std::printf("  sampling deadline met: %.2f%%\n",
-              100.0 * results.deadline_fraction());
+              100.0 * snap.deadline_fraction);
+  obs.finish(experiment);
   return 0;
 }

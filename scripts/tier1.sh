@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then smoke
+# the observability exporters end-to-end.
+#
+#   scripts/tier1.sh          # standard Release config in build/
+#   scripts/tier1.sh --asan   # ASan+UBSan config in build-asan/
+#
+# The sanitizer configuration is a separate build tree so it never perturbs
+# the default one; both run the same ctest suite and the same smoke job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
+if [[ "${1:-}" == "--asan" ]]; then
+  BUILD_DIR=build-asan
+  SAN_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
+  CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo
+              -DCMAKE_CXX_FLAGS="${SAN_FLAGS}"
+              -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}")
+fi
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+# Observability smoke job: a quick fig09 run must produce a valid Chrome
+# trace and a valid metrics dump with the per-round fetch families.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+"./${BUILD_DIR}/bench/bench_fig09_phases" --quick \
+    --trace-out "${SMOKE_DIR}/t.json" --metrics-out "${SMOKE_DIR}/m.json" \
+    > /dev/null
+python3 - "${SMOKE_DIR}/t.json" "${SMOKE_DIR}/m.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+assert any(e.get("ph") == "X" for e in events), "no phase spans in trace"
+assert any(e.get("ph") == "i" for e in events), "no instant events in trace"
+metrics = json.load(open(sys.argv[2]))
+counters = metrics["counters"]
+assert "fetch_cells_received{round=1}" in counters, "missing round families"
+assert "node_slots" in counters and counters["node_slots"] > 0
+assert "engine_events_executed" in metrics["gauges"]
+print(f"smoke OK: {len(events)} trace events, "
+      f"{len(counters)} counter series")
+EOF
+
+echo "tier1 OK (${BUILD_DIR})"

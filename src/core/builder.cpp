@@ -8,6 +8,7 @@ Builder::SeedingReport Builder::seed(std::uint64_t slot,
                                      const SeedPlan& plan,
                                      util::Xoshiro256& rng) {
   SeedingReport report;
+  if (trace_ != nullptr) trace_->set_slot(slot);
   std::vector<net::NodeIndex> order = builder_view.members();
   rng.shuffle(order);
 
@@ -20,9 +21,13 @@ Builder::SeedingReport Builder::seed(std::uint64_t slot,
     }
     msg.boost = plan.boost_for(assignment.of(node));
 
+    const std::uint64_t bytes = net::wire_size(net::Message(msg));
     report.messages += 1;
     report.cell_copies += msg.cells.size();
-    report.bytes += net::wire_size(net::Message(msg));
+    report.bytes += bytes;
+    obs::emit(trace_, obs::EventType::kSeedDispatch, engine_.now(), node,
+              static_cast<std::int64_t>(msg.cells.size()),
+              static_cast<std::int64_t>(bytes));
     transport_.send(self_, node, std::move(msg));
   }
   return report;

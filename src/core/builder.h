@@ -5,6 +5,7 @@
 #include "core/seeding.h"
 #include "crypto/signature.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 
 /// The block builder (paper §2, §6.1). Under Proposer-Builder Separation the
@@ -29,6 +30,10 @@ class Builder {
 
   [[nodiscard]] net::NodeIndex index() const noexcept { return self_; }
 
+  /// Observability sink (nullptr = off); seeding emits per-message dispatch
+  /// events. The sink must outlive the builder.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Executes a dispatch plan: one seed message per node in the builder's
   /// view, in randomized order (nodes receiving no cells still get a
   /// boost-only message so they learn the slot has started). The transport
@@ -42,6 +47,7 @@ class Builder {
   net::Transport& transport_;
   net::NodeIndex self_;
   ProtocolParams params_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace pandas::core

@@ -259,6 +259,8 @@ void AdaptiveFetcher::run_round() {
     return;
   }
   ++round_;
+  obs::emit(trace_, obs::EventType::kRoundStart, engine_.now(), obs::kNoPeer,
+            round_, static_cast<std::int64_t>(outstanding_));
   // Schedules are relative to the current fetch cycle: a re-invocation of
   // FETCH (after candidate exhaustion) restarts with cautious parameters.
   const std::uint32_t cycle_round = round_ - cycle_start_round_;

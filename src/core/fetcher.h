@@ -12,6 +12,7 @@
 #include "core/params.h"
 #include "core/view.h"
 #include "net/messages.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "util/bitmap.h"
 #include "util/prng.h"
@@ -84,6 +85,9 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
   using TopUpFn = std::function<std::vector<net::CellId>()>;
   void set_topup(TopUpFn fn) { topup_ = std::move(fn); }
 
+  /// Observability sink (nullptr = off); rounds emit round-start events.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Number of cells of `line` currently in F.
   [[nodiscard]] std::uint32_t outstanding_in_line(net::LineRef line,
                                                   std::uint32_t n) const;
@@ -149,6 +153,7 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
   SendQueryFn send_;
   net::BoostMap boost_;
   TopUpFn topup_;
+  obs::TraceSink* trace_ = nullptr;
 
   /// F, indexed two ways: by row (canonical) and by column (mirror).
   MissingMap missing_rows_;

@@ -45,6 +45,10 @@ void PandasNode::begin_slot(std::uint64_t slot) {
       engine_, params_, *table_, view_, self_,
       engine_.rng_stream(0x66657463ULL ^
                          (static_cast<std::uint64_t>(self_) << 20) ^ slot));
+  if (trace_ != nullptr) {
+    trace_->set_slot(slot);
+    fetcher_->set_trace(trace_);
+  }
 }
 
 bool PandasNode::handle_message(net::NodeIndex from, net::Message& msg) {
@@ -71,6 +75,8 @@ void PandasNode::on_seed(net::NodeIndex /*from*/, net::SeedMsg&& msg) {
     seed_received_ = true;
     record_.seed_time = engine_.now() - record_.slot_start;
     record_.seed_cells = static_cast<std::uint32_t>(msg.cells.size());
+    obs::emit(trace_, obs::EventType::kSeedReceived, engine_.now(), obs::kNoPeer,
+              static_cast<std::int64_t>(msg.cells.size()));
   }
   ingest(msg.cells);
   if (fetcher_->started()) {
@@ -203,10 +209,14 @@ void PandasNode::start_fetch(net::BoostMap boost) {
     }
     return extra;
   });
+  obs::emit(trace_, obs::EventType::kFetchStart, engine_.now(), obs::kNoPeer,
+            static_cast<std::int64_t>(needed.size()));
   fetcher_->start(
       needed, std::move(boost),
       [this, generation](net::NodeIndex target, std::vector<net::CellId> cells) {
         if (generation != slot_generation_) return;
+        obs::emit(trace_, obs::EventType::kQuerySent, engine_.now(), target,
+                  static_cast<std::int64_t>(cells.size()));
         net::CellQueryMsg q;
         q.slot = slot_;
         q.cells = std::move(cells);
@@ -218,6 +228,8 @@ void PandasNode::start_fetch(net::BoostMap boost) {
 
 void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
   count_fetch_traffic(net::Message(msg));
+  obs::emit(trace_, obs::EventType::kQueryReceived, engine_.now(), from,
+            static_cast<std::int64_t>(msg.cells.size()));
 
   if (!seed_received_ && !fetcher_->started() && !fallback_armed_) {
     // First sign of the slot without seed data: arm the fallback timer
@@ -248,6 +260,8 @@ void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
   }
   if (!available.empty()) send_reply(from, std::move(available));
   if (!remaining.empty()) {
+    obs::emit(trace_, obs::EventType::kQueryBuffered, engine_.now(), from,
+              static_cast<std::int64_t>(remaining.size()));
     PendingQuery pq;
     pq.requester = from;
     pq.cells = remaining;
@@ -258,6 +272,8 @@ void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
 
 void PandasNode::on_reply(net::NodeIndex from, net::CellReplyMsg&& msg) {
   count_fetch_traffic(net::Message(msg));
+  obs::emit(trace_, obs::EventType::kReplyReceived, engine_.now(), from,
+            static_cast<std::int64_t>(msg.cells.size()));
   const auto result = ingest(msg.cells);
   fetcher_->on_reply(from, result.new_cells, result.duplicates,
                      result.reconstructed);
@@ -265,6 +281,10 @@ void PandasNode::on_reply(net::NodeIndex from, net::CellReplyMsg&& msg) {
 
 CustodyState::AddResult PandasNode::ingest(std::span<const net::CellId> cells) {
   auto result = custody_.add_cells(cells, /*keep_extras=*/true);
+  if (result.reconstructed > 0) {
+    obs::emit(trace_, obs::EventType::kReconstruction, engine_.now(),
+              obs::kNoPeer, result.reconstructed);
+  }
   if (!result.obtained.empty()) {
     fetcher_->on_cells_obtained(result.obtained);
     if (!missing_samples_.empty()) {
@@ -286,7 +306,7 @@ void PandasNode::serve_pending() {
                        [&](net::CellId c) { return custody_.has_cell(c); }),
         pq.remaining.end());
     if (pq.remaining.empty()) {
-      send_reply(pq.requester, std::move(pq.cells));
+      send_reply(pq.requester, std::move(pq.cells), /*buffered=*/true);
       it = pending_.erase(it);
     } else {
       ++it;
@@ -294,7 +314,12 @@ void PandasNode::serve_pending() {
   }
 }
 
-void PandasNode::send_reply(net::NodeIndex to, std::vector<net::CellId> cells) {
+void PandasNode::send_reply(net::NodeIndex to, std::vector<net::CellId> cells,
+                            bool buffered) {
+  obs::emit(trace_,
+            buffered ? obs::EventType::kBufferedReplyServed
+                     : obs::EventType::kReplySent,
+            engine_.now(), to, static_cast<std::int64_t>(cells.size()));
   net::CellReplyMsg reply;
   reply.slot = slot_;
   reply.cells = std::move(cells);
@@ -306,9 +331,11 @@ void PandasNode::check_completion() {
   const sim::Time elapsed = engine_.now() - record_.slot_start;
   if (!record_.consolidation_time && custody_.all_lines_complete()) {
     record_.consolidation_time = elapsed;
+    obs::emit(trace_, obs::EventType::kConsolidationDone, engine_.now());
   }
   if (!record_.sampling_time && missing_samples_.empty()) {
     record_.sampling_time = elapsed;
+    obs::emit(trace_, obs::EventType::kSamplingDone, engine_.now());
   }
 }
 

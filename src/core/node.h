@@ -10,6 +10,7 @@
 #include "core/params.h"
 #include "core/view.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 
 /// A PANDAS full node (paper §6): custodies its assigned rows/columns,
@@ -53,6 +54,9 @@ class PandasNode {
   void configure_epoch(const AssignmentTable* table) { table_ = table; }
   /// This node's current network view (owned by the harness).
   void set_view(const View* view) { view_ = view; }
+  /// Observability sink (nullptr = tracing off); propagated to the per-slot
+  /// fetcher. The sink must outlive the node.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
   /// Starts a new slot: fresh custody, fresh samples, fresh fetcher.
   void begin_slot(std::uint64_t slot);
@@ -94,7 +98,8 @@ class PandasNode {
   CustodyState::AddResult ingest(std::span<const net::CellId> cells);
   void serve_pending();
   void check_completion();
-  void send_reply(net::NodeIndex to, std::vector<net::CellId> cells);
+  void send_reply(net::NodeIndex to, std::vector<net::CellId> cells,
+                  bool buffered = false);
   void count_fetch_traffic(const net::Message& msg);
 
   sim::Engine& engine_;
@@ -123,6 +128,7 @@ class PandasNode {
   bool fallback_armed_ = false;
   bool seed_received_ = false;
   SlotRecord record_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace pandas::core

@@ -1,8 +1,10 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <string>
 
 #include "core/assignment.h"
+#include "obs/json.h"
 
 namespace pandas::harness {
 
@@ -13,7 +15,8 @@ constexpr std::uint64_t kBlockTopic = 0xb10cULL;
 PandasExperiment::PandasExperiment(PandasConfig cfg)
     : cfg_(std::move(cfg)),
       directory_(net::Directory::create(cfg_.net.nodes)),
-      harness_rng_(util::mix64(cfg_.net.seed ^ 0x6861726eULL)) {
+      harness_rng_(util::mix64(cfg_.net.seed ^ 0x6861726eULL)),
+      registry_(cfg_.obs.metrics) {
   setup();
 }
 
@@ -114,6 +117,23 @@ void PandasExperiment::setup() {
   builder_ = std::make_unique<core::Builder>(*engine_, *transport_,
                                              builder_index_, cfg_.params);
 
+  // Observability wiring: per-actor sinks (nullptr when disabled or outside
+  // the sample) and opt-in engine profiling. A trace seed of 0 inherits the
+  // experiment seed so the sampled set is a pure function of cfg.net.seed.
+  auto tcfg = cfg_.obs.trace;
+  if (tcfg.seed == 0) tcfg.seed = cfg_.net.seed;
+  tracer_ = obs::Tracer(tcfg, n + 1);
+  if (tracer_.enabled()) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      tracer_.set_actor_label(i, "node " + std::to_string(i));
+      nodes_[i]->set_trace(tracer_.sink(i));
+    }
+    tracer_.set_actor_label(builder_index_, "builder");
+    builder_->set_trace(tracer_.sink(builder_index_));
+    transport_->set_tracer(&tracer_);
+  }
+  engine_->set_profiling(cfg_.obs.metrics);
+
   // Warm-up: let the gossip meshes stabilize before the first slot.
   if (cfg_.block_gossip) {
     engine_->run_until(engine_->now() + 3 * sim::kSecond);
@@ -213,7 +233,210 @@ core::Builder::SeedingReport PandasExperiment::run_slot(std::uint64_t slot,
       }
     }
   }
+  collect_obs(slot_start);
   return report;
+}
+
+void PandasExperiment::collect_obs(sim::Time slot_start) {
+  const bool tracing = tracer_.enabled();
+  const bool metrics = registry_.enabled();
+  const bool recording = cfg_.obs.collect_records;
+  if (!tracing && !metrics && !recording) return;
+
+  // Per-round sums accumulated over this slot's nodes, folded into the
+  // registry's per-round counter families once per slot.
+  struct RoundSums {
+    std::uint64_t messages = 0, requested = 0, replies_in = 0,
+                  replies_after = 0, cells_in = 0, cells_after = 0,
+                  duplicates = 0, reconstructed = 0;
+  };
+  std::vector<RoundSums> sums;
+  std::uint64_t seed_cells = 0, fetch_messages = 0, fetch_bytes = 0;
+  std::uint64_t cons_misses = 0, samp_misses = 0, n_records = 0;
+
+  util::Histogram& h_seed =
+      registry_.histogram("phase_ms", obs::label("phase", "seeding"));
+  util::Histogram& h_cons =
+      registry_.histogram("phase_ms", obs::label("phase", "consolidation"));
+  util::Histogram& h_samp =
+      registry_.histogram("phase_ms", obs::label("phase", "sampling"));
+
+  const std::uint32_t n = cfg_.net.nodes;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (dead_[i]) continue;
+    const auto& rec = nodes_[i]->record();
+    const auto* fetcher = nodes_[i]->fetcher();
+
+    if (tracing) {
+      // Sequential phase spans per node track: seeding ends at the first
+      // seed, consolidation and sampling at their completion instants
+      // (clamped forward so spans never overlap on the track).
+      if (auto* sink = tracer_.sink(i); sink != nullptr) {
+        sim::Time cursor = slot_start;
+        if (rec.seed_time) {
+          const sim::Time end = slot_start + *rec.seed_time;
+          sink->span(obs::EventType::kPhaseSeeding, cursor, end,
+                     rec.seed_cells);
+          cursor = end;
+        }
+        if (rec.consolidation_time) {
+          const sim::Time end =
+              std::max(cursor, slot_start + *rec.consolidation_time);
+          sink->span(obs::EventType::kPhaseConsolidation, cursor, end);
+          cursor = end;
+        }
+        if (rec.sampling_time) {
+          const sim::Time end =
+              std::max(cursor, slot_start + *rec.sampling_time);
+          sink->span(obs::EventType::kPhaseSampling, cursor, end);
+        }
+      }
+    }
+
+    if (recording) {
+      NodeSlotRecord r;
+      r.node = i;
+      r.rec = rec;
+      if (fetcher != nullptr) {
+        r.initial_outstanding = fetcher->initial_outstanding();
+        r.rounds = fetcher->round_stats();
+      }
+      records_.push_back(std::move(r));
+    }
+
+    if (metrics) {
+      n_records += 1;
+      if (rec.seed_time) h_seed.add(sim::to_ms(*rec.seed_time));
+      if (rec.consolidation_time) {
+        h_cons.add(sim::to_ms(*rec.consolidation_time));
+      } else {
+        cons_misses += 1;
+      }
+      if (rec.sampling_time) {
+        h_samp.add(sim::to_ms(*rec.sampling_time));
+      } else {
+        samp_misses += 1;
+      }
+      seed_cells += rec.seed_cells;
+      fetch_messages += rec.fetch_messages;
+      fetch_bytes += rec.fetch_bytes;
+      if (fetcher != nullptr) {
+        const auto& rounds = fetcher->round_stats();
+        if (sums.size() < rounds.size()) sums.resize(rounds.size());
+        for (std::size_t r = 0; r < rounds.size(); ++r) {
+          const auto& st = rounds[r];
+          sums[r].messages += st.messages_sent;
+          sums[r].requested += st.cells_requested;
+          sums[r].replies_in += st.replies_in_round;
+          sums[r].replies_after += st.replies_after_round;
+          sums[r].cells_in += st.cells_in_round;
+          sums[r].cells_after += st.cells_after_round;
+          sums[r].duplicates += st.duplicates;
+          sums[r].reconstructed += st.reconstructed;
+        }
+      }
+    }
+  }
+
+  if (metrics) {
+    registry_.counter("node_slots").inc(n_records);
+    registry_.counter("consolidation_misses").inc(cons_misses);
+    registry_.counter("sampling_misses").inc(samp_misses);
+    registry_.counter("seed_cells").inc(seed_cells);
+    registry_.counter("fetch_traffic_messages").inc(fetch_messages);
+    registry_.counter("fetch_traffic_bytes").inc(fetch_bytes);
+    for (std::size_t r = 0; r < sums.size(); ++r) {
+      const auto lbl = obs::label("round", static_cast<std::uint64_t>(r + 1));
+      registry_.counter("fetch_messages", lbl).inc(sums[r].messages);
+      registry_.counter("fetch_cells_requested", lbl).inc(sums[r].requested);
+      registry_.counter("fetch_replies_in", lbl).inc(sums[r].replies_in);
+      registry_.counter("fetch_replies_after", lbl).inc(sums[r].replies_after);
+      registry_.counter("fetch_cells_received", lbl).inc(sums[r].cells_in);
+      registry_.counter("fetch_cells_after", lbl).inc(sums[r].cells_after);
+      registry_.counter("fetch_duplicates", lbl).inc(sums[r].duplicates);
+      registry_.counter("fetch_reconstructed", lbl).inc(sums[r].reconstructed);
+    }
+  }
+}
+
+void PandasExperiment::collect_run_metrics() {
+  if (!registry_.enabled()) return;
+  // Gauges (idempotent set) so mid-run snapshots and the final export agree.
+  registry_.gauge("engine_events_executed")
+      .set(static_cast<double>(engine_->executed()));
+  const auto& prof = engine_->profile();
+  registry_.gauge("engine_peak_queue_depth")
+      .set(static_cast<double>(prof.peak_queue_depth));
+  if (cfg_.obs.wall_metrics) {
+    // Wall time is not a function of the seed; exporting it is an explicit
+    // opt-out of the byte-identical metrics guarantee.
+    registry_.gauge("engine_wall_seconds").set(prof.wall_seconds);
+    registry_.gauge("engine_wall_per_sim_second")
+        .set(prof.wall_per_sim_second());
+  }
+  registry_.gauge("trace_events_dropped")
+      .set(static_cast<double>(tracer_.total_dropped()));
+
+  const auto totals = transport_->typed_totals();
+  for (std::size_t c = 0; c < net::kMsgClassCount; ++c) {
+    const auto lbl = obs::label(
+        "class", net::msg_class_name(static_cast<net::MsgClass>(c)));
+    const auto& t = totals.by_class[c];
+    registry_.gauge("transport_msgs_sent", lbl)
+        .set(static_cast<double>(t.msgs_sent));
+    registry_.gauge("transport_msgs_received", lbl)
+        .set(static_cast<double>(t.msgs_received));
+    registry_.gauge("transport_bytes_sent", lbl)
+        .set(static_cast<double>(t.bytes_sent));
+    registry_.gauge("transport_bytes_received", lbl)
+        .set(static_cast<double>(t.bytes_received));
+    registry_.gauge("transport_msgs_lost", lbl)
+        .set(static_cast<double>(t.msgs_lost));
+    registry_.gauge("transport_cells_lost", lbl)
+        .set(static_cast<double>(t.cells_lost));
+    registry_.gauge("transport_msgs_to_dead", lbl)
+        .set(static_cast<double>(t.msgs_to_dead));
+  }
+}
+
+void PandasExperiment::write_records_jsonl(std::FILE* out) const {
+  for (const auto& r : records_) {
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.kv("slot", r.rec.slot);
+    w.kv("node", r.node);
+    if (r.rec.seed_time) w.kv("seed_ms", sim::to_ms(*r.rec.seed_time));
+    if (r.rec.consolidation_time) {
+      w.kv("consolidation_ms", sim::to_ms(*r.rec.consolidation_time));
+    }
+    if (r.rec.sampling_time) {
+      w.kv("sampling_ms", sim::to_ms(*r.rec.sampling_time));
+    }
+    w.kv("seed_cells", r.rec.seed_cells);
+    w.kv("fetch_messages", r.rec.fetch_messages);
+    w.kv("fetch_bytes", r.rec.fetch_bytes);
+    w.kv("initial_outstanding", r.initial_outstanding);
+    w.key("rounds");
+    w.begin_array();
+    for (std::size_t i = 0; i < r.rounds.size(); ++i) {
+      const auto& st = r.rounds[i];
+      w.begin_object();
+      w.kv("round", static_cast<std::uint64_t>(i + 1));
+      w.kv("messages", st.messages_sent);
+      w.kv("requested", st.cells_requested);
+      w.kv("replies_in", st.replies_in_round);
+      w.kv("replies_after", st.replies_after_round);
+      w.kv("cells_in", st.cells_in_round);
+      w.kv("cells_after", st.cells_after_round);
+      w.kv("duplicates", st.duplicates);
+      w.kv("reconstructed", st.reconstructed);
+      w.kv("remaining_after", st.remaining_after);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.newline();
+  }
 }
 
 PandasResults PandasExperiment::run() {
@@ -224,9 +447,15 @@ PandasResults PandasExperiment::run() {
     const auto report = run_slot(s, out);
     builder_bytes += static_cast<double>(report.bytes);
     builder_msgs += static_cast<double>(report.messages);
+    if (registry_.enabled()) {
+      registry_.counter("builder_seed_messages").inc(report.messages);
+      registry_.counter("builder_seed_cell_copies").inc(report.cell_copies);
+      registry_.counter("builder_seed_bytes").inc(report.bytes);
+    }
   }
   out.builder_bytes_per_slot = builder_bytes / cfg_.slots;
   out.builder_msgs_per_slot = builder_msgs / cfg_.slots;
+  collect_run_metrics();
   return out;
 }
 

@@ -4,12 +4,16 @@
 #include <memory>
 #include <vector>
 
+#include <cstdio>
+
 #include "core/builder.h"
 #include "core/node.h"
 #include "core/seeding.h"
 #include "gossip/gossipsub.h"
 #include "net/directory.h"
 #include "net/sim_transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/topology.h"
 #include "util/stats.h"
@@ -30,6 +34,25 @@ struct NetworkConfig {
   double builder_best_fraction = 0.2;    // builder vertex drawn from best 20%
 };
 
+/// Observability switches, shared by PANDAS and baseline harnesses. All off
+/// by default: a run without exporters carries no tracing pointers, no
+/// registry entries and no engine clock reads.
+struct ObsConfig {
+  /// Trace-event collection (per-actor TraceSink wiring + Chrome export).
+  /// `trace.seed` of 0 inherits the experiment seed, keeping the sampled
+  /// actor set — and hence the exported files — a pure function of the seed.
+  obs::TraceConfig trace{};
+  /// Fill the metrics registry at collection points + engine profiling.
+  bool metrics = false;
+  /// Also export wall-clock engine gauges (engine_wall_seconds,
+  /// engine_wall_per_sim_second). Off by default because wall time is not a
+  /// function of the seed, and the default metrics dump guarantees
+  /// same-seed => byte-identical output.
+  bool wall_metrics = false;
+  /// Keep per-(node, slot) records for the JSONL exporter.
+  bool collect_records = false;
+};
+
 struct PandasConfig {
   NetworkConfig net{};
   core::ProtocolParams params{};
@@ -45,6 +68,15 @@ struct PandasConfig {
   std::uint32_t block_bytes = 128 * 1024;
   /// Simulated time between slot starts; phases must finish well within it.
   sim::Time slot_duration = sim::kSlotDuration;
+  ObsConfig obs{};
+};
+
+/// One JSONL export record: everything measured about one (node, slot).
+struct NodeSlotRecord {
+  std::uint32_t node = 0;
+  core::PandasNode::SlotRecord rec{};
+  std::uint64_t initial_outstanding = 0;
+  std::vector<core::FetchRoundStats> rounds;
 };
 
 /// Aggregates over all (correct node, slot) pairs.
@@ -105,8 +137,26 @@ class PandasExperiment {
   /// tests can interleave custom events. Returns per-slot builder report.
   core::Builder::SeedingReport run_slot(std::uint64_t slot, PandasResults& out);
 
+  /// Observability surface. The tracer holds per-actor sinks (empty when
+  /// tracing is off); the registry is filled at collection points when
+  /// cfg.obs.metrics is set.
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] const std::vector<NodeSlotRecord>& node_slot_records() const {
+    return records_;
+  }
+
+  /// Engine / transport / trace gauges sampled "now" — called by run() at
+  /// the end, and callable mid-run for snapshots. No-op without metrics.
+  void collect_run_metrics();
+
+  /// JSONL export: one record per (node, slot), deterministic field order.
+  /// Requires cfg.obs.collect_records.
+  void write_records_jsonl(std::FILE* out) const;
+
  private:
   void setup();
+  void collect_obs(sim::Time slot_start);
 
   PandasConfig cfg_;
   std::unique_ptr<sim::Engine> engine_;
@@ -124,6 +174,9 @@ class PandasExperiment {
   util::Xoshiro256 harness_rng_;
   std::vector<sim::Time> block_arrival_;  // per node, per current slot
   std::uint64_t current_epoch_ = 0;
+  obs::Tracer tracer_;
+  obs::Registry registry_;
+  std::vector<NodeSlotRecord> records_;
 
   /// Rebuilds the assignment table when `slot` crosses an epoch boundary
   /// (F is short-lived, §5) and points every node at the new table.

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/args.h"
+#include "harness/experiment.h"
+#include "harness/snapshot.h"
+
+/// Shared observability CLI surface wired into every bench binary:
+///   --trace-out FILE        Chrome trace-event JSON (chrome://tracing,
+///                           Perfetto)
+///   --trace-sample-rate R   fraction of actors traced (default 1.0)
+///   --trace-ring N          per-actor ring capacity (0 = keep everything)
+///   --metrics-out FILE      metrics registry JSON dump (byte-deterministic
+///                           for a given seed)
+///   --metrics-wall          include wall-clock engine gauges in the dump
+///                           (opts out of byte-determinism)
+///   --records-out FILE      per-(node, slot) JSONL records
+///   --json                  machine-readable snapshot(s) on stdout instead
+///                           of the human report
+///
+/// Multi-configuration benches call finish() once per experiment: the files
+/// are rewritten each time, so the last configuration wins (run the bench
+/// with a single configuration to export a specific one).
+namespace pandas::harness {
+
+struct ObsCli {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string records_out;
+  double sample_rate = 1.0;
+  std::size_t ring = 0;
+  bool json = false;
+  bool wall = false;
+
+  [[nodiscard]] static ObsCli parse(const Args& args) {
+    ObsCli cli;
+    cli.trace_out = args.get_str("--trace-out", "");
+    cli.metrics_out = args.get_str("--metrics-out", "");
+    cli.records_out = args.get_str("--records-out", "");
+    cli.sample_rate = args.get_double("--trace-sample-rate", 1.0);
+    cli.ring = static_cast<std::size_t>(args.get_int("--trace-ring", 0));
+    cli.json = args.has("--json");
+    cli.wall = args.has("--metrics-wall");
+    // Fail fast on unwritable export paths instead of after a full run.
+    for (const auto* path : {&cli.trace_out, &cli.metrics_out,
+                             &cli.records_out}) {
+      write_file(*path, [](std::FILE*) {});
+    }
+    return cli;
+  }
+
+  /// Turns the requested exporters into harness observability switches.
+  void apply(PandasConfig& cfg) const {
+    cfg.obs.trace.enabled = !trace_out.empty();
+    cfg.obs.trace.sample_rate = sample_rate;
+    cfg.obs.trace.ring_capacity = ring;
+    cfg.obs.metrics = !metrics_out.empty();
+    cfg.obs.wall_metrics = wall;
+    cfg.obs.collect_records = !records_out.empty();
+  }
+
+  [[nodiscard]] bool any_export() const {
+    return !trace_out.empty() || !metrics_out.empty() || !records_out.empty();
+  }
+
+  /// Writes the requested export files from a finished experiment.
+  void finish(PandasExperiment& ex) const {
+    write_file(trace_out,
+               [&](std::FILE* f) { ex.tracer().write_chrome_trace(f); });
+    write_file(metrics_out,
+               [&](std::FILE* f) { ex.registry().write_json(f); });
+    write_file(records_out,
+               [&](std::FILE* f) { ex.write_records_jsonl(f); });
+  }
+
+  /// For benches (or bench modes) that run no PANDAS experiment: writes
+  /// trivially valid, empty export files so downstream tooling never sees a
+  /// missing path.
+  void finish_empty() const {
+    write_file(trace_out,
+               [](std::FILE* f) { obs::Tracer().write_chrome_trace(f); });
+    write_file(metrics_out,
+               [](std::FILE* f) { obs::Registry(false).write_json(f); });
+    write_file(records_out, [](std::FILE*) {});
+  }
+
+  /// Emits one snapshot as a JSON line on stdout (JSONL across configs).
+  static void emit_json(const ResultsSnapshot& snap) {
+    snap.write_json(stdout);
+    std::fputc('\n', stdout);
+  }
+
+ private:
+  template <typename Fn>
+  static void write_file(const std::string& path, Fn&& fn) {
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   path.c_str());
+      std::exit(1);
+    }
+    fn(f);
+    std::fclose(f);
+  }
+};
+
+}  // namespace pandas::harness

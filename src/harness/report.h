@@ -3,16 +3,30 @@
 #include <cstdio>
 #include <string>
 
+#include "harness/snapshot.h"
 #include "util/stats.h"
 
 /// Console reporting helpers shared by the bench binaries: each bench prints
-/// the same rows/series as the corresponding paper table or figure.
+/// the same rows/series as the corresponding paper table or figure. All
+/// renderers work from structured snapshots (util::Summary, SeriesSnapshot,
+/// TableCell) — the same data the `--json` exporter serializes — so console
+/// and JSON output can never disagree.
 namespace pandas::harness {
 
 /// Prints "label: n=.. min=.. p50=.. mean=.. p99=.. max=..".
-inline void print_summary(const std::string& label, const util::Samples& s,
+inline void print_summary(const std::string& label, const util::Summary& s,
                           const std::string& unit) {
   std::printf("  %-34s %s\n", label.c_str(), util::summarize(s, unit).c_str());
+}
+
+inline void print_summary(const std::string& label, const util::Samples& s,
+                          const std::string& unit) {
+  print_summary(label, s.summary(), unit);
+}
+
+/// Renders one figure series (summary row) from a snapshot.
+inline void print_series(const SeriesSnapshot& s) {
+  print_summary(s.name, s.summary, s.unit);
 }
 
 /// Prints a CDF as "value fraction" rows (default 20 points) — the series
@@ -25,12 +39,29 @@ inline void print_cdf(const std::string& label, const util::Samples& s,
   }
 }
 
+inline void print_cdf(const SeriesSnapshot& s) {
+  std::printf("  CDF %s (%zu samples):\n", s.name.c_str(), s.summary.n);
+  for (const auto& [v, f] : s.cdf) {
+    std::printf("    %10.1f  %6.4f\n", v, f);
+  }
+}
+
 /// Prints "mean +- stddev" in Table-1 style.
-inline std::string mean_std(const util::Samples& s) {
-  if (s.empty()) return "-";
+inline std::string mean_std(const TableCell& c) {
+  if (c.n == 0) return "-";
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.0f +- %.0f", s.mean(), s.stddev());
+  std::snprintf(buf, sizeof(buf), "%.0f +- %.0f", c.mean, c.stddev);
   return buf;
+}
+
+inline std::string mean_std(const util::Samples& s) {
+  TableCell c;
+  c.n = s.count();
+  if (!s.empty()) {
+    c.mean = s.mean();
+    c.stddev = s.stddev();
+  }
+  return mean_std(c);
 }
 
 inline void print_header(const std::string& title) {

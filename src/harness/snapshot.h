@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "harness/baseline_experiments.h"
+#include "harness/experiment.h"
+#include "util/stats.h"
+
+/// Structured results snapshot: the single source of truth behind every
+/// console report and every machine-readable export. Benches build one
+/// snapshot from their results and then either render it (report.h) or dump
+/// it as JSON (`--json`), so the two can never disagree about a number.
+namespace pandas::harness {
+
+/// One named distribution (a figure series): summary row + CDF points.
+struct SeriesSnapshot {
+  std::string name;   ///< e.g. "sampling_ms" (Fig 9d)
+  std::string unit;   ///< "ms", "msgs", "MB", ...
+  util::Summary summary{};
+  std::vector<std::pair<double, double>> cdf;  ///< (value, fraction)
+};
+
+/// mean +- stddev cell of a Table-1 row.
+struct TableCell {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+};
+
+/// One fetch round of Table 1, aggregated over node-slots.
+struct RoundRowSnapshot {
+  std::uint32_t round = 0;  ///< 1-based
+  TableCell messages, requested, replies_in, replies_after, cells_in,
+      cells_after, duplicates, reconstructed, coverage_pct;
+};
+
+struct ResultsSnapshot {
+  std::string experiment;  ///< label, e.g. "pandas/redundant-8"
+  std::uint64_t seed = 0;
+  std::uint32_t nodes = 0;
+  std::uint32_t slots = 0;
+  std::uint64_t records = 0;
+  std::uint64_t consolidation_misses = 0;
+  std::uint64_t sampling_misses = 0;
+  double deadline_fraction = 0;
+  double builder_bytes_per_slot = 0;
+  double builder_msgs_per_slot = 0;
+  std::vector<SeriesSnapshot> series;
+  std::vector<RoundRowSnapshot> table1;
+
+  /// Series lookup by name; an empty placeholder when absent, so renderers
+  /// can print unconditional rows.
+  [[nodiscard]] const SeriesSnapshot& series_named(std::string_view name) const {
+    for (const auto& s : series) {
+      if (s.name == name) return s;
+    }
+    static const SeriesSnapshot kEmpty{};
+    return kEmpty;
+  }
+
+  /// Deterministic JSON dump (figure series + Table-1 rows). One top-level
+  /// object; callers append a newline for JSONL-style concatenation.
+  void write_json(std::FILE* out) const;
+};
+
+/// Builds a snapshot from a PANDAS run. `cdf_points` bounds the per-series
+/// CDF resolution (0 = omit CDFs).
+[[nodiscard]] ResultsSnapshot snapshot_of(const std::string& label,
+                                          const PandasConfig& cfg,
+                                          const PandasResults& res,
+                                          std::size_t cdf_points = 20);
+
+/// Builds a snapshot from a baseline (GossipDAS / DHT-DAS) run.
+[[nodiscard]] ResultsSnapshot snapshot_of(const std::string& label,
+                                          const NetworkConfig& net,
+                                          std::uint32_t slots,
+                                          const BaselineResults& res,
+                                          std::size_t cdf_points = 20);
+
+[[nodiscard]] SeriesSnapshot series_of(const std::string& name,
+                                       const std::string& unit,
+                                       const util::Samples& s,
+                                       std::size_t cdf_points = 20);
+
+}  // namespace pandas::harness

@@ -80,6 +80,28 @@ std::uint32_t wire_size(const Message& msg) noexcept {
   return std::visit(WireSizeVisitor{}, msg);
 }
 
+MsgClass message_class(const Message& msg) noexcept {
+  // Variant alternatives are declared grouped by protocol, so the index
+  // maps onto classes with two comparisons.
+  const std::size_t i = msg.index();
+  if (i == 0) return MsgClass::kSeed;
+  if (i == 1) return MsgClass::kQuery;
+  if (i == 2) return MsgClass::kResponse;
+  if (i <= 7) return MsgClass::kGossip;
+  return MsgClass::kDht;
+}
+
+const char* msg_class_name(MsgClass c) noexcept {
+  switch (c) {
+    case MsgClass::kSeed: return "seed";
+    case MsgClass::kQuery: return "query";
+    case MsgClass::kResponse: return "response";
+    case MsgClass::kGossip: return "gossip";
+    case MsgClass::kDht: return "dht";
+  }
+  return "unknown";
+}
+
 std::pair<std::size_t, std::size_t> LineBoost::range_of(NodeIndex node) const {
   const auto lo = std::lower_bound(
       entries.begin(), entries.end(), node,

@@ -195,6 +195,22 @@ using Message =
                  DhtFindNodeMsg, DhtNodesMsg, DhtStoreMsg, DhtStoreAckMsg,
                  DhtFindValueMsg, DhtValueMsg>;
 
+/// Coarse message classes for per-type traffic accounting (Fig 10's traffic
+/// decomposition comes straight from the transport's per-class counters).
+enum class MsgClass : std::uint8_t {
+  kSeed = 0,   ///< builder seeding (SeedMsg)
+  kQuery,      ///< cell queries (CellQueryMsg)
+  kResponse,   ///< cell replies (CellReplyMsg)
+  kGossip,     ///< all GossipSub control + data
+  kDht,        ///< all Kademlia RPCs
+};
+inline constexpr std::size_t kMsgClassCount = 5;
+
+[[nodiscard]] MsgClass message_class(const Message& msg) noexcept;
+
+/// Stable lowercase label ("seed", "query", "response", "gossip", "dht").
+[[nodiscard]] const char* msg_class_name(MsgClass c) noexcept;
+
 /// Bytes this message would occupy on the wire (excluding UDP/IP framing,
 /// which the transport adds per packet).
 [[nodiscard]] std::uint32_t wire_size(const Message& msg) noexcept;

@@ -5,6 +5,20 @@
 
 namespace pandas::net {
 
+void TypedTrafficStats::merge(const TypedTrafficStats& other) noexcept {
+  for (std::size_t i = 0; i < by_class.size(); ++i) {
+    auto& dst = by_class[i];
+    const auto& src = other.by_class[i];
+    dst.msgs_sent += src.msgs_sent;
+    dst.msgs_received += src.msgs_received;
+    dst.bytes_sent += src.bytes_sent;
+    dst.bytes_received += src.bytes_received;
+    dst.msgs_lost += src.msgs_lost;
+    dst.cells_lost += src.cells_lost;
+    dst.msgs_to_dead += src.msgs_to_dead;
+  }
+}
+
 SimTransport::SimTransport(sim::Engine& engine, const sim::Topology& topology,
                            SimTransportConfig cfg)
     : engine_(engine),
@@ -24,7 +38,14 @@ NodeIndex SimTransport::add_node(std::uint32_t vertex, double up_bps,
   links_.push_back(link);
   handlers_.emplace_back();
   stats_.emplace_back();
+  typed_stats_.emplace_back();
   return static_cast<NodeIndex>(links_.size() - 1);
+}
+
+TypedTrafficStats SimTransport::typed_totals() const {
+  TypedTrafficStats total;
+  for (const auto& s : typed_stats_) total.merge(s);
+  return total;
 }
 
 void SimTransport::set_handler(NodeIndex node, Handler handler) {
@@ -37,6 +58,7 @@ void SimTransport::set_dead(NodeIndex node, bool dead) {
 
 void SimTransport::reset_stats() {
   for (auto& s : stats_) s.reset();
+  for (auto& s : typed_stats_) s.reset();
 }
 
 void SimTransport::reset_links() {
@@ -46,7 +68,8 @@ void SimTransport::reset_links() {
   }
 }
 
-bool SimTransport::apply_loss(Message& msg) {
+bool SimTransport::apply_loss(Message& msg, std::uint32_t& cells_lost) {
+  cells_lost = 0;
   if (cfg_.loss_rate <= 0.0) return true;
   if (cfg_.reliable_seeding && std::holds_alternative<SeedMsg>(msg)) return true;
   const std::size_t cells = carried_cells(msg);
@@ -66,6 +89,7 @@ bool SimTransport::apply_loss(Message& msg) {
       }
     }
     if (dropped.size() == cells) return false;  // every packet lost
+    cells_lost = static_cast<std::uint32_t>(dropped.size());
     drop_cells(msg, dropped);
     return true;
   }
@@ -83,6 +107,7 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   Link& src = links_[from];
   if (src.dead) return;  // dead nodes do not transmit
 
+  const MsgClass cls = message_class(msg);
   const std::uint32_t payload = wire_size(msg);
   const std::uint32_t packets =
       std::max<std::uint32_t>(1, (payload + kPacketPayloadBytes - 1) / kPacketPayloadBytes);
@@ -92,6 +117,9 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   auto& sstats = stats_[from];
   sstats.msgs_sent += 1;
   sstats.bytes_sent += total_bytes;
+  auto& styped = typed_stats_[from].of(cls);
+  styped.msgs_sent += 1;
+  styped.bytes_sent += total_bytes;
 
   // Uplink serialization (store-and-forward at the sender NIC).
   const sim::Time now = engine_.now();
@@ -103,13 +131,31 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
 
   // Loss is decided at send time to keep the RNG stream independent of
   // event interleaving. A fully lost message still consumed uplink.
-  if (!apply_loss(msg)) return;
+  std::uint32_t cells_lost = 0;
+  if (!apply_loss(msg, cells_lost)) {
+    styped.msgs_lost += 1;
+    if (tracer_ != nullptr) {
+      obs::emit(tracer_->sink(from), obs::EventType::kMsgDropped, now, to,
+                static_cast<std::int64_t>(cls));
+    }
+    return;
+  }
+  if (cells_lost > 0) {
+    styped.cells_lost += cells_lost;
+    if (tracer_ != nullptr) {
+      obs::emit(tracer_->sink(from), obs::EventType::kCellsDropped, now, to,
+                cells_lost, static_cast<std::int64_t>(cls));
+    }
+  }
   if (to == from) {
     // Loopback: deliver after the serialization delay only.
-    engine_.schedule_at(departure, [this, from, to, m = std::move(msg)]() mutable {
+    engine_.schedule_at(departure, [this, from, to, cls, m = std::move(msg)]() mutable {
       auto& rstats = stats_[to];
       rstats.msgs_received += 1;
       rstats.bytes_received += wire_size(m);
+      auto& rtyped = typed_stats_[to].of(cls);
+      rtyped.msgs_received += 1;
+      rtyped.bytes_received += wire_size(m);
       if (handlers_[to]) handlers_[to](from, std::move(m));
     });
     return;
@@ -124,20 +170,29 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   // deterministic, so this stays reproducible).
   engine_.schedule_at(
       arrival_start,
-      [this, from, to, total_bytes, m = std::move(msg)]() mutable {
+      [this, from, to, cls, total_bytes, m = std::move(msg)]() mutable {
         Link& dst = links_[to];
-        if (dst.dead) return;  // dead nodes do not receive
+        if (dst.dead) {  // dead nodes do not receive
+          typed_stats_[from].of(cls).msgs_to_dead += 1;
+          return;
+        }
         const sim::Time rx_time = static_cast<sim::Time>(
             std::ceil(static_cast<double>(total_bytes) * 8.0 / dst.down_bps *
                       static_cast<double>(sim::kSecond)));
         const sim::Time delivered =
             std::max(engine_.now(), dst.down_busy_until) + rx_time;
         dst.down_busy_until = delivered;
-        engine_.schedule_at(delivered, [this, from, to, m = std::move(m)]() mutable {
-          if (links_[to].dead) return;
+        engine_.schedule_at(delivered, [this, from, to, cls, m = std::move(m)]() mutable {
+          if (links_[to].dead) {
+            typed_stats_[from].of(cls).msgs_to_dead += 1;
+            return;
+          }
           auto& rstats = stats_[to];
           rstats.msgs_received += 1;
           rstats.bytes_received += wire_size(m);
+          auto& rtyped = typed_stats_[to].of(cls);
+          rtyped.msgs_received += 1;
+          rtyped.bytes_received += wire_size(m);
           if (handlers_[to]) handlers_[to](from, std::move(m));
         });
       });

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/topology.h"
 
@@ -35,6 +37,36 @@ struct SimTransportConfig {
   bool reliable_seeding = true;
 };
 
+/// Per-node, per-message-class traffic and loss counters. The class axis is
+/// what lets Fig 10's traffic decomposition (seed vs query vs response vs
+/// gossip vs DHT bytes) come from the transport itself instead of being
+/// re-derived in the harness.
+struct TypedTrafficStats {
+  struct Class {
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t msgs_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    /// Whole messages eaten by the loss model on this node's sends.
+    std::uint64_t msgs_lost = 0;
+    /// Cells stripped from degraded (partially lost) cell messages.
+    std::uint64_t cells_lost = 0;
+    /// Messages addressed to (or queued at) a dead node.
+    std::uint64_t msgs_to_dead = 0;
+  };
+  std::array<Class, kMsgClassCount> by_class{};
+
+  [[nodiscard]] const Class& of(MsgClass c) const noexcept {
+    return by_class[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] Class& of(MsgClass c) noexcept {
+    return by_class[static_cast<std::size_t>(c)];
+  }
+  void reset() { *this = TypedTrafficStats{}; }
+  /// Adds `other`'s counts (network-wide aggregation).
+  void merge(const TypedTrafficStats& other) noexcept;
+};
+
 class SimTransport final : public Transport {
  public:
   SimTransport(sim::Engine& engine, const sim::Topology& topology,
@@ -58,7 +90,16 @@ class SimTransport final : public Transport {
   [[nodiscard]] const TrafficStats& stats(NodeIndex node) const {
     return stats_[node];
   }
+  [[nodiscard]] const TypedTrafficStats& typed_stats(NodeIndex node) const {
+    return typed_stats_[node];
+  }
+  /// Network-wide per-class totals (sum over all registered nodes).
+  [[nodiscard]] TypedTrafficStats typed_totals() const;
   void reset_stats();
+
+  /// Optional trace hook: drops (loss, dead destinations) emit events on the
+  /// sender's sink. The tracer must outlive the transport.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Resets link queues (e.g. at a slot boundary in long runs).
   void reset_links();
@@ -77,7 +118,9 @@ class SimTransport final : public Transport {
   };
 
   /// Applies the loss model; returns false if the whole message is lost.
-  bool apply_loss(Message& msg);
+  /// `cells_lost` reports cells stripped from a degraded (but delivered)
+  /// cell-carrying message.
+  bool apply_loss(Message& msg, std::uint32_t& cells_lost);
 
   sim::Engine& engine_;
   const sim::Topology& topology_;
@@ -85,7 +128,9 @@ class SimTransport final : public Transport {
   std::vector<Link> links_;
   std::vector<Handler> handlers_;
   std::vector<TrafficStats> stats_;
+  std::vector<TypedTrafficStats> typed_stats_;
   util::Xoshiro256 loss_rng_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pandas::net

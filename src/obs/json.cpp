@@ -1,0 +1,128 @@
+#include "obs/json.h"
+
+#include <cinttypes>
+#include <cmath>
+
+namespace pandas::obs {
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes a "key": pair — no separator
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) std::fputc(',', out_);
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  std::fputc('{', out_);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  first_.pop_back();
+  std::fputc('}', out_);
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  std::fputc('[', out_);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  first_.pop_back();
+  std::fputc(']', out_);
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  std::fputc('"', out_);
+  escaped(k);
+  std::fputc('"', out_);
+  std::fputc(':', out_);
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma();
+  std::fputc('"', out_);
+  escaped(s);
+  std::fputc('"', out_);
+}
+
+void JsonWriter::value(bool b) {
+  comma();
+  std::fputs(b ? "true" : "false", out_);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  std::fprintf(out_, "%" PRId64, v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  std::fprintf(out_, "%" PRIu64, v);
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    std::fputs("null", out_);
+    return;
+  }
+  // Integral doubles print without exponent/decimals so counters stay exact.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::fprintf(out_, "%" PRId64, static_cast<std::int64_t>(v));
+  } else {
+    std::fprintf(out_, "%.6g", v);
+  }
+}
+
+void JsonWriter::escaped(std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': std::fputs("\\\"", out_); break;
+      case '\\': std::fputs("\\\\", out_); break;
+      case '\n': std::fputs("\\n", out_); break;
+      case '\r': std::fputs("\\r", out_); break;
+      case '\t': std::fputs("\\t", out_); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::fprintf(out_, "\\u%04x", c);
+        } else {
+          std::fputc(c, out_);
+        }
+    }
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pandas::obs

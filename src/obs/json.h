@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Minimal streaming JSON writer used by every exporter in the telemetry
+/// layer. Hand-rolled on purpose: output must be byte-deterministic across
+/// runs (fixed number formatting, insertion-ordered keys, no locale), which
+/// is what makes "same seed => byte-identical trace/metrics files" testable.
+namespace pandas::obs {
+
+class JsonWriter {
+ public:
+  /// Writes to `out` (not owned). The writer performs no buffering of its
+  /// own beyond stdio's.
+  explicit JsonWriter(std::FILE* out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits `"k":` inside an object (call before the matching value).
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  /// Doubles print as "%.6g" — compact and deterministic; non-finite values
+  /// (disallowed by JSON) print as null.
+  void value(double v);
+
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// Raw newline between top-level records (JSONL mode).
+  void newline() { std::fputc('\n', out_); }
+
+ private:
+  void comma();
+  void escaped(std::string_view s);
+
+  std::FILE* out_;
+  /// One frame per open container: true until the first element is written.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+/// Escapes a string for inclusion in JSON (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace pandas::obs

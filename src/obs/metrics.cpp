@@ -1,0 +1,115 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace pandas::obs {
+
+Labels label(std::string_view key, std::string_view value) {
+  return {{std::string(key), std::string(value)}};
+}
+
+Labels label(std::string_view key, std::uint64_t value) {
+  return {{std::string(key), std::to_string(value)}};
+}
+
+std::string Registry::series_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  if (!enabled_) return dummy_counter_;
+  return counters_[series_key(name, labels)];
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  if (!enabled_) return dummy_gauge_;
+  return gauges_[series_key(name, labels)];
+}
+
+util::Histogram& Registry::histogram(std::string_view name,
+                                     const Labels& labels) {
+  if (!enabled_) return dummy_histogram_;
+  const auto key = series_key(name, labels);
+  const auto it = histograms_.find(key);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(key, util::Histogram::log_ms()).first->second;
+}
+
+util::Histogram& Registry::histogram(std::string_view name,
+                                     const Labels& labels,
+                                     std::vector<double> bounds) {
+  if (!enabled_) return dummy_histogram_;
+  const auto key = series_key(name, labels);
+  const auto it = histograms_.find(key);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(key, util::Histogram(std::move(bounds)))
+      .first->second;
+}
+
+std::map<std::string, double> Registry::snapshot() const {
+  std::map<std::string, double> out;
+  for (const auto& [k, c] : counters_) out[k] = static_cast<double>(c.value);
+  for (const auto& [k, g] : gauges_) out[k] = g.value;
+  for (const auto& [k, h] : histograms_) {
+    out[k + "_count"] = static_cast<double>(h.count());
+    out[k + "_sum"] = h.sum();
+  }
+  return out;
+}
+
+void Registry::write_json(std::FILE* out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [k, c] : counters_) w.kv(k, c.value);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [k, g] : gauges_) w.kv(k, g.value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [k, h] : histograms_) {
+    w.key(k);
+    w.begin_object();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.key("bounds");
+    w.begin_array();
+    for (const double b : h.bounds()) w.value(b);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (const auto c : h.counts()) w.value(c);
+    w.end_array();
+    w.kv("p50", h.quantile(0.5));
+    w.kv("p99", h.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  w.newline();
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace pandas::obs

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+
+/// Metrics registry for the telemetry layer (DESIGN: one structured source
+/// of truth the console reports render from).
+///
+/// Three instrument kinds, each addressable as a labeled family:
+///   - Counter:   monotonically increasing u64 (e.g.
+///                `fetch_cells_received{round=2}`);
+///   - Gauge:     last-write-wins double (e.g. `engine_event_queue_depth`);
+///   - Histogram: fixed-bucket util::Histogram (log-spaced ms by default).
+///
+/// Instruments are resolved once by name+labels (map lookup, allocation) and
+/// then updated through plain field writes, so resolution belongs at wiring
+/// or collection points, never inside per-message hot paths. A disabled
+/// registry resolves every instrument to a shared dummy without allocating
+/// (std::string_view API — verified by the counting-allocator test) and
+/// snapshots as empty.
+namespace pandas::obs {
+
+struct Counter {
+  std::uint64_t value = 0;
+  void inc(std::uint64_t d = 1) noexcept { value += d; }
+};
+
+struct Gauge {
+  double value = 0;
+  void set(double v) noexcept { value = v; }
+  void add(double v) noexcept { value += v; }
+};
+
+/// Label set as key=value pairs; rendered sorted-by-key into the family name
+/// so logically equal label sets always map to the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Convenience for the ubiquitous single-label case.
+[[nodiscard]] Labels label(std::string_view key, std::string_view value);
+[[nodiscard]] Labels label(std::string_view key, std::uint64_t value);
+
+class Registry {
+ public:
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Instruments live as long as the registry; the returned references stay
+  /// valid across later registrations.
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  /// Histogram with log-spaced ms buckets unless `bounds` given.
+  util::Histogram& histogram(std::string_view name, const Labels& labels = {});
+  util::Histogram& histogram(std::string_view name, const Labels& labels,
+                             std::vector<double> bounds);
+
+  /// Mid-run snapshot: flattened `family -> value` view of counters and
+  /// gauges (histograms export via write_json; their running count/sum
+  /// appear here as `<name>_count` / `<name>_sum`).
+  [[nodiscard]] std::map<std::string, double> snapshot() const;
+
+  /// Full JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Keys are sorted (std::map iteration) => byte-deterministic.
+  void write_json(std::FILE* out) const;
+
+  void clear();
+
+ private:
+  [[nodiscard]] static std::string series_key(std::string_view name,
+                                              const Labels& labels);
+
+  bool enabled_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, util::Histogram> histograms_;
+  Counter dummy_counter_;
+  Gauge dummy_gauge_;
+  util::Histogram dummy_histogram_ = util::Histogram::log_ms();
+};
+
+}  // namespace pandas::obs

@@ -1,0 +1,184 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+#include "util/prng.h"
+
+namespace pandas::obs {
+
+const char* event_name(EventType t) noexcept {
+  switch (t) {
+    case EventType::kSeedDispatch: return "seed_dispatch";
+    case EventType::kSeedReceived: return "seed_received";
+    case EventType::kFetchStart: return "fetch_start";
+    case EventType::kRoundStart: return "round_start";
+    case EventType::kQuerySent: return "query_sent";
+    case EventType::kQueryReceived: return "query_received";
+    case EventType::kQueryBuffered: return "query_buffered";
+    case EventType::kReplySent: return "reply_sent";
+    case EventType::kBufferedReplyServed: return "buffered_reply_served";
+    case EventType::kReplyReceived: return "reply_received";
+    case EventType::kReconstruction: return "reconstruction";
+    case EventType::kConsolidationDone: return "consolidation_complete";
+    case EventType::kSamplingDone: return "sampling_complete";
+    case EventType::kMsgDropped: return "msg_dropped";
+    case EventType::kCellsDropped: return "cells_dropped";
+    case EventType::kPhaseSeeding: return "seeding";
+    case EventType::kPhaseConsolidation: return "consolidation";
+    case EventType::kPhaseSampling: return "sampling";
+  }
+  return "unknown";
+}
+
+void TraceSink::configure(std::size_t ring_capacity) {
+  capacity_ = ring_capacity;
+  ring_ = ring_capacity > 0;
+  if (ring_) {
+    buf_.reserve(capacity_);
+  } else {
+    buf_.reserve(64);
+  }
+}
+
+void TraceSink::push(const TraceEvent& ev) {
+  if (!ring_) {
+    buf_.push_back(ev);
+    return;
+  }
+  if (buf_.size() < capacity_) {
+    buf_.push_back(ev);
+    return;
+  }
+  buf_[head_] = ev;  // overwrite the oldest retained event
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceSink::emit(EventType type, sim::Time ts, std::uint32_t peer,
+                     std::int64_t a, std::int64_t b) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.slot = slot_;
+  ev.peer = peer;
+  ev.a = a;
+  ev.b = b;
+  ev.type = type;
+  push(ev);
+}
+
+void TraceSink::span(EventType type, sim::Time start, sim::Time end,
+                     std::int64_t a) {
+  TraceEvent ev;
+  ev.ts = start;
+  ev.dur = std::max<sim::Time>(0, end - start);
+  ev.slot = slot_;
+  ev.a = a;
+  ev.type = type;
+  push(ev);
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  if (!ring_ || buf_.size() < capacity_ || head_ == 0) return buf_;
+  std::vector<TraceEvent> out;
+  out.reserve(buf_.size());
+  out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head_),
+             buf_.end());
+  out.insert(out.end(), buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
+}
+
+void TraceSink::clear() {
+  buf_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+Tracer::Tracer(const TraceConfig& cfg, std::uint32_t actor_count) : cfg_(cfg) {
+  sinks_.resize(actor_count);
+  sampled_.assign(actor_count, false);
+  labels_.resize(actor_count);
+  if (!cfg_.enabled) return;
+  for (std::uint32_t i = 0; i < actor_count; ++i) {
+    // Deterministic per-actor sampling: stable across runs and independent
+    // of actor iteration order.
+    const double u =
+        static_cast<double>(util::mix64(cfg_.seed ^ (0x74726163ULL + i))) /
+        static_cast<double>(~0ULL);
+    sampled_[i] = u < cfg_.sample_rate;
+    if (sampled_[i]) sinks_[i].configure(cfg_.ring_capacity);
+  }
+}
+
+TraceSink* Tracer::sink(std::uint32_t actor) {
+  if (!cfg_.enabled || actor >= sinks_.size() || !sampled_[actor]) {
+    return nullptr;
+  }
+  return &sinks_[actor];
+}
+
+void Tracer::set_actor_label(std::uint32_t actor, std::string lbl) {
+  if (actor < labels_.size()) labels_[actor] = std::move(lbl);
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sinks_) total += s.dropped();
+  return total;
+}
+
+void Tracer::write_chrome_trace(std::FILE* out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::uint32_t actor = 0; actor < sinks_.size(); ++actor) {
+    if (!sampled_.empty() && !sampled_[actor]) continue;
+    // Thread-name metadata so chrome://tracing / Perfetto label the track.
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 0);
+    w.kv("tid", actor);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", labels_[actor].empty() ? "node " + std::to_string(actor)
+                                        : labels_[actor]);
+    w.end_object();
+    w.end_object();
+    for (const auto& ev : sinks_[actor].events()) {
+      w.begin_object();
+      w.kv("name", event_name(ev.type));
+      w.kv("cat", ev.dur >= 0 ? "phase" : "event");
+      w.kv("ph", ev.dur >= 0 ? "X" : "i");
+      w.kv("ts", static_cast<std::int64_t>(ev.ts));
+      if (ev.dur >= 0) {
+        w.kv("dur", static_cast<std::int64_t>(ev.dur));
+      } else {
+        w.kv("s", "t");  // instant scope: thread
+      }
+      w.kv("pid", 0);
+      w.kv("tid", actor);
+      w.key("args");
+      w.begin_object();
+      w.kv("slot", ev.slot);
+      if (ev.peer != kNoPeer) w.kv("peer", ev.peer);
+      w.kv("a", ev.a);
+      w.kv("b", ev.b);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("clock", "sim_microseconds");
+  w.kv("dropped_events", total_dropped());
+  w.end_object();
+  w.end_object();
+  w.newline();
+}
+
+}  // namespace pandas::obs

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+/// Sim-time trace-event system.
+///
+/// Every protocol component (builder, node, fetcher, transport) emits typed,
+/// fixed-size events through a per-actor TraceSink. Sinks are owned by one
+/// Tracer per experiment; components hold plain `TraceSink*` that is nullptr
+/// when tracing is off or the actor was not sampled, so the disabled hot
+/// path is a single pointer test and never allocates (the `emit(sink, ...)`
+/// helpers below encapsulate the check).
+///
+/// Two buffer modes:
+///   - unbounded (ring_capacity == 0): events append to a growing vector —
+///     right for figure-scale runs that export everything;
+///   - ring (ring_capacity == C): the newest C events are kept per actor and
+///     `dropped()` counts the overwritten ones — right for 10k+-node scale
+///     runs where only the tail (e.g. the missed deadline) matters.
+///
+/// Export renders a Chrome trace-event JSON (chrome://tracing / Perfetto):
+/// one track (tid) per actor, phase spans as complete ("X") events, point
+/// events as instants. Timestamps are sim-time microseconds, so two runs
+/// with the same seed export byte-identical files.
+namespace pandas::obs {
+
+inline constexpr std::uint32_t kNoPeer = ~0u;
+
+enum class EventType : std::uint8_t {
+  // Builder.
+  kSeedDispatch = 0,   ///< builder -> peer seed message (a=cells, b=bytes)
+  // Node slot lifecycle.
+  kSeedReceived,       ///< first seed for the slot (a=cells)
+  kFetchStart,         ///< adaptive fetcher launched (a=|F|)
+  kRoundStart,         ///< fetch round begins (a=round, b=outstanding)
+  kQuerySent,          ///< cell query out (peer, a=cells)
+  kQueryReceived,      ///< cell query in (peer, a=cells)
+  kQueryBuffered,      ///< query (partially) buffered, no NACK (a=remaining)
+  kReplySent,          ///< immediate reply (peer, a=cells)
+  kBufferedReplyServed,///< buffered query finally served (peer, a=cells)
+  kReplyReceived,      ///< reply in (peer, a=new cells, b=duplicates)
+  kReconstruction,     ///< erasure recovery completed lines (a=cells recovered)
+  kConsolidationDone,  ///< all assigned lines complete
+  kSamplingDone,       ///< all 73 samples held
+  // Transport.
+  kMsgDropped,         ///< loss model ate a message (peer=to, a=msg class)
+  kCellsDropped,       ///< loss degraded a cell message (peer=to, a=cells lost)
+  // Harness-rendered phase spans (duration events).
+  kPhaseSeeding,
+  kPhaseConsolidation,
+  kPhaseSampling,
+};
+
+/// Stable lowercase names used in exports ("seed_dispatch", "query", ...).
+[[nodiscard]] const char* event_name(EventType t) noexcept;
+
+struct TraceEvent {
+  sim::Time ts = 0;     ///< sim time, microseconds
+  sim::Time dur = -1;   ///< span duration; < 0 => instant event
+  std::uint64_t slot = 0;
+  std::uint32_t peer = kNoPeer;
+  std::int64_t a = 0;   ///< type-specific payload (see EventType docs)
+  std::int64_t b = 0;
+  EventType type = EventType::kSeedDispatch;
+};
+
+class TraceSink {
+ public:
+  /// Slot context stamped onto subsequent events (set by the component that
+  /// drives the slot lifecycle).
+  void set_slot(std::uint64_t slot) noexcept { slot_ = slot; }
+
+  void emit(EventType type, sim::Time ts, std::uint32_t peer = kNoPeer,
+            std::int64_t a = 0, std::int64_t b = 0);
+  /// Emits a duration event covering [start, end] (end clamped to start).
+  void span(EventType type, sim::Time start, sim::Time end,
+            std::int64_t a = 0);
+
+  /// Events in emission order (ring mode: oldest retained first).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return ring_ ? std::min(buf_.size(), capacity_) : buf_.size();
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+ private:
+  friend class Tracer;
+  void configure(std::size_t ring_capacity);
+  void push(const TraceEvent& ev);
+
+  std::vector<TraceEvent> buf_;
+  std::size_t capacity_ = 0;  ///< ring capacity; 0 = unbounded
+  std::size_t head_ = 0;      ///< next write position in ring mode
+  bool ring_ = false;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t slot_ = 0;
+};
+
+/// Tracer configuration, shared with the harness config surface.
+struct TraceConfig {
+  bool enabled = false;
+  /// Fraction of actors that receive a sink; selection is a deterministic
+  /// hash of (seed, actor), so the sampled set is stable across runs.
+  double sample_rate = 1.0;
+  /// Per-actor ring capacity; 0 keeps everything.
+  std::size_t ring_capacity = 0;
+  std::uint64_t seed = 0;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const TraceConfig& cfg, std::uint32_t actor_count);
+
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.enabled; }
+  [[nodiscard]] std::uint32_t actor_count() const noexcept {
+    return static_cast<std::uint32_t>(sinks_.size());
+  }
+
+  /// Per-actor sink, or nullptr when tracing is disabled or the actor is
+  /// outside the sample. Pointer stays valid for the tracer's lifetime.
+  [[nodiscard]] TraceSink* sink(std::uint32_t actor);
+
+  /// Display label for an actor's track ("node 17", "builder", ...).
+  void set_actor_label(std::uint32_t actor, std::string lbl);
+
+  /// Total events dropped by ring truncation across all actors.
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array form).
+  void write_chrome_trace(std::FILE* out) const;
+
+ private:
+  TraceConfig cfg_;
+  std::vector<TraceSink> sinks_;
+  std::vector<bool> sampled_;
+  std::vector<std::string> labels_;
+};
+
+/// Null-safe emission helpers — the only API components should call.
+inline void emit(TraceSink* s, EventType type, sim::Time ts,
+                 std::uint32_t peer = kNoPeer, std::int64_t a = 0,
+                 std::int64_t b = 0) {
+  if (s != nullptr) s->emit(type, ts, peer, a, b);
+}
+
+inline void span(TraceSink* s, EventType type, sim::Time start, sim::Time end,
+                 std::int64_t a = 0) {
+  if (s != nullptr) s->span(type, start, end, a);
+}
+
+}  // namespace pandas::obs

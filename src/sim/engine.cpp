@@ -20,9 +20,16 @@ void Engine::schedule_at(Time t, Callback fn) {
     throw std::logic_error("Engine::schedule_at: time in the past");
   }
   queue_.push(Event{t, next_seq_++, std::move(fn)});
+  if (profiling_ && queue_.size() > profile_.peak_queue_depth) {
+    profile_.peak_queue_depth = queue_.size();
+  }
 }
 
 std::uint64_t Engine::run_until(Time limit) {
+  const bool profiled = profiling_;
+  std::chrono::steady_clock::time_point wall_start;
+  Time sim_start = now_;
+  if (profiled) wall_start = std::chrono::steady_clock::now();
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.top().time <= limit) {
     // priority_queue::top() is const; move out via const_cast, which is safe
@@ -38,6 +45,13 @@ std::uint64_t Engine::run_until(Time limit) {
     now_ = limit;  // advance the clock to the requested horizon
   } else if (!queue_.empty() && queue_.top().time > limit) {
     now_ = limit;
+  }
+  if (profiled) {
+    profile_.wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    profile_.sim_time += now_ - sim_start;
   }
   return n;
 }

@@ -19,6 +19,12 @@ void Samples::clear() {
   sorted_valid_ = false;
 }
 
+void Samples::merge(const Samples& other) {
+  if (other.values_.empty()) return;
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_valid_ = false;
+}
+
 void Samples::ensure_sorted() const {
   if (!sorted_valid_) {
     sorted_ = values_;
@@ -93,14 +99,93 @@ std::vector<std::pair<double, double>> Samples::cdf(std::size_t max_points) cons
   return out;
 }
 
+Summary Samples::summary() const {
+  Summary out;
+  out.n = values_.size();
+  if (values_.empty()) return out;
+  out.min = min();
+  out.p50 = median();
+  out.mean = mean();
+  out.stddev = stddev();
+  out.p99 = percentile(99.0);
+  out.max = max();
+  out.sum = sum();
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) throw std::logic_error("Histogram: no buckets");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::logic_error("Histogram: bounds must be strictly increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+Histogram Histogram::log_ms() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 16384.0; b *= 2.0) bounds.push_back(b);
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::add(double v) { add_n(v, 1); }
+
+void Histogram::add_n(double v, std::uint64_t n) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += n;
+  count_ += n;
+  sum_ += v * static_cast<double>(n);
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::logic_error("Histogram::merge: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= target) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i >= bounds_.size()) return lo;  // overflow bucket
+      const double frac =
+          (target - before) / static_cast<double>(counts_[i]);
+      return lo + frac * (bounds_[i] - lo);
+    }
+  }
+  return bounds_.back();
+}
+
 std::string summarize(const Samples& s, const std::string& unit) {
-  if (s.empty()) return "n=0";
+  return summarize(s.summary(), unit);
+}
+
+std::string summarize(const Summary& s, const std::string& unit) {
+  if (s.n == 0) return "n=0";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "n=%zu min=%.1f%s p50=%.1f%s mean=%.1f%s p99=%.1f%s max=%.1f%s",
-                s.count(), s.min(), unit.c_str(), s.median(), unit.c_str(),
-                s.mean(), unit.c_str(), s.percentile(99.0), unit.c_str(),
-                s.max(), unit.c_str());
+                s.n, s.min, unit.c_str(), s.p50, unit.c_str(),
+                s.mean, unit.c_str(), s.p99, unit.c_str(),
+                s.max, unit.c_str());
   return buf;
 }
 

@@ -10,6 +10,14 @@
 /// (median / P99 / max of per-node phase times, message and byte counts).
 namespace pandas::util {
 
+/// Point-in-time summary of a sample set: the row every bench table prints
+/// and every JSON export serializes. Decouples rendering from Samples so
+/// reports can be built from structured snapshots.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0, p50 = 0, mean = 0, stddev = 0, p99 = 0, max = 0, sum = 0;
+};
+
 /// Accumulates samples and answers percentile / moment queries.
 /// Samples are stored; queries sort lazily (O(n log n) once per mutation).
 class Samples {
@@ -17,6 +25,10 @@ class Samples {
   void add(double v);
   void reserve(std::size_t n) { values_.reserve(n); }
   void clear();
+
+  /// Appends all of `other`'s samples (e.g. combining per-slot or per-shard
+  /// aggregates into one distribution).
+  void merge(const Samples& other);
 
   [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
   [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
@@ -42,6 +54,9 @@ class Samples {
 
   [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
 
+  /// All summary fields in one pass-ish snapshot; zeros when empty.
+  [[nodiscard]] Summary summary() const;
+
  private:
   void ensure_sorted() const;
   std::vector<double> values_;
@@ -49,9 +64,54 @@ class Samples {
   mutable bool sorted_valid_ = false;
 };
 
+/// Fixed-bucket histogram with precomputed upper bounds (last bucket catches
+/// everything above the largest bound). Adding a sample is a branchless-ish
+/// binary search over ~16 doubles — cheap enough for per-event metrics — and
+/// two histograms with equal bounds merge by adding counts, which is what
+/// lets per-node or per-slot histograms aggregate without storing samples.
+class Histogram {
+ public:
+  /// Buckets at the given upper bounds (must be strictly increasing) plus an
+  /// implicit overflow bucket; bucket_count() == bounds.size() + 1.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Log-spaced millisecond buckets covering the slot clock: 1, 2, 4, ...,
+  /// 16384 ms (15 bounds + overflow). The registry's default for phase and
+  /// round timings.
+  [[nodiscard]] static Histogram log_ms();
+
+  void add(double v);
+  void add_n(double v, std::uint64_t n);
+  void clear();
+
+  /// Adds `other`'s counts into this histogram; bounds must match.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+  /// Linear-interpolated quantile estimate from the bucket counts, q in
+  /// [0, 1]. The overflow bucket reports its lower bound.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;         // upper bounds, ascending
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
 /// One-line summary: "n=.. min=.. p50=.. mean=.. p99=.. max=..", with values
 /// printed via `unit` suffix (e.g. "ms", "MB").
 [[nodiscard]] std::string summarize(const Samples& s, const std::string& unit);
+
+/// Same rendering from a precomputed Summary snapshot.
+[[nodiscard]] std::string summarize(const Summary& s, const std::string& unit);
 
 /// Formats a byte count with binary-ish units as used in the paper
 /// (KB/MB/GB with 1000 multiplier, matching the paper's "140 MB" figures).

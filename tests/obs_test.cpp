@@ -1,0 +1,534 @@
+// Tests for the observability layer (src/obs) and its harness wiring:
+// JSON writer determinism, metrics registry semantics (including the
+// disabled-mode no-allocation guarantee, checked with a counting-allocator
+// shim), trace sink ring truncation, Chrome trace export structure, and the
+// same-seed => byte-identical exporter guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <string>
+#include <string_view>
+
+#include "harness/experiment.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// ------------------------------------------------- counting-allocator shim
+//
+// Global operator new/delete overrides counting every heap allocation made
+// by this test binary. Individual tests snapshot the counter around the code
+// under test; the disabled-registry and null-sink paths must not allocate.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pandas {
+namespace {
+
+// Renders through a std::tmpfile and returns the bytes written.
+template <typename Fn>
+std::string render(Fn&& fn) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  fn(f);
+  std::fflush(f);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  EXPECT_EQ(std::fread(out.data(), 1, out.size(), f), out.size());
+  std::fclose(f);
+  return out;
+}
+
+// Minimal recursive-descent JSON validator: enough to assert every exporter
+// emits structurally valid JSON without pulling in a parser dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriter, NestingAndCommas) {
+  const std::string out = render([](std::FILE* f) {
+    obs::JsonWriter w(f);
+    w.begin_object();
+    w.kv("a", std::int64_t{1});
+    w.key("b");
+    w.begin_array();
+    w.value(std::int64_t{2});
+    w.value("x");
+    w.begin_object();
+    w.kv("c", true);
+    w.end_object();
+    w.end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(out, R"({"a":1,"b":[2,"x",{"c":true}]})");
+  EXPECT_TRUE(JsonValidator(out).valid());
+}
+
+TEST(JsonWriter, NumberFormatting) {
+  const std::string out = render([](std::FILE* f) {
+    obs::JsonWriter w(f);
+    w.begin_array();
+    w.value(3.0);        // integral double -> integer form
+    w.value(0.5);
+    w.value(1.0 / 3.0);  // %.6g
+    w.value(std::numeric_limits<double>::infinity());  // -> null
+    w.end_array();
+  });
+  EXPECT_EQ(out, "[3,0.5,0.333333,null]");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  const std::string out = render([](std::FILE* f) {
+    obs::JsonWriter w(f);
+    w.begin_object();
+    w.kv("k\"ey", "v\nal");
+    w.end_object();
+  });
+  EXPECT_TRUE(JsonValidator(out).valid());
+}
+
+// ------------------------------------------------------------------- Registry
+
+TEST(Registry, LabeledFamilies) {
+  obs::Registry reg(true);
+  reg.counter("fetch_cells_received", obs::label("round", std::uint64_t{2}))
+      .inc(5);
+  reg.counter("fetch_cells_received", obs::label("round", std::uint64_t{2}))
+      .inc(2);
+  reg.gauge("depth").set(7.5);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("fetch_cells_received{round=2}"), 7.0);
+  EXPECT_EQ(snap.at("depth"), 7.5);
+}
+
+TEST(Registry, LabelOrderIsCanonical) {
+  obs::Registry reg(true);
+  const obs::Labels ab{{"a", "1"}, {"b", "2"}};
+  const obs::Labels ba{{"b", "2"}, {"a", "1"}};
+  auto& c1 = reg.counter("x", ab);
+  auto& c2 = reg.counter("x", ba);
+  EXPECT_EQ(&c1, &c2);
+  c1.inc();
+  EXPECT_EQ(reg.snapshot().at("x{a=1,b=2}"), 1.0);
+}
+
+TEST(Registry, HistogramSnapshotExportsCountAndSum) {
+  obs::Registry reg(true);
+  auto& h = reg.histogram("lat_ms");
+  h.add(3.0);
+  h.add(5.0);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("lat_ms_count"), 2.0);
+  EXPECT_EQ(snap.at("lat_ms_sum"), 8.0);
+}
+
+TEST(Registry, WriteJsonIsValidAndSorted) {
+  obs::Registry reg(true);
+  reg.counter("b").inc(2);
+  reg.counter("a").inc(1);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h").add(3.0);
+  const std::string out =
+      render([&](std::FILE* f) { reg.write_json(f); });
+  EXPECT_TRUE(JsonValidator(out).valid());
+  // std::map storage => keys appear sorted, making the dump deterministic.
+  EXPECT_LT(out.find("\"a\""), out.find("\"b\""));
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(out.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(out.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Registry, ClearEmptiesEverything) {
+  obs::Registry reg(true);
+  reg.counter("a").inc();
+  reg.clear();
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Registry, DisabledModeDoesNotAllocate) {
+  obs::Registry reg(false);
+  const obs::Labels labels{{"round", "2"}};  // built outside the measurement
+  const auto before = g_alloc_count.load(std::memory_order_relaxed);
+  auto& c = reg.counter("fetch_cells_received", labels);
+  c.inc();
+  auto& g = reg.gauge("depth");
+  g.set(1.0);
+  auto& h = reg.histogram("lat_ms", labels);
+  h.add(3.0);
+  const auto after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after) << "disabled registry must not allocate";
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Registry, DisabledInstrumentsShared) {
+  obs::Registry reg(false);
+  EXPECT_EQ(&reg.counter("a"), &reg.counter("b"));
+  EXPECT_EQ(&reg.gauge("a"), &reg.gauge("b"));
+}
+
+// ------------------------------------------------------------------ TraceSink
+
+TEST(TraceSink, NullSinkHelpersAreNoopsWithoutAllocation) {
+  const auto before = g_alloc_count.load(std::memory_order_relaxed);
+  obs::emit(nullptr, obs::EventType::kQuerySent, 123, 4, 5, 6);
+  obs::span(nullptr, obs::EventType::kPhaseSampling, 0, 100);
+  const auto after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after);
+}
+
+TEST(TraceSink, DisabledTracerHandsOutNullSinks) {
+  obs::TraceConfig cfg;  // enabled = false
+  obs::Tracer tracer(cfg, 8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(tracer.sink(i), nullptr);
+  }
+}
+
+TEST(TraceSink, UnboundedModeKeepsEverything) {
+  obs::TraceConfig cfg;
+  cfg.enabled = true;
+  obs::Tracer tracer(cfg, 1);
+  auto* sink = tracer.sink(0);
+  ASSERT_NE(sink, nullptr);
+  sink->set_slot(3);
+  for (int i = 0; i < 100; ++i) {
+    sink->emit(obs::EventType::kQuerySent, i, obs::kNoPeer, i);
+  }
+  EXPECT_EQ(sink->size(), 100u);
+  EXPECT_EQ(sink->dropped(), 0u);
+  const auto evs = sink->events();
+  EXPECT_EQ(evs[0].a, 0);
+  EXPECT_EQ(evs[99].a, 99);
+  EXPECT_EQ(evs[50].slot, 3u);
+}
+
+TEST(TraceSink, RingTruncationKeepsNewestInOrder) {
+  obs::TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 4;
+  obs::Tracer tracer(cfg, 1);
+  auto* sink = tracer.sink(0);
+  ASSERT_NE(sink, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    sink->emit(obs::EventType::kQuerySent, i, obs::kNoPeer, i);
+  }
+  EXPECT_EQ(sink->size(), 4u);
+  EXPECT_EQ(sink->dropped(), 6u);
+  EXPECT_EQ(tracer.total_dropped(), 6u);
+  const auto evs = sink->events();
+  ASSERT_EQ(evs.size(), 4u);
+  // The newest 4 events survive, oldest retained first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(evs[static_cast<std::size_t>(i)].a, 6 + i);
+    EXPECT_EQ(evs[static_cast<std::size_t>(i)].ts, 6 + i);
+  }
+}
+
+TEST(TraceSink, SpanClampsNegativeDuration) {
+  obs::TraceConfig cfg;
+  cfg.enabled = true;
+  obs::Tracer tracer(cfg, 1);
+  auto* sink = tracer.sink(0);
+  sink->span(obs::EventType::kPhaseSampling, 100, 40);
+  const auto evs = sink->events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].dur, 0);
+}
+
+TEST(Tracer, SamplingIsDeterministicAndRoughlyProportional) {
+  obs::TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.sample_rate = 0.25;
+  cfg.seed = 99;
+  obs::Tracer a(cfg, 1000);
+  obs::Tracer b(cfg, 1000);
+  std::uint32_t sampled = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.sink(i) != nullptr, b.sink(i) != nullptr);
+    if (a.sink(i) != nullptr) ++sampled;
+  }
+  EXPECT_GT(sampled, 150u);
+  EXPECT_LT(sampled, 350u);
+}
+
+TEST(Tracer, ChromeTraceExportIsValidJson) {
+  obs::TraceConfig cfg;
+  cfg.enabled = true;
+  obs::Tracer tracer(cfg, 2);
+  tracer.set_actor_label(0, "node 0");
+  tracer.set_actor_label(1, "builder");
+  tracer.sink(0)->emit(obs::EventType::kQuerySent, 10, 1, 3);
+  tracer.sink(0)->span(obs::EventType::kPhaseSampling, 0, 50);
+  tracer.sink(1)->emit(obs::EventType::kSeedDispatch, 5, 0, 8, 100);
+  const std::string out =
+      render([&](std::FILE* f) { tracer.write_chrome_trace(f); });
+  EXPECT_TRUE(JsonValidator(out).valid());
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"builder\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);  // span event
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);  // instant event
+}
+
+// -------------------------------------------------------- harness exporters
+
+harness::PandasConfig tiny_config(std::uint64_t seed) {
+  harness::PandasConfig cfg;
+  cfg.net.nodes = 40;
+  cfg.net.seed = seed;
+  cfg.slots = 1;
+  cfg.block_gossip = false;
+  cfg.obs.trace.enabled = true;
+  cfg.obs.metrics = true;
+  cfg.obs.collect_records = true;
+  return cfg;
+}
+
+struct Exports {
+  std::string trace, metrics, records;
+};
+
+Exports run_and_export(std::uint64_t seed) {
+  harness::PandasExperiment ex(tiny_config(seed));
+  (void)ex.run();
+  Exports out;
+  out.trace = render([&](std::FILE* f) { ex.tracer().write_chrome_trace(f); });
+  out.metrics = render([&](std::FILE* f) { ex.registry().write_json(f); });
+  out.records = render([&](std::FILE* f) { ex.write_records_jsonl(f); });
+  return out;
+}
+
+TEST(HarnessExports, SameSeedByteIdentical) {
+  const Exports a = run_and_export(7);
+  const Exports b = run_and_export(7);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_FALSE(a.trace.empty());
+  EXPECT_FALSE(a.metrics.empty());
+  EXPECT_FALSE(a.records.empty());
+}
+
+TEST(HarnessExports, DifferentSeedsDiffer) {
+  const Exports a = run_and_export(7);
+  const Exports b = run_and_export(8);
+  EXPECT_NE(a.records, b.records);
+}
+
+TEST(HarnessExports, ExportsAreValidAndCarryProtocolSignals) {
+  harness::PandasExperiment ex(tiny_config(7));
+  (void)ex.run();
+
+  const std::string trace =
+      render([&](std::FILE* f) { ex.tracer().write_chrome_trace(f); });
+  EXPECT_TRUE(JsonValidator(trace).valid());
+  // Protocol lifecycle made it into the trace.
+  EXPECT_NE(trace.find("\"seed_dispatch\""), std::string::npos);
+  EXPECT_NE(trace.find("\"seed_received\""), std::string::npos);
+  EXPECT_NE(trace.find("\"fetch_start\""), std::string::npos);
+  EXPECT_NE(trace.find("\"round_start\""), std::string::npos);
+  // Phase spans rendered by the harness.
+  EXPECT_NE(trace.find("\"seeding\""), std::string::npos);
+  EXPECT_NE(trace.find("\"consolidation\""), std::string::npos);
+
+  const std::string metrics =
+      render([&](std::FILE* f) { ex.registry().write_json(f); });
+  EXPECT_TRUE(JsonValidator(metrics).valid());
+  // Per-round fetch families (Table 1) and engine gauges.
+  EXPECT_NE(metrics.find("fetch_cells_received{round=1}"), std::string::npos);
+  EXPECT_NE(metrics.find("fetch_messages{round=1}"), std::string::npos);
+  EXPECT_NE(metrics.find("engine_events_executed"), std::string::npos);
+  EXPECT_NE(metrics.find("phase_ms{phase=consolidation}"), std::string::npos);
+  // Wall-clock gauges stay out of the deterministic dump by default.
+  EXPECT_EQ(metrics.find("engine_wall_seconds"), std::string::npos);
+
+  // One JSONL line per correct node-slot, each a valid JSON object.
+  const std::string records =
+      render([&](std::FILE* f) { ex.write_records_jsonl(f); });
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < records.size()) {
+    const std::size_t nl = records.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    EXPECT_TRUE(JsonValidator(records.substr(pos, nl - pos)).valid());
+    pos = nl + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 40u);
+  EXPECT_EQ(ex.node_slot_records().size(), 40u);
+}
+
+TEST(HarnessExports, MetricsMatchFetchRoundStats) {
+  harness::PandasExperiment ex(tiny_config(7));
+  harness::PandasResults res;
+  ex.run_slot(0, res);
+
+  // Independently re-aggregate FetchRoundStats from the nodes and compare
+  // with the registry's round-1 counter family.
+  std::uint64_t round1_cells = 0;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    const auto* fetcher = ex.node(i).fetcher();
+    if (fetcher != nullptr && !fetcher->round_stats().empty()) {
+      round1_cells += fetcher->round_stats()[0].cells_in_round;
+    }
+  }
+  const auto snap = ex.registry().snapshot();
+  const auto it = snap.find("fetch_cells_received{round=1}");
+  ASSERT_NE(it, snap.end());
+  EXPECT_EQ(it->second, static_cast<double>(round1_cells));
+}
+
+TEST(HarnessExports, DisabledObsLeavesNoFootprint) {
+  harness::PandasConfig cfg;
+  cfg.net.nodes = 30;
+  cfg.net.seed = 3;
+  cfg.slots = 1;
+  cfg.block_gossip = false;  // all obs switches default off
+  harness::PandasExperiment ex(cfg);
+  (void)ex.run();
+  EXPECT_FALSE(ex.tracer().enabled());
+  EXPECT_TRUE(ex.registry().snapshot().empty());
+  EXPECT_TRUE(ex.node_slot_records().empty());
+  EXPECT_EQ(ex.engine().profile().peak_queue_depth, 0u);
+}
+
+TEST(HarnessExports, RingModeBoundsPerActorEvents) {
+  auto cfg = tiny_config(7);
+  cfg.obs.trace.ring_capacity = 8;
+  harness::PandasExperiment ex(cfg);
+  (void)ex.run();
+  std::uint64_t kept = 0;
+  for (std::uint32_t i = 0; i < cfg.net.nodes + 1; ++i) {
+    if (auto* sink = ex.tracer().sink(i); sink != nullptr) {
+      EXPECT_LE(sink->size(), 8u);
+      kept += sink->size();
+    }
+  }
+  EXPECT_GT(ex.tracer().total_dropped(), 0u);
+  EXPECT_GT(kept, 0u);
+}
+
+}  // namespace
+}  // namespace pandas

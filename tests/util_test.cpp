@@ -261,5 +261,149 @@ TEST(Bitmap, CountMinus) {
   EXPECT_EQ(a.count_minus(b, 3), 2u);  // {1, 2}
 }
 
+// ------------------------------------------------------------ Samples::merge
+
+TEST(Samples, MergeCombinesDistributions) {
+  Samples a, b;
+  for (const double v : {1.0, 2.0, 3.0}) a.add(v);
+  for (const double v : {4.0, 5.0}) b.add(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  // b is untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Samples, MergeEmptyIsNoop) {
+  Samples a, empty;
+  a.add(7.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 7.0);
+}
+
+TEST(Samples, MergeInvalidatesSortCache) {
+  Samples a, b;
+  a.add(10.0);
+  EXPECT_DOUBLE_EQ(a.percentile(50), 10.0);  // forces the sort cache
+  b.add(0.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.percentile(0), 0.0);
+}
+
+TEST(Samples, SummarySnapshotMatchesQueries) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const Summary sum = s.summary();
+  EXPECT_EQ(sum.n, 100u);
+  EXPECT_DOUBLE_EQ(sum.min, s.min());
+  EXPECT_DOUBLE_EQ(sum.p50, s.percentile(50));
+  EXPECT_DOUBLE_EQ(sum.mean, s.mean());
+  EXPECT_DOUBLE_EQ(sum.stddev, s.stddev());
+  EXPECT_DOUBLE_EQ(sum.p99, s.percentile(99));
+  EXPECT_DOUBLE_EQ(sum.max, s.max());
+  EXPECT_DOUBLE_EQ(sum.sum, s.sum());
+}
+
+TEST(Samples, SummaryOfEmptyIsZeros) {
+  const Summary sum = Samples{}.summary();
+  EXPECT_EQ(sum.n, 0u);
+  EXPECT_EQ(sum.mean, 0.0);
+  EXPECT_EQ(sum.max, 0.0);
+}
+
+// ------------------------------------------------------------------ Histogram
+
+TEST(Histogram, BucketAssignment) {
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 bounds + overflow
+  h.add(0.5);   // <= 1       -> bucket 0
+  h.add(1.0);   // == bound   -> bucket 0 (bounds are inclusive upper edges)
+  h.add(1.5);   // <= 2       -> bucket 1
+  h.add(4.0);   // <= 4       -> bucket 2
+  h.add(99.0);  // overflow   -> bucket 3
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 99.0);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::logic_error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::logic_error);
+  EXPECT_THROW(Histogram({}), std::logic_error);
+}
+
+TEST(Histogram, AddN) {
+  Histogram h({10.0});
+  h.add_n(5.0, 7);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 35.0);
+  EXPECT_EQ(h.counts()[0], 7u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.add(0.5);
+  b.add(1.5);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.counts()[0], 1u);
+  EXPECT_EQ(a.counts()[1], 1u);
+  EXPECT_EQ(a.counts()[2], 1u);
+  EXPECT_DOUBLE_EQ(a.sum(), 11.0);
+}
+
+TEST(Histogram, MergeMismatchedBoundsThrows) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h({10.0, 20.0});
+  h.add_n(5.0, 10);   // bucket (0, 10]
+  h.add_n(15.0, 10);  // bucket (10, 20]
+  // Median sits at the bucket boundary; quartiles inside each bucket.
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 1.0);
+  EXPECT_GT(h.quantile(0.75), 10.0);
+  EXPECT_LE(h.quantile(0.75), 20.0);
+  EXPECT_LE(h.quantile(0.25), 10.0);
+}
+
+TEST(Histogram, LogMsCoversSlotClock) {
+  Histogram h = Histogram::log_ms();
+  ASSERT_EQ(h.bounds().front(), 1.0);
+  ASSERT_EQ(h.bounds().back(), 16384.0);
+  // Doubling bounds: 1, 2, 4, ..., 16384 (15 bounds) + overflow.
+  EXPECT_EQ(h.bucket_count(), 16u);
+  for (std::size_t i = 1; i < h.bounds().size(); ++i) {
+    EXPECT_DOUBLE_EQ(h.bounds()[i], 2.0 * h.bounds()[i - 1]);
+  }
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h({1.0});
+  h.add(0.5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.counts()[0], 0u);
+}
+
+TEST(SummarizeFormat, SummaryAndSamplesAgree) {
+  Samples s;
+  for (const double v : {1.0, 2.0, 3.0}) s.add(v);
+  EXPECT_EQ(summarize(s, "ms"), summarize(s.summary(), "ms"));
+}
+
 }  // namespace
 }  // namespace pandas::util
