@@ -80,7 +80,8 @@ int main(int argc, char** argv) {
 
   // A corrupted cell must be rejected.
   {
-    auto cell = blob.cell(3, 5);
+    const auto span = blob.cell(3, 5);
+    std::vector<std::uint8_t> cell(span.begin(), span.end());
     cell[0] ^= 0x01;
     const auto proof = blob.cell_proof(3, 5);
     std::printf("corrupted-cell check: %s\n",
@@ -97,7 +98,8 @@ int main(int argc, char** argv) {
     std::vector<std::vector<std::uint8_t>> cells;
     std::vector<std::uint32_t> indices;
     for (std::uint32_t c = 0; c < cfg.k; ++c) {  // only the left half survives
-      cells.push_back(blob.cell(r, c));
+      const auto span = blob.cell(r, c);
+      cells.emplace_back(span.begin(), span.end());
       indices.push_back(c);
     }
     const auto line = erasure::ExtendedBlob::reconstruct_line(cfg, cells, indices);

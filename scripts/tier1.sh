@@ -48,4 +48,18 @@ print(f"smoke OK: {len(events)} trace events, "
       f"{len(counters)} counter series")
 EOF
 
+# Portable-fallback job (default config only): build the erasure stack with
+# SIMD tiers compiled out and no AVX in the baseline ISA, so the scalar
+# kernel path stays tested even though CI hosts all have AVX2. A separate
+# tree keeps the flags from leaking into the main build.
+if [[ "${BUILD_DIR}" == "build" ]]; then
+  cmake -B build-nosimd -S . -DCMAKE_BUILD_TYPE=Release \
+      -DPANDAS_DISABLE_SIMD=ON -DCMAKE_CXX_FLAGS="-march=x86-64"
+  cmake --build build-nosimd -j "$(nproc)" \
+      --target kernels_test erasure_test util_test
+  ctest --test-dir build-nosimd --output-on-failure -j "$(nproc)" \
+      -R "Kernels|GF16|Matrix|ReedSolomon|ExtendedBlob|ThreadPool"
+  echo "tier1 OK (build-nosimd fallback)"
+fi
+
 echo "tier1 OK (${BUILD_DIR})"

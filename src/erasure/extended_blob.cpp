@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace pandas::erasure {
 
 ExtendedBlob ExtendedBlob::encode(const BlobConfig& cfg,
@@ -15,71 +17,66 @@ ExtendedBlob ExtendedBlob::encode(const BlobConfig& cfg,
   }
   const std::uint32_t k = cfg.k;
   const std::uint32_t n = cfg.n;
+  const std::size_t cell_bytes = cfg.cell_bytes;
+  const std::size_t row_bytes = static_cast<std::size_t>(n) * cell_bytes;
   ExtendedBlob blob(cfg);
-  blob.cells_.assign(static_cast<std::size_t>(n) * n, {});
+  blob.cells_.assign(static_cast<std::size_t>(n) * row_bytes, 0);
 
-  // Lay out the original k x k cells (zero-padded).
+  // Lay out the original k x k cells (zero-padded). The input is row-major
+  // k*k cells, so each blob row takes one contiguous copy of up to
+  // k*cell_bytes bytes.
+  const std::size_t data_row_bytes = static_cast<std::size_t>(k) * cell_bytes;
   for (std::uint32_t r = 0; r < k; ++r) {
-    for (std::uint32_t c = 0; c < k; ++c) {
-      auto& cell = blob.cells_[static_cast<std::size_t>(r) * n + c];
-      cell.assign(cfg.cell_bytes, 0);
-      const std::uint64_t offset =
-          (static_cast<std::uint64_t>(r) * k + c) * cfg.cell_bytes;
-      if (offset < data.size()) {
-        const std::size_t take =
-            std::min<std::size_t>(cfg.cell_bytes, data.size() - offset);
-        std::memcpy(cell.data(), data.data() + offset, take);
-      }
-    }
+    const std::uint64_t offset = static_cast<std::uint64_t>(r) * data_row_bytes;
+    if (offset >= data.size()) break;
+    const std::size_t take =
+        std::min<std::size_t>(data_row_bytes, data.size() - offset);
+    std::memcpy(blob.row_ptr(r), data.data() + offset, take);
   }
 
-  const ReedSolomon rs(k, n);
+  const ReedSolomon& rs = ReedSolomon::cached(k, n);
+  util::ThreadPool* pool =
+      cfg.encode_threads == 1 ? nullptr : &util::ThreadPool::shared();
 
-  // Extend each of the first k rows from k to n cells.
-  for (std::uint32_t r = 0; r < k; ++r) {
-    std::vector<std::vector<std::uint8_t>> row_data(k);
-    for (std::uint32_t c = 0; c < k; ++c) {
-      row_data[c] = blob.cells_[static_cast<std::size_t>(r) * n + c];
-    }
-    auto parity = rs.encode(row_data);
-    for (std::uint32_t p = 0; p < n - k; ++p) {
-      blob.cells_[static_cast<std::size_t>(r) * n + k + p] = std::move(parity[p]);
-    }
-  }
+  // Row phase: extend all k data rows from k to n cells in one bulk call —
+  // each per-coefficient table build is shared by every row.
+  rs.encode_lines(blob.cells_.data(), cell_bytes, row_bytes, k, cfg.kernel,
+                  pool);
 
-  // Extend every column (including parity columns) from k to n cells.
+  // Column phase: extend every column at once. All n columns share the same
+  // code, so parity *row* k+p of the blob is sum_j G[k+p][j] * row_j — one
+  // (k, n) codeword whose shards are whole contiguous row slabs.
   // Linearity of the code makes the bottom-right quadrant consistent whether
   // rows or columns are extended first.
-  for (std::uint32_t c = 0; c < n; ++c) {
-    std::vector<std::vector<std::uint8_t>> col_data(k);
-    for (std::uint32_t r = 0; r < k; ++r) {
-      col_data[r] = blob.cells_[static_cast<std::size_t>(r) * n + c];
-    }
-    auto parity = rs.encode(col_data);
-    for (std::uint32_t p = 0; p < n - k; ++p) {
-      blob.cells_[static_cast<std::size_t>(k + p) * n + c] = std::move(parity[p]);
-    }
-  }
+  rs.encode_lines(blob.cells_.data(), row_bytes, 0, 1, cfg.kernel, pool);
 
-  // Commit to every extended row.
+  // Commit to every extended row (independent per row -> parallel).
   blob.row_commitments_.resize(n);
-  std::vector<std::uint8_t> row_bytes;
-  for (std::uint32_t r = 0; r < n; ++r) {
-    row_bytes.clear();
-    row_bytes.reserve(static_cast<std::size_t>(n) * cfg.cell_bytes);
-    for (std::uint32_t c = 0; c < n; ++c) {
-      const auto& cell = blob.cells_[static_cast<std::size_t>(r) * n + c];
-      row_bytes.insert(row_bytes.end(), cell.begin(), cell.end());
-    }
-    blob.row_commitments_[r] = crypto::commit(row_bytes);
+  const auto commit_row = [&blob](std::size_t r) {
+    blob.row_commitments_[r] =
+        crypto::commit(blob.row_span(static_cast<std::uint32_t>(r)));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, n, commit_row);
+  } else {
+    for (std::size_t r = 0; r < n; ++r) commit_row(r);
   }
   return blob;
 }
 
-const std::vector<std::uint8_t>& ExtendedBlob::cell(std::uint32_t row,
-                                                    std::uint32_t col) const {
+std::span<const std::uint8_t> ExtendedBlob::cell(std::uint32_t row,
+                                                 std::uint32_t col) const {
   if (row >= cfg_.n || col >= cfg_.n) throw std::out_of_range("cell index");
-  return cells_[static_cast<std::size_t>(row) * cfg_.n + col];
+  const std::size_t offset =
+      (static_cast<std::size_t>(row) * cfg_.n + col) * cfg_.cell_bytes;
+  return {cells_.data() + offset, cfg_.cell_bytes};
+}
+
+std::span<const std::uint8_t> ExtendedBlob::row_span(std::uint32_t row) const {
+  if (row >= cfg_.n) throw std::out_of_range("row index");
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(cfg_.n) * cfg_.cell_bytes;
+  return {cells_.data() + static_cast<std::size_t>(row) * row_bytes, row_bytes};
 }
 
 const crypto::Commitment& ExtendedBlob::row_commitment(std::uint32_t row) const {
@@ -101,18 +98,18 @@ bool ExtendedBlob::verify_cell(std::uint32_t row, std::uint32_t col,
 std::optional<std::vector<std::vector<std::uint8_t>>> ExtendedBlob::reconstruct_line(
     const BlobConfig& cfg, std::span<const std::vector<std::uint8_t>> cells,
     std::span<const std::uint32_t> indices) {
-  const ReedSolomon rs(cfg.k, cfg.n);
-  return rs.reconstruct_all(cells, indices);
+  return ReedSolomon::cached(cfg.k, cfg.n)
+      .reconstruct_all(cells, indices, cfg.kernel);
 }
 
 std::vector<std::uint8_t> ExtendedBlob::original_data() const {
   std::vector<std::uint8_t> out;
   out.reserve(cfg_.original_bytes());
+  const std::size_t data_row_bytes =
+      static_cast<std::size_t>(cfg_.k) * cfg_.cell_bytes;
   for (std::uint32_t r = 0; r < cfg_.k; ++r) {
-    for (std::uint32_t c = 0; c < cfg_.k; ++c) {
-      const auto& cell = cells_[static_cast<std::size_t>(r) * cfg_.n + c];
-      out.insert(out.end(), cell.begin(), cell.end());
-    }
+    const auto row = row_span(r);
+    out.insert(out.end(), row.begin(), row.begin() + data_row_bytes);
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "crypto/kzg_sim.h"
+#include "erasure/kernels.h"
 #include "erasure/reed_solomon.h"
 
 /// The two-dimensional erasure-coded blob of Danksharding (paper §3, Fig 2).
@@ -23,6 +24,15 @@ struct BlobConfig {
   std::uint32_t k = 256;          ///< original cells per line
   std::uint32_t n = 512;          ///< extended cells per line (n = 2k typical)
   std::uint32_t cell_bytes = 512; ///< payload bytes per cell (even)
+
+  /// GF(2^16) kernel tier used for encode/reconstruct (docs/ERASURE.md);
+  /// kAuto picks the best for this CPU. All tiers are byte-identical, so
+  /// this is purely a performance / benchmarking knob.
+  kernels::Tier kernel = kernels::Tier::kAuto;
+
+  /// Threads for full-blob encode: 0 = all cores (the shared util pool),
+  /// 1 = single-threaded; other values currently clamp to the shared pool.
+  std::uint32_t encode_threads = 0;
 
   [[nodiscard]] std::uint64_t original_bytes() const noexcept {
     return static_cast<std::uint64_t>(k) * k * cell_bytes;
@@ -43,18 +53,30 @@ struct BlobConfig {
 /// and the erasure test-suite; the network simulator tracks cell *presence*
 /// only (see src/core/custody.h) for scalability, exactly as the paper's
 /// PeerSim simulator does.
+///
+/// Storage is one flat row-major slab of n*n*cell_bytes bytes: cell (r, c)
+/// lives at offset (r*n + c) * cell_bytes, so a whole row is contiguous.
+/// That layout feeds the bulk kernels directly (docs/ERASURE.md §"slab
+/// layout"): the column-extension phase is k strided row-slab muladds per
+/// parity row, and commitments hash row spans with no gather copies.
 class ExtendedBlob {
  public:
   /// Encodes `data` (k*k cells, row-major, each cell_bytes long; shorter
-  /// input is zero-padded) into the full extended matrix.
+  /// input is zero-padded) into the full extended matrix, using the kernel
+  /// tier and thread count in `cfg`. The output bytes are independent of
+  /// both knobs (verified by tests/kernels_test.cpp).
   static ExtendedBlob encode(const BlobConfig& cfg,
                              std::span<const std::uint8_t> data);
 
   [[nodiscard]] const BlobConfig& config() const noexcept { return cfg_; }
 
-  /// Cell payload at (row, col), both in [0, n).
-  [[nodiscard]] const std::vector<std::uint8_t>& cell(std::uint32_t row,
-                                                      std::uint32_t col) const;
+  /// Cell payload at (row, col), both in [0, n). The span aliases the
+  /// blob's internal slab and is invalidated by destroying/moving the blob.
+  [[nodiscard]] std::span<const std::uint8_t> cell(std::uint32_t row,
+                                                   std::uint32_t col) const;
+
+  /// The n*cell_bytes payload bytes of one whole row, contiguous.
+  [[nodiscard]] std::span<const std::uint8_t> row_span(std::uint32_t row) const;
 
   /// Commitment for a row (all n rows have commitments; the first k
   /// correspond to the KZGCs registered in the blob-carrying transaction,
@@ -72,6 +94,7 @@ class ExtendedBlob {
 
   /// Reconstructs a full row from >= k (cell_index, payload) pairs.
   /// Returns all n cells of the row, or nullopt if fewer than k provided.
+  /// Uses the process-wide cached codec for cfg's geometry.
   [[nodiscard]] static std::optional<std::vector<std::vector<std::uint8_t>>>
   reconstruct_line(const BlobConfig& cfg,
                    std::span<const std::vector<std::uint8_t>> cells,
@@ -83,9 +106,14 @@ class ExtendedBlob {
  private:
   ExtendedBlob(BlobConfig cfg) : cfg_(cfg) {}
 
+  [[nodiscard]] std::uint8_t* row_ptr(std::uint32_t row) noexcept {
+    return cells_.data() +
+           static_cast<std::size_t>(row) * cfg_.n * cfg_.cell_bytes;
+  }
+
   BlobConfig cfg_;
-  // cells_[row * n + col]
-  std::vector<std::vector<std::uint8_t>> cells_;
+  // Flat row-major cell slab; cell (r, c) at (r*n + c) * cell_bytes.
+  std::vector<std::uint8_t> cells_;
   std::vector<crypto::Commitment> row_commitments_;
 };
 

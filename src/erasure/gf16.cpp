@@ -24,7 +24,7 @@ GF16::GF16() : exp_(2 * kGroupOrder), log_(kOrder, 0) {
 }
 
 GF16::Elem GF16::pow(Elem a, std::uint32_t e) const noexcept {
-  if (e == 0) return 1;
+  if (e == 0) return 1;  // before the zero-base check: 0^0 == 1 by convention
   if (a == 0) return 0;
   const std::uint64_t l =
       (static_cast<std::uint64_t>(log_[a]) * e) % kGroupOrder;

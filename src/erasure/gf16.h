@@ -45,6 +45,12 @@ class GF16 {
   }
 
   /// a^e for e >= 0.
+  ///
+  /// Convention: pow(a, 0) == 1 for EVERY a, including a == 0 — the e == 0
+  /// check precedes the zero-base check, so 0^0 == 1. This is the empty
+  /// product, and it is what Vandermonde construction and the kernel layer
+  /// (erasure/kernels.h) rely on; pinned by erasure_test
+  /// GF16.PowZeroToThePowerZeroIsOne. Do not reorder the checks.
   [[nodiscard]] Elem pow(Elem a, std::uint32_t e) const noexcept;
 
   /// The generator alpha = x (element 2).

@@ -1,0 +1,241 @@
+#include "erasure/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && !defined(PANDAS_DISABLE_SIMD)
+#define PANDAS_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace pandas::erasure::kernels {
+
+const char* tier_name(Tier t) noexcept {
+  switch (t) {
+    case Tier::kReference: return "reference";
+    case Tier::kScalar: return "scalar";
+    case Tier::kSSSE3: return "ssse3";
+    case Tier::kAVX2: return "avx2";
+    case Tier::kAuto: return "auto";
+  }
+  return "?";
+}
+
+bool tier_supported(Tier t) noexcept {
+  switch (t) {
+    case Tier::kReference:
+    case Tier::kScalar:
+    case Tier::kAuto:
+      return true;
+#ifdef PANDAS_KERNELS_X86
+    case Tier::kSSSE3:
+      return __builtin_cpu_supports("ssse3") != 0;
+    case Tier::kAVX2:
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+    case Tier::kSSSE3:
+    case Tier::kAVX2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+namespace {
+
+Tier detect_best() noexcept {
+  // Explicit override for A/B runs and fallback-path CI (scripts/tier1.sh).
+  if (const char* env = std::getenv("PANDAS_KERNEL")) {
+    for (Tier t : {Tier::kReference, Tier::kScalar, Tier::kSSSE3, Tier::kAVX2}) {
+      if (std::strcmp(env, tier_name(t)) == 0 && tier_supported(t)) return t;
+    }
+  }
+  if (tier_supported(Tier::kAVX2)) return Tier::kAVX2;
+  if (tier_supported(Tier::kSSSE3)) return Tier::kSSSE3;
+  return Tier::kScalar;
+}
+
+}  // namespace
+
+Tier best_tier() noexcept {
+  static const Tier best = detect_best();
+  return best;
+}
+
+void build_tables(GF16::Elem coeff, MulTables& t) noexcept {
+  const GF16& gf = GF16::instance();
+  t.coeff = coeff;
+  for (int p = 0; p < 4; ++p) {
+    for (int v = 0; v < 16; ++v) {
+      const auto prod = gf.mul(coeff, static_cast<GF16::Elem>(v << (4 * p)));
+      t.prod[p][v] = prod;
+      t.lo[p][v] = static_cast<std::uint8_t>(prod & 0xff);
+      t.hi[p][v] = static_cast<std::uint8_t>(prod >> 8);
+    }
+  }
+  // Whole-byte split tables derive from the nibble products by linearity.
+  for (int b = 0; b < 256; ++b) {
+    t.lo256[b] = static_cast<std::uint16_t>(t.prod[0][b & 0xf] ^ t.prod[1][b >> 4]);
+    t.hi256[b] = static_cast<std::uint16_t>(t.prod[2][b & 0xf] ^ t.prod[3][b >> 4]);
+  }
+}
+
+namespace {
+
+/// Seed algorithm, kept verbatim as the correctness baseline: one log/exp
+/// walk per symbol with a branch on zero (see erasure/gf16.h).
+void muladd_reference(std::uint8_t* dst, const std::uint8_t* src,
+                      GF16::Elem coeff, std::size_t n) noexcept {
+  if (coeff == 0) return;
+  const GF16& gf = GF16::instance();
+  for (std::size_t b = 0; b + 1 < n; b += 2) {
+    const auto sym = static_cast<GF16::Elem>(
+        static_cast<std::uint16_t>(src[b]) |
+        (static_cast<std::uint16_t>(src[b + 1]) << 8));
+    const GF16::Elem prod = gf.mul(coeff, sym);
+    dst[b] = static_cast<std::uint8_t>(dst[b] ^ (prod & 0xff));
+    dst[b + 1] = static_cast<std::uint8_t>(dst[b + 1] ^ (prod >> 8));
+  }
+}
+
+void muladd_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                   const MulTables& t, std::size_t n) noexcept {
+  for (std::size_t b = 0; b + 1 < n; b += 2) {
+    const std::uint16_t prod =
+        static_cast<std::uint16_t>(t.lo256[src[b]] ^ t.hi256[src[b + 1]]);
+    dst[b] = static_cast<std::uint8_t>(dst[b] ^ (prod & 0xff));
+    dst[b + 1] = static_cast<std::uint8_t>(dst[b + 1] ^ (prod >> 8));
+  }
+}
+
+#ifdef PANDAS_KERNELS_X86
+
+/// One 128-bit step: 8 symbols via 8 pshufb nibble lookups.
+///
+/// Nibble index vectors keep the index in the low byte of each 16-bit lane
+/// and zero in the high byte; pshufb then reads table entry 0 for the high
+/// byte, and entry 0 of every multiplication table is coeff*0 = 0, so the
+/// stray lookups contribute nothing.
+__attribute__((target("ssse3"))) inline __m128i
+step128(__m128i v, const __m128i tbl_lo[4], const __m128i tbl_hi[4],
+        __m128i mask_ff, __m128i mask_0f) {
+  const __m128i lob = _mm_and_si128(v, mask_ff);
+  const __m128i hib = _mm_srli_epi16(v, 8);
+  const __m128i n0 = _mm_and_si128(lob, mask_0f);
+  const __m128i n1 = _mm_srli_epi16(lob, 4);
+  const __m128i n2 = _mm_and_si128(hib, mask_0f);
+  const __m128i n3 = _mm_srli_epi16(hib, 4);
+  __m128i lo = _mm_shuffle_epi8(tbl_lo[0], n0);
+  __m128i hi = _mm_shuffle_epi8(tbl_hi[0], n0);
+  lo = _mm_xor_si128(lo, _mm_shuffle_epi8(tbl_lo[1], n1));
+  hi = _mm_xor_si128(hi, _mm_shuffle_epi8(tbl_hi[1], n1));
+  lo = _mm_xor_si128(lo, _mm_shuffle_epi8(tbl_lo[2], n2));
+  hi = _mm_xor_si128(hi, _mm_shuffle_epi8(tbl_hi[2], n2));
+  lo = _mm_xor_si128(lo, _mm_shuffle_epi8(tbl_lo[3], n3));
+  hi = _mm_xor_si128(hi, _mm_shuffle_epi8(tbl_hi[3], n3));
+  return _mm_xor_si128(lo, _mm_slli_epi16(hi, 8));
+}
+
+__attribute__((target("ssse3"))) void muladd_ssse3(std::uint8_t* dst,
+                                                   const std::uint8_t* src,
+                                                   const MulTables& t,
+                                                   std::size_t n) noexcept {
+  __m128i tbl_lo[4], tbl_hi[4];
+  for (int p = 0; p < 4; ++p) {
+    tbl_lo[p] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[p]));
+    tbl_hi[p] = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[p]));
+  }
+  const __m128i mask_ff = _mm_set1_epi16(0x00ff);
+  const __m128i mask_0f = _mm_set1_epi16(0x000f);
+  std::size_t b = 0;
+  for (; b + 16 <= n; b += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + b));
+    const __m128i r = step128(v, tbl_lo, tbl_hi, mask_ff, mask_0f);
+    __m128i* out = reinterpret_cast<__m128i*>(dst + b);
+    _mm_storeu_si128(out, _mm_xor_si128(_mm_loadu_si128(out), r));
+  }
+  muladd_scalar(dst + b, src + b, t, n - b);
+}
+
+__attribute__((target("avx2"))) void muladd_avx2(std::uint8_t* dst,
+                                                 const std::uint8_t* src,
+                                                 const MulTables& t,
+                                                 std::size_t n) noexcept {
+  __m256i tbl_lo[4], tbl_hi[4];
+  for (int p = 0; p < 4; ++p) {
+    tbl_lo[p] = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[p])));
+    tbl_hi[p] = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[p])));
+  }
+  const __m256i mask_ff = _mm256_set1_epi16(0x00ff);
+  const __m256i mask_0f = _mm256_set1_epi16(0x000f);
+  std::size_t b = 0;
+  for (; b + 32 <= n; b += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + b));
+    const __m256i lob = _mm256_and_si256(v, mask_ff);
+    const __m256i hib = _mm256_srli_epi16(v, 8);
+    const __m256i n0 = _mm256_and_si256(lob, mask_0f);
+    const __m256i n1 = _mm256_srli_epi16(lob, 4);
+    const __m256i n2 = _mm256_and_si256(hib, mask_0f);
+    const __m256i n3 = _mm256_srli_epi16(hib, 4);
+    __m256i lo = _mm256_shuffle_epi8(tbl_lo[0], n0);
+    __m256i hi = _mm256_shuffle_epi8(tbl_hi[0], n0);
+    lo = _mm256_xor_si256(lo, _mm256_shuffle_epi8(tbl_lo[1], n1));
+    hi = _mm256_xor_si256(hi, _mm256_shuffle_epi8(tbl_hi[1], n1));
+    lo = _mm256_xor_si256(lo, _mm256_shuffle_epi8(tbl_lo[2], n2));
+    hi = _mm256_xor_si256(hi, _mm256_shuffle_epi8(tbl_hi[2], n2));
+    lo = _mm256_xor_si256(lo, _mm256_shuffle_epi8(tbl_lo[3], n3));
+    hi = _mm256_xor_si256(hi, _mm256_shuffle_epi8(tbl_hi[3], n3));
+    const __m256i r = _mm256_xor_si256(lo, _mm256_slli_epi16(hi, 8));
+    __m256i* out = reinterpret_cast<__m256i*>(dst + b);
+    _mm256_storeu_si256(out, _mm256_xor_si256(_mm256_loadu_si256(out), r));
+  }
+  muladd_scalar(dst + b, src + b, t, n - b);
+}
+
+#endif  // PANDAS_KERNELS_X86
+
+}  // namespace
+
+void muladd(std::uint8_t* dst, const std::uint8_t* src, const MulTables& t,
+            std::size_t n, Tier tier) noexcept {
+  if (t.coeff == 0 || n < 2) return;  // coeff 0: dst ^= 0 is a no-op
+  switch (resolve(tier)) {
+    case Tier::kReference:
+      muladd_reference(dst, src, t.coeff, n);
+      return;
+#ifdef PANDAS_KERNELS_X86
+    case Tier::kSSSE3:
+      muladd_ssse3(dst, src, t, n);
+      return;
+    case Tier::kAVX2:
+      muladd_avx2(dst, src, t, n);
+      return;
+#else
+    case Tier::kSSSE3:
+    case Tier::kAVX2:
+#endif
+    case Tier::kScalar:
+    case Tier::kAuto:
+      muladd_scalar(dst, src, t, n);
+      return;
+  }
+}
+
+void muladd(std::uint8_t* dst, const std::uint8_t* src, GF16::Elem coeff,
+            std::size_t n, Tier tier) noexcept {
+  if (coeff == 0 || n < 2) return;
+  const Tier resolved = resolve(tier);
+  if (resolved == Tier::kReference) {
+    muladd_reference(dst, src, coeff, n);
+    return;
+  }
+  MulTables t;
+  build_tables(coeff, t);
+  muladd(dst, src, t, n, resolved);
+}
+
+}  // namespace pandas::erasure::kernels

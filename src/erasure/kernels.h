@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "erasure/gf16.h"
+
+/// Bulk GF(2^16) kernels for erasure coding (documented in docs/ERASURE.md).
+///
+/// Every Reed-Solomon operation in this codebase reduces to the fused
+/// multiply-accumulate
+///
+///     dst[i] ^= coeff * src[i]          (i over 16-bit symbols)
+///
+/// applied to long contiguous byte slabs. The seed implementation performed
+/// one log/exp table walk per symbol; this layer replaces it with
+/// per-coefficient *split tables* — the GF(2^16) analogue of the classic
+/// GF(2^8) vtable trick — and SIMD variants of the same idea:
+///
+///  - **Scalar**: two 256-entry `uint16` tables indexed by the low and high
+///    byte of each symbol; a product is `lo256[s & 0xff] ^ hi256[s >> 8]`
+///    (2 loads + 1 xor per symbol, no branches).
+///  - **SSSE3 / AVX2**: the symbol is split into four 4-bit nibbles; each
+///    nibble indexes a 16-entry table, small enough for one `pshufb`
+///    register lookup. Two byte-plane tables (product low byte, product
+///    high byte) per nibble position give the full product in
+///    8 `pshufb` + shifts + xors per 8 (SSSE3) or 16 (AVX2) symbols.
+///
+/// The tier is chosen at runtime from CPUID; every tier produces
+/// byte-identical output (asserted exhaustively by tests/kernels_test.cpp),
+/// so callers may treat the choice as a pure performance knob.
+///
+/// Symbols are little-endian `uint16` lanes in byte buffers, matching the
+/// on-the-wire cell layout; slab lengths are in bytes and must be even.
+namespace pandas::erasure::kernels {
+
+/// Selectable muladd implementations, ordered by expected throughput.
+enum class Tier : std::uint8_t {
+  kReference = 0,  ///< seed algorithm: one log/exp walk per symbol (baseline)
+  kScalar = 1,     ///< split-table: 2x256-entry uint16 tables, 2 loads/symbol
+  kSSSE3 = 2,      ///< 128-bit pshufb nibble lookup, 8 symbols per step
+  kAVX2 = 3,       ///< 256-bit vpshufb nibble lookup, 16 symbols per step
+  kAuto = 255,     ///< resolve() picks the best supported tier at runtime
+};
+
+/// Human-readable tier name ("reference", "scalar", "ssse3", "avx2", "auto").
+[[nodiscard]] const char* tier_name(Tier t) noexcept;
+
+/// True if `t` can execute on this CPU/build. kReference/kScalar/kAuto are
+/// always supported; SIMD tiers require x86-64, a build without
+/// PANDAS_DISABLE_SIMD, and the matching CPUID feature bit.
+[[nodiscard]] bool tier_supported(Tier t) noexcept;
+
+/// The fastest supported tier on this machine (never kAuto). Honors the
+/// `PANDAS_KERNEL` environment variable (one of the tier names above) as an
+/// override when it names a supported tier — useful for A/B runs without a
+/// rebuild; see scripts/tier1.sh.
+[[nodiscard]] Tier best_tier() noexcept;
+
+/// Maps kAuto to best_tier(); returns other tiers unchanged.
+[[nodiscard]] inline Tier resolve(Tier t) noexcept {
+  return t == Tier::kAuto ? best_tier() : t;
+}
+
+/// Precomputed multiplication tables for one coefficient (~1.3 KB).
+///
+/// Building costs 64 field multiplications plus ~1.2 KB of derived stores;
+/// callers amortize one build over every slab that uses the coefficient
+/// (e.g. ExtendedBlob reuses one build across all 256 rows of the blob).
+struct MulTables {
+  /// Full 16-bit nibble products: prod[p][v] = coeff * (v << 4p).
+  /// A symbol s = n0 | n1<<4 | n2<<8 | n3<<12 multiplies (by linearity) as
+  /// prod[0][n0] ^ prod[1][n1] ^ prod[2][n2] ^ prod[3][n3].
+  alignas(64) std::uint16_t prod[4][16];
+  /// Byte planes of `prod` for pshufb: lo[p][v] / hi[p][v] are the low /
+  /// high product bytes. 16-byte aligned so SIMD tiers can load directly.
+  alignas(16) std::uint8_t lo[4][16];
+  alignas(16) std::uint8_t hi[4][16];
+  /// Split tables over whole input bytes for the scalar tier:
+  /// coeff * s == lo256[s & 0xff] ^ hi256[s >> 8].
+  std::uint16_t lo256[256];
+  std::uint16_t hi256[256];
+  GF16::Elem coeff = 0;
+};
+
+/// Fills `t` with the tables for `coeff`.
+void build_tables(GF16::Elem coeff, MulTables& t) noexcept;
+
+/// dst[0..n) ^= coeff * src[0..n) over little-endian 16-bit symbols.
+/// `n` is in bytes and must be even; `dst` and `src` must not overlap
+/// (except dst == src, which doubles every symbol, i.e. zeroes the slab —
+/// callers never do this). No alignment requirements on either pointer.
+void muladd(std::uint8_t* dst, const std::uint8_t* src, const MulTables& t,
+            std::size_t n, Tier tier = Tier::kAuto) noexcept;
+
+/// Convenience overload: builds the tables for `coeff` internally. Prefer
+/// the MulTables overload whenever the coefficient is reused.
+void muladd(std::uint8_t* dst, const std::uint8_t* src, GF16::Elem coeff,
+            std::size_t n, Tier tier = Tier::kAuto) noexcept;
+
+}  // namespace pandas::erasure::kernels

@@ -1,5 +1,9 @@
 #include "erasure/reed_solomon.h"
 
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 
@@ -19,6 +23,17 @@ ReedSolomon::ReedSolomon(std::uint32_t k, std::uint32_t n) : k_(k), n_(n) {
   generator_ = v.multiply(*inv);
 }
 
+const ReedSolomon& ReedSolomon::cached(std::uint32_t k, std::uint32_t n) {
+  static std::mutex mu;
+  static std::map<std::pair<std::uint32_t, std::uint32_t>,
+                  std::unique_ptr<const ReedSolomon>>
+      codecs;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = codecs[{k, n}];
+  if (!slot) slot = std::make_unique<const ReedSolomon>(k, n);
+  return *slot;
+}
+
 std::vector<GF16::Elem> ReedSolomon::generator_row(std::uint32_t i) const {
   std::vector<GF16::Elem> out(k_);
   const GF16::Elem* r = generator_.row(i);
@@ -26,48 +41,100 @@ std::vector<GF16::Elem> ReedSolomon::generator_row(std::uint32_t i) const {
   return out;
 }
 
-void ReedSolomon::apply_row(std::span<const GF16::Elem> coeffs,
-                            std::span<const std::vector<std::uint8_t>> shards,
-                            std::vector<std::uint8_t>& out) {
-  const GF16& gf = GF16::instance();
-  const std::size_t bytes = shards.empty() ? 0 : shards[0].size();
-  out.assign(bytes, 0);
+void ReedSolomon::apply_row_slab(std::span<const GF16::Elem> coeffs,
+                                 const std::uint8_t* shards,
+                                 std::size_t shard_bytes, std::uint8_t* out,
+                                 kernels::Tier tier) const {
+  std::memset(out, 0, shard_bytes);
   for (std::size_t j = 0; j < coeffs.size(); ++j) {
-    const GF16::Elem c = coeffs[j];
-    if (c == 0) continue;
-    const auto& shard = shards[j];
-    for (std::size_t b = 0; b + 1 < bytes; b += 2) {
-      const auto sym = static_cast<GF16::Elem>(
-          static_cast<std::uint16_t>(shard[b]) |
-          (static_cast<std::uint16_t>(shard[b + 1]) << 8));
-      const GF16::Elem prod = gf.mul(c, sym);
-      out[b] = static_cast<std::uint8_t>(out[b] ^ (prod & 0xff));
-      out[b + 1] = static_cast<std::uint8_t>(out[b + 1] ^ (prod >> 8));
+    kernels::muladd(out, shards + j * shard_bytes, coeffs[j], shard_bytes,
+                    tier);
+  }
+}
+
+void ReedSolomon::encode_lines(std::uint8_t* base, std::size_t shard_bytes,
+                               std::size_t line_stride, std::size_t lines,
+                               kernels::Tier tier,
+                               util::ThreadPool* pool) const {
+  if (shard_bytes % 2 != 0) {
+    throw std::invalid_argument("encode_lines: odd shard size");
+  }
+  tier = kernels::resolve(tier);
+  const std::size_t parity_shards = n_ - k_;
+  // Cache blocking (see docs/ERASURE.md §slab layout for the derivation):
+  //  - kGroup parity shards are produced per pass, so every source chunk is
+  //    read from memory once per GROUP rather than once per parity shard
+  //    (source traffic divided by kGroup);
+  //  - within a pass, work proceeds in kChunk-byte column chunks so the
+  //    group's destination chunks plus the current source chunk stay
+  //    cache-resident while all k coefficients accumulate into them.
+  // Tables are built once per generator entry (same count as a plain
+  // coefficient-major loop) and reused across every line and chunk.
+  constexpr std::size_t kGroup = 8;
+  constexpr std::size_t kChunk = 4 * 1024;
+  const std::size_t groups = (parity_shards + kGroup - 1) / kGroup;
+  const auto encode_group = [&](std::size_t g) {
+    const std::size_t p0 = g * kGroup;
+    const std::size_t pc = std::min(kGroup, parity_shards - p0);
+    std::vector<kernels::MulTables> tables(pc * k_);
+    for (std::size_t p = 0; p < pc; ++p) {
+      const GF16::Elem* row =
+          generator_.row(static_cast<std::uint32_t>(k_ + p0 + p));
+      for (std::uint32_t j = 0; j < k_; ++j) {
+        kernels::build_tables(row[j], tables[p * k_ + j]);
+      }
     }
+    for (std::size_t l = 0; l < lines; ++l) {
+      std::uint8_t* line = base + l * line_stride;
+      for (std::size_t p = 0; p < pc; ++p) {
+        std::memset(line + (k_ + p0 + p) * shard_bytes, 0, shard_bytes);
+      }
+      for (std::size_t off = 0; off < shard_bytes; off += kChunk) {
+        const std::size_t len = std::min(kChunk, shard_bytes - off);
+        for (std::uint32_t j = 0; j < k_; ++j) {
+          const std::uint8_t* src = line + j * shard_bytes + off;
+          for (std::size_t p = 0; p < pc; ++p) {
+            // muladd skips zero coefficients internally.
+            kernels::muladd(line + (k_ + p0 + p) * shard_bytes + off, src,
+                            tables[p * k_ + j], len, tier);
+          }
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, groups, encode_group);
+  } else {
+    for (std::size_t g = 0; g < groups; ++g) encode_group(g);
   }
 }
 
 std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
-    std::span<const std::vector<std::uint8_t>> data) const {
+    std::span<const std::vector<std::uint8_t>> data,
+    kernels::Tier tier) const {
   if (data.size() != k_) throw std::invalid_argument("encode: need k shards");
   const std::size_t bytes = data[0].size();
   if (bytes % 2 != 0) throw std::invalid_argument("encode: odd shard size");
   for (const auto& d : data) {
     if (d.size() != bytes) throw std::invalid_argument("encode: ragged shards");
   }
+  // Gather into one slab, bulk-encode, scatter the parity back out.
+  std::vector<std::uint8_t> slab(static_cast<std::size_t>(n_) * bytes);
+  for (std::uint32_t j = 0; j < k_; ++j) {
+    std::memcpy(slab.data() + j * bytes, data[j].data(), bytes);
+  }
+  encode_lines(slab.data(), bytes, 0, 1, tier);
   std::vector<std::vector<std::uint8_t>> parity(n_ - k_);
   for (std::uint32_t p = 0; p < n_ - k_; ++p) {
-    std::vector<GF16::Elem> coeffs(k_);
-    const GF16::Elem* row = generator_.row(k_ + p);
-    for (std::uint32_t c = 0; c < k_; ++c) coeffs[c] = row[c];
-    apply_row(coeffs, data, parity[p]);
+    const std::uint8_t* src = slab.data() + (k_ + p) * bytes;
+    parity[p].assign(src, src + bytes);
   }
   return parity;
 }
 
 std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::reconstruct_data(
     std::span<const std::vector<std::uint8_t>> shards,
-    std::span<const std::uint32_t> indices) const {
+    std::span<const std::uint32_t> indices, kernels::Tier tier) const {
   if (shards.size() != indices.size() || shards.size() < k_) return std::nullopt;
 
   // Use the first k distinct indices.
@@ -86,25 +153,31 @@ std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::reconstruct_d
   const auto inv = sub.inverted();
   if (!inv) return std::nullopt;  // cannot happen for Vandermonde-derived G
 
-  std::vector<std::vector<std::uint8_t>> picked(k_);
-  for (std::uint32_t i = 0; i < k_; ++i) picked[i] = shards[chosen[i]];
+  const std::size_t bytes = shards[chosen[0]].size();
+  std::vector<std::uint8_t> picked(static_cast<std::size_t>(k_) * bytes);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    if (shards[chosen[i]].size() != bytes) return std::nullopt;
+    std::memcpy(picked.data() + i * bytes, shards[chosen[i]].data(), bytes);
+  }
 
+  tier = kernels::resolve(tier);
   std::vector<std::vector<std::uint8_t>> data(k_);
+  std::vector<GF16::Elem> coeffs(k_);
   for (std::uint32_t r = 0; r < k_; ++r) {
-    std::vector<GF16::Elem> coeffs(k_);
     const GF16::Elem* row = inv->row(r);
     for (std::uint32_t c = 0; c < k_; ++c) coeffs[c] = row[c];
-    apply_row(coeffs, picked, data[r]);
+    data[r].resize(bytes);
+    apply_row_slab(coeffs, picked.data(), bytes, data[r].data(), tier);
   }
   return data;
 }
 
 std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::reconstruct_all(
     std::span<const std::vector<std::uint8_t>> shards,
-    std::span<const std::uint32_t> indices) const {
-  auto data = reconstruct_data(shards, indices);
+    std::span<const std::uint32_t> indices, kernels::Tier tier) const {
+  auto data = reconstruct_data(shards, indices, tier);
   if (!data) return std::nullopt;
-  auto parity = encode(*data);
+  auto parity = encode(*data, tier);
   data->reserve(n_);
   for (auto& p : parity) data->push_back(std::move(p));
   return data;

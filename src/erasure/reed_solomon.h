@@ -5,7 +5,9 @@
 #include <span>
 #include <vector>
 
+#include "erasure/kernels.h"
 #include "erasure/matrix.h"
+#include "util/thread_pool.h"
 
 /// Systematic Reed-Solomon erasure code over GF(2^16).
 ///
@@ -19,6 +21,14 @@
 /// Shards are byte buffers of even length; each pair of bytes is one
 /// GF(2^16) symbol lane, and all lanes are coded independently with the same
 /// generator matrix.
+///
+/// Two API families are provided (see docs/ERASURE.md for the layout):
+///  - the original per-shard `std::vector` API, kept for call sites that
+///    naturally hold scattered cells (reconstruction from network buffers);
+///  - flat *slab* APIs (`encode_lines`, `reconstruct_into`) operating on one
+///    contiguous allocation, which feed the bulk kernels in
+///    erasure/kernels.h without per-cell indirection. Both produce
+///    byte-identical output (tests/kernels_test.cpp).
 namespace pandas::erasure {
 
 class ReedSolomon {
@@ -26,35 +36,61 @@ class ReedSolomon {
   /// Requires 0 < k <= n and n < 65535.
   ReedSolomon(std::uint32_t k, std::uint32_t n);
 
+  /// Process-wide codec cache. Constructing a (256, 512) codec inverts a
+  /// 256x256 matrix (~20 ms); hot paths (per-line reconstruction, blob
+  /// encodes) share one instance per geometry instead. Thread-safe.
+  static const ReedSolomon& cached(std::uint32_t k, std::uint32_t n);
+
   [[nodiscard]] std::uint32_t data_shards() const noexcept { return k_; }
   [[nodiscard]] std::uint32_t total_shards() const noexcept { return n_; }
 
   /// Encodes k data shards (all the same even size) into n-k parity shards.
   /// Returns the parity shards only.
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
-      std::span<const std::vector<std::uint8_t>> data) const;
+      std::span<const std::vector<std::uint8_t>> data,
+      kernels::Tier tier = kernels::Tier::kAuto) const;
+
+  /// Bulk slab encode of `lines` independent codewords laid out as
+  ///
+  ///   shard j of line l at  base + l * line_stride + j * shard_bytes
+  ///
+  /// with the k data shards (j < k) already present; writes the n-k parity
+  /// shards (j in [k, n)) of every line in place. Each per-coefficient
+  /// table build is amortized across all `lines`, so multi-line calls (the
+  /// 2-D blob row phase encodes all 256 rows in one call) approach the raw
+  /// kernel throughput. `line_stride` is ignored when lines == 1.
+  ///
+  /// When `pool` is non-null the n-k parity shards are computed in parallel
+  /// (they write disjoint ranges, so the result is byte-identical for any
+  /// worker count).
+  void encode_lines(std::uint8_t* base, std::size_t shard_bytes,
+                    std::size_t line_stride, std::size_t lines,
+                    kernels::Tier tier = kernels::Tier::kAuto,
+                    util::ThreadPool* pool = nullptr) const;
 
   /// Reconstructs the k data shards from any >= k available shards.
   /// `shards[i]` is the shard with codeword index `indices[i]`.
   /// Returns nullopt if fewer than k shards were provided or indices repeat.
   [[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>> reconstruct_data(
       std::span<const std::vector<std::uint8_t>> shards,
-      std::span<const std::uint32_t> indices) const;
+      std::span<const std::uint32_t> indices,
+      kernels::Tier tier = kernels::Tier::kAuto) const;
 
   /// Full reconstruction: data + re-encoded parity (all n shards).
   [[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>> reconstruct_all(
       std::span<const std::vector<std::uint8_t>> shards,
-      std::span<const std::uint32_t> indices) const;
+      std::span<const std::uint32_t> indices,
+      kernels::Tier tier = kernels::Tier::kAuto) const;
 
   /// Row `i` of the systematic generator matrix (1 x k), used to compute a
   /// single missing shard without full decode.
   [[nodiscard]] std::vector<GF16::Elem> generator_row(std::uint32_t i) const;
 
  private:
-  /// out = coeffs · shards (per 16-bit lane).
-  static void apply_row(std::span<const GF16::Elem> coeffs,
-                        std::span<const std::vector<std::uint8_t>> shards,
-                        std::vector<std::uint8_t>& out);
+  /// out = coeffs · shards over one contiguous slab of k shards.
+  void apply_row_slab(std::span<const GF16::Elem> coeffs,
+                      const std::uint8_t* shards, std::size_t shard_bytes,
+                      std::uint8_t* out, kernels::Tier tier) const;
 
   std::uint32_t k_;
   std::uint32_t n_;

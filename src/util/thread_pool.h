@@ -1,0 +1,69 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// A small reusable worker pool for data-parallel loops.
+///
+/// Built for the erasure hot path (full-blob 2-D encode and per-row
+/// commitments, see docs/ERASURE.md): the work items are large, independent
+/// slab operations, so a simple shared-index loop with no per-item
+/// allocation is all that is needed. Workers are started once and parked on
+/// a condition variable between jobs.
+///
+/// Determinism note: callers in this codebase only submit loops whose
+/// iterations write disjoint output ranges, so results are byte-identical
+/// for any worker count (including zero).
+namespace pandas::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency() - 1 (the
+  /// calling thread participates in every loop, so a 1-core machine gets a
+  /// pool with no workers and parallel_for degrades to an inline loop).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (excludes the caller).
+  [[nodiscard]] unsigned workers() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Runs fn(i) for every i in [begin, end), distributing iterations over
+  /// the workers plus the calling thread; returns when all are done.
+  /// `fn` must not throw and must not call parallel_for on the same pool
+  /// (nested calls run inline on the caller).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool, sized for the machine. First use spawns the
+  /// workers; intended for one-off heavyweight jobs like blob encodes.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+  void run_range(const std::function<void(std::size_t)>& fn);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+
+  // Current job; guarded by mu_ for publication, indices claimed lock-free.
+  std::function<void(std::size_t)> job_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> end_{0};
+  std::uint64_t generation_ = 0;   // bumped per job so workers wake once each
+  unsigned active_ = 0;            // workers still inside the current job
+  bool stop_ = false;
+};
+
+}  // namespace pandas::util

@@ -62,6 +62,18 @@ TEST(GF16, MultiplicationCommutesAndAssociates) {
   }
 }
 
+TEST(GF16, PowZeroToThePowerZeroIsOne) {
+  // Pins the documented convention (gf16.h): pow(a, 0) == 1 for every a,
+  // INCLUDING a == 0 (empty product). Vandermonde's first column and the
+  // kernel layer's table construction rely on this; a refactor that checks
+  // the base before the exponent would silently corrupt every codec.
+  const auto& gf = GF16::instance();
+  EXPECT_EQ(gf.pow(0, 0), 1);
+  EXPECT_EQ(gf.pow(0, 1), 0);
+  EXPECT_EQ(gf.pow(0, 12345), 0);
+  for (GF16::Elem a : {1, 2, 777, 65535}) EXPECT_EQ(gf.pow(a, 0), 1);
+}
+
 TEST(GF16, PowMatchesRepeatedMul) {
   const auto& gf = GF16::instance();
   const GF16::Elem a = 0x1234;
@@ -251,6 +263,11 @@ std::vector<std::uint8_t> pattern_data(std::size_t size) {
   return out;
 }
 
+// cell() returns a span into the blob's slab; materialize for comparisons.
+std::vector<std::uint8_t> vec(std::span<const std::uint8_t> s) {
+  return {s.begin(), s.end()};
+}
+
 TEST(ExtendedBlob, RoundTripOriginalData) {
   const auto cfg = small_cfg();
   const auto data = pattern_data(cfg.original_bytes());
@@ -273,10 +290,10 @@ TEST(ExtendedBlob, EveryRowIsACodeword) {
   const ReedSolomon rs(cfg.k, cfg.n);
   for (std::uint32_t r = 0; r < cfg.n; ++r) {
     std::vector<std::vector<std::uint8_t>> first_k;
-    for (std::uint32_t c = 0; c < cfg.k; ++c) first_k.push_back(blob.cell(r, c));
+    for (std::uint32_t c = 0; c < cfg.k; ++c) first_k.push_back(vec(blob.cell(r, c)));
     const auto parity = rs.encode(first_k);
     for (std::uint32_t p = 0; p < cfg.n - cfg.k; ++p) {
-      EXPECT_EQ(parity[p], blob.cell(r, cfg.k + p)) << "row " << r;
+      EXPECT_EQ(parity[p], vec(blob.cell(r, cfg.k + p))) << "row " << r;
     }
   }
 }
@@ -287,10 +304,10 @@ TEST(ExtendedBlob, EveryColumnIsACodeword) {
   const ReedSolomon rs(cfg.k, cfg.n);
   for (std::uint32_t c = 0; c < cfg.n; ++c) {
     std::vector<std::vector<std::uint8_t>> first_k;
-    for (std::uint32_t r = 0; r < cfg.k; ++r) first_k.push_back(blob.cell(r, c));
+    for (std::uint32_t r = 0; r < cfg.k; ++r) first_k.push_back(vec(blob.cell(r, c)));
     const auto parity = rs.encode(first_k);
     for (std::uint32_t p = 0; p < cfg.n - cfg.k; ++p) {
-      EXPECT_EQ(parity[p], blob.cell(cfg.k + p, c)) << "col " << c;
+      EXPECT_EQ(parity[p], vec(blob.cell(cfg.k + p, c))) << "col " << c;
     }
   }
 }
@@ -305,13 +322,13 @@ TEST(ExtendedBlob, LineReconstructionFromAnyHalf) {
     std::vector<std::vector<std::uint8_t>> cells;
     std::vector<std::uint32_t> indices;
     for (const auto c : picks) {
-      cells.push_back(blob.cell(row, c));
+      cells.push_back(vec(blob.cell(row, c)));
       indices.push_back(c);
     }
     const auto line = ExtendedBlob::reconstruct_line(cfg, cells, indices);
     ASSERT_TRUE(line.has_value());
     for (std::uint32_t c = 0; c < cfg.n; ++c) {
-      EXPECT_EQ((*line)[c], blob.cell(row, c));
+      EXPECT_EQ((*line)[c], vec(blob.cell(row, c)));
     }
   }
 }
@@ -324,7 +341,7 @@ TEST(ExtendedBlob, CellProofsVerify) {
       const auto proof = blob.cell_proof(r, c);
       EXPECT_TRUE(blob.verify_cell(r, c, blob.cell(r, c), proof));
       // Wrong payload fails.
-      auto bad = blob.cell(r, c);
+      auto bad = vec(blob.cell(r, c));
       bad[0] ^= 0xff;
       EXPECT_FALSE(blob.verify_cell(r, c, bad, proof));
     }
@@ -355,7 +372,7 @@ TEST(ExtendedBlob, MinimalReconstructableProperty) {
     std::vector<std::vector<std::uint8_t>> cells;
     std::vector<std::uint32_t> indices;
     for (std::uint32_t c = 0; c < cfg.k; ++c) {
-      cells.push_back(blob.cell(r, c));
+      cells.push_back(vec(blob.cell(r, c)));
       indices.push_back(c);
     }
     auto full = rs.reconstruct_all(cells, indices);
@@ -373,7 +390,7 @@ TEST(ExtendedBlob, MinimalReconstructableProperty) {
     const auto full = rs.reconstruct_all(cells, indices);
     ASSERT_TRUE(full.has_value());
     for (std::uint32_t r = 0; r < cfg.n; ++r) {
-      EXPECT_EQ((*full)[r], blob.cell(r, c)) << "cell " << r << "," << c;
+      EXPECT_EQ((*full)[r], vec(blob.cell(r, c))) << "cell " << r << "," << c;
     }
   }
 }

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "erasure/extended_blob.h"
+#include "erasure/kernels.h"
+#include "erasure/reed_solomon.h"
+#include "util/prng.h"
+
+/// Equivalence and property tests for the bulk GF(2^16) kernel layer
+/// (docs/ERASURE.md). The contract under test: every dispatch tier produces
+/// byte-identical output to the reference (seed) algorithm for every slab
+/// length, alignment, and coefficient — so tier selection is purely a
+/// performance knob.
+namespace pandas::erasure {
+namespace {
+
+using kernels::MulTables;
+using kernels::Tier;
+
+std::vector<Tier> supported_tiers() {
+  std::vector<Tier> tiers;
+  for (Tier t : {Tier::kReference, Tier::kScalar, Tier::kSSSE3, Tier::kAVX2}) {
+    if (kernels::tier_supported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, util::Xoshiro256& rng) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform(256));
+  return out;
+}
+
+// ----------------------------------------------------------------- dispatch
+
+TEST(Kernels, ScalarTiersAlwaysSupported) {
+  EXPECT_TRUE(kernels::tier_supported(Tier::kReference));
+  EXPECT_TRUE(kernels::tier_supported(Tier::kScalar));
+  EXPECT_TRUE(kernels::tier_supported(Tier::kAuto));
+}
+
+TEST(Kernels, BestTierIsSupportedAndNotAuto) {
+  const Tier best = kernels::best_tier();
+  EXPECT_NE(best, Tier::kAuto);
+  EXPECT_TRUE(kernels::tier_supported(best));
+  EXPECT_EQ(kernels::resolve(Tier::kAuto), best);
+  EXPECT_EQ(kernels::resolve(Tier::kScalar), Tier::kScalar);
+}
+
+TEST(Kernels, TierNamesAreStable) {
+  EXPECT_STREQ(kernels::tier_name(Tier::kReference), "reference");
+  EXPECT_STREQ(kernels::tier_name(Tier::kScalar), "scalar");
+  EXPECT_STREQ(kernels::tier_name(Tier::kSSSE3), "ssse3");
+  EXPECT_STREQ(kernels::tier_name(Tier::kAVX2), "avx2");
+  EXPECT_STREQ(kernels::tier_name(Tier::kAuto), "auto");
+}
+
+// ------------------------------------------------------------------- tables
+
+TEST(Kernels, TablesMatchFieldMultiplication) {
+  // Every table plane must agree with GF16::mul on its slice of the symbol,
+  // for a spread of coefficients including 0, 1, and the generator.
+  const auto& gf = GF16::instance();
+  util::Xoshiro256 rng(42);
+  std::vector<GF16::Elem> coeffs = {0, 1, 2, 0x00ff, 0x0100, 0xffff};
+  for (int i = 0; i < 20; ++i) {
+    coeffs.push_back(static_cast<GF16::Elem>(rng.uniform(65536)));
+  }
+  for (const auto c : coeffs) {
+    MulTables t;
+    kernels::build_tables(c, t);
+    EXPECT_EQ(t.coeff, c);
+    for (int p = 0; p < 4; ++p) {
+      for (int v = 0; v < 16; ++v) {
+        const auto expect = gf.mul(c, static_cast<GF16::Elem>(v << (4 * p)));
+        EXPECT_EQ(t.prod[p][v], expect);
+        EXPECT_EQ(t.lo[p][v], expect & 0xff);
+        EXPECT_EQ(t.hi[p][v], expect >> 8);
+      }
+    }
+    for (int b = 0; b < 256; ++b) {
+      EXPECT_EQ(t.lo256[b], gf.mul(c, static_cast<GF16::Elem>(b)));
+      EXPECT_EQ(t.hi256[b], gf.mul(c, static_cast<GF16::Elem>(b << 8)));
+    }
+  }
+}
+
+// -------------------------------------------------- muladd tier equivalence
+
+TEST(Kernels, AllTiersMatchReferenceAcrossLengthsAndAlignments) {
+  // Slab lengths cross every code path: empty, below one vector, one SSSE3
+  // vector (16 B), one AVX2 vector (32 B), multiples, and ragged tails.
+  // Offsets 0..3 exercise misaligned src/dst independently.
+  util::Xoshiro256 rng(7);
+  const std::size_t lengths[] = {0,  2,  6,   14,  16,  18,   30,  32,
+                                 34, 62, 64,  96,  130, 254,  256, 258,
+                                 510, 512, 1022, 4096, 4098};
+  const auto tiers = supported_tiers();
+  ASSERT_GE(tiers.size(), 2u);
+  for (const std::size_t len : lengths) {
+    for (const std::size_t src_off : {0u, 1u, 3u}) {
+      for (const std::size_t dst_off : {0u, 2u}) {
+        const auto src_buf = random_bytes(len + src_off, rng);
+        const auto dst_init = random_bytes(len + dst_off, rng);
+        const auto coeff = static_cast<GF16::Elem>(rng.uniform(65536));
+        std::vector<std::uint8_t> expected;
+        for (const Tier tier : tiers) {
+          auto dst = dst_init;
+          kernels::muladd(dst.data() + dst_off, src_buf.data() + src_off,
+                          coeff, len, tier);
+          if (expected.empty() && tier == Tier::kReference) {
+            expected = dst;
+          } else {
+            EXPECT_EQ(dst, expected)
+                << "tier=" << kernels::tier_name(tier) << " len=" << len
+                << " src_off=" << src_off << " dst_off=" << dst_off;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, PrebuiltTablesMatchConvenienceOverload) {
+  util::Xoshiro256 rng(8);
+  const auto src = random_bytes(1000, rng);
+  for (const Tier tier : supported_tiers()) {
+    for (int i = 0; i < 10; ++i) {
+      const auto coeff = static_cast<GF16::Elem>(rng.uniform(65536));
+      auto a = random_bytes(1000, rng);
+      auto b = a;
+      MulTables t;
+      kernels::build_tables(coeff, t);
+      kernels::muladd(a.data(), src.data(), t, a.size(), tier);
+      kernels::muladd(b.data(), src.data(), coeff, b.size(), tier);
+      EXPECT_EQ(a, b) << kernels::tier_name(tier);
+    }
+  }
+}
+
+TEST(Kernels, ZeroCoefficientIsANoop) {
+  util::Xoshiro256 rng(9);
+  const auto src = random_bytes(512, rng);
+  for (const Tier tier : supported_tiers()) {
+    auto dst = random_bytes(512, rng);
+    const auto before = dst;
+    kernels::muladd(dst.data(), src.data(), GF16::Elem{0}, dst.size(), tier);
+    EXPECT_EQ(dst, before) << kernels::tier_name(tier);
+  }
+}
+
+TEST(Kernels, OneCoefficientIsPlainXor) {
+  util::Xoshiro256 rng(10);
+  const auto src = random_bytes(514, rng);
+  for (const Tier tier : supported_tiers()) {
+    auto dst = random_bytes(514, rng);
+    auto expect = dst;
+    for (std::size_t i = 0; i < dst.size(); ++i) expect[i] ^= src[i];
+    kernels::muladd(dst.data(), src.data(), GF16::Elem{1}, dst.size(), tier);
+    EXPECT_EQ(dst, expect) << kernels::tier_name(tier);
+  }
+}
+
+TEST(Kernels, MuladdIsLinearInTheCoefficient) {
+  // (a ^ b) * src == a*src ^ b*src — the distributivity the 2-D encode's
+  // row/column commutation rests on, checked through the kernels.
+  util::Xoshiro256 rng(11);
+  const auto src = random_bytes(256, rng);
+  for (int i = 0; i < 20; ++i) {
+    const auto a = static_cast<GF16::Elem>(rng.uniform(65536));
+    const auto b = static_cast<GF16::Elem>(rng.uniform(65536));
+    std::vector<std::uint8_t> lhs(256, 0), rhs(256, 0);
+    kernels::muladd(lhs.data(), src.data(), static_cast<GF16::Elem>(a ^ b),
+                    lhs.size());
+    kernels::muladd(rhs.data(), src.data(), a, rhs.size());
+    kernels::muladd(rhs.data(), src.data(), b, rhs.size());
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+// ------------------------------------- slab codec vs the seed per-vector path
+
+/// The seed implementation of ReedSolomon::encode, kept verbatim (modulo
+/// naming) as the bit-for-bit ground truth for the slab rewrite: per-cell
+/// std::vector shards, one log/exp multiplication per symbol.
+std::vector<std::vector<std::uint8_t>> legacy_encode(
+    const ReedSolomon& rs, std::span<const std::vector<std::uint8_t>> data) {
+  const GF16& gf = GF16::instance();
+  const std::uint32_t k = rs.data_shards();
+  const std::uint32_t n = rs.total_shards();
+  const std::size_t bytes = data[0].size();
+  std::vector<std::vector<std::uint8_t>> parity(n - k);
+  for (std::uint32_t p = 0; p < n - k; ++p) {
+    const auto coeffs = rs.generator_row(k + p);
+    auto& out = parity[p];
+    out.assign(bytes, 0);
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const GF16::Elem c = coeffs[j];
+      if (c == 0) continue;
+      const auto& shard = data[j];
+      for (std::size_t b = 0; b + 1 < bytes; b += 2) {
+        const auto sym = static_cast<GF16::Elem>(
+            static_cast<std::uint16_t>(shard[b]) |
+            (static_cast<std::uint16_t>(shard[b + 1]) << 8));
+        const GF16::Elem prod = gf.mul(c, sym);
+        out[b] = static_cast<std::uint8_t>(out[b] ^ (prod & 0xff));
+        out[b + 1] = static_cast<std::uint8_t>(out[b + 1] ^ (prod >> 8));
+      }
+    }
+  }
+  return parity;
+}
+
+TEST(Kernels, SlabEncodeMatchesLegacyPerVectorPathBitForBit) {
+  util::Xoshiro256 rng(12);
+  const struct {
+    std::uint32_t k, n;
+    std::size_t bytes;
+  } cases[] = {{1, 1, 8}, {1, 4, 32}, {2, 4, 2},   {3, 7, 30},
+               {4, 8, 64}, {8, 16, 514}, {16, 32, 128}, {32, 64, 6}};
+  for (const auto& c : cases) {
+    const ReedSolomon rs(c.k, c.n);
+    std::vector<std::vector<std::uint8_t>> data(c.k);
+    for (auto& s : data) s = random_bytes(c.bytes, rng);
+    const auto expected = legacy_encode(rs, data);
+    for (const Tier tier : supported_tiers()) {
+      EXPECT_EQ(rs.encode(data, tier), expected)
+          << "k=" << c.k << " n=" << c.n << " bytes=" << c.bytes
+          << " tier=" << kernels::tier_name(tier);
+    }
+  }
+}
+
+TEST(Kernels, EncodeLinesMatchesPerLineEncode) {
+  // The strided multi-line entry point (the blob row phase) must equal
+  // looping the single-line codec, for every tier.
+  util::Xoshiro256 rng(13);
+  const std::uint32_t k = 5, n = 11;
+  const std::size_t shard_bytes = 34, lines = 7;
+  const std::size_t line_stride = n * shard_bytes + 10;  // gap between lines
+  const ReedSolomon rs(k, n);
+  const auto seed_slab = random_bytes(lines * line_stride, rng);
+  for (const Tier tier : supported_tiers()) {
+    auto slab = seed_slab;
+    rs.encode_lines(slab.data(), shard_bytes, line_stride, lines, tier);
+    for (std::size_t l = 0; l < lines; ++l) {
+      std::vector<std::vector<std::uint8_t>> data(k);
+      for (std::uint32_t j = 0; j < k; ++j) {
+        const auto* s = seed_slab.data() + l * line_stride + j * shard_bytes;
+        data[j].assign(s, s + shard_bytes);
+      }
+      const auto parity = rs.encode(data, tier);
+      for (std::uint32_t p = 0; p < n - k; ++p) {
+        const auto* got = slab.data() + l * line_stride + (k + p) * shard_bytes;
+        EXPECT_EQ(std::memcmp(got, parity[p].data(), shard_bytes), 0)
+            << "line=" << l << " p=" << p << " " << kernels::tier_name(tier);
+      }
+    }
+  }
+}
+
+TEST(Kernels, ReconstructionIdenticalAcrossTiers) {
+  util::Xoshiro256 rng(14);
+  const ReedSolomon rs(6, 12);
+  std::vector<std::vector<std::uint8_t>> data(6);
+  for (auto& s : data) s = random_bytes(50, rng);
+  auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> all = data;
+  for (auto& p : parity) all.push_back(std::move(p));
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto picks = rng.sample_distinct(12, 6);
+    std::vector<std::vector<std::uint8_t>> shards;
+    std::vector<std::uint32_t> indices;
+    for (const auto i : picks) {
+      shards.push_back(all[i]);
+      indices.push_back(i);
+    }
+    for (const Tier tier : supported_tiers()) {
+      const auto decoded = rs.reconstruct_data(shards, indices, tier);
+      ASSERT_TRUE(decoded.has_value()) << kernels::tier_name(tier);
+      EXPECT_EQ(*decoded, data) << kernels::tier_name(tier);
+      const auto full = rs.reconstruct_all(shards, indices, tier);
+      ASSERT_TRUE(full.has_value()) << kernels::tier_name(tier);
+      for (std::uint32_t i = 0; i < 12; ++i) EXPECT_EQ((*full)[i], all[i]);
+    }
+  }
+}
+
+TEST(Kernels, CachedCodecMatchesFreshInstance) {
+  const auto& cached = ReedSolomon::cached(4, 8);
+  EXPECT_EQ(&cached, &ReedSolomon::cached(4, 8));  // one instance per geometry
+  const ReedSolomon fresh(4, 8);
+  util::Xoshiro256 rng(15);
+  std::vector<std::vector<std::uint8_t>> data(4);
+  for (auto& s : data) s = random_bytes(40, rng);
+  EXPECT_EQ(cached.encode(data), fresh.encode(data));
+}
+
+// --------------------------------------------------- ExtendedBlob invariance
+
+TEST(Kernels, BlobEncodeIdenticalAcrossTiersAndThreadCounts) {
+  // The full 2-D encode must be a pure function of (cfg geometry, data):
+  // kernel tier and worker count are performance knobs only. Commitments
+  // hash every byte, so comparing them transitively compares every cell.
+  BlobConfig base;
+  base.k = 8;
+  base.n = 16;
+  base.cell_bytes = 36;
+  std::vector<std::uint8_t> data(base.original_bytes());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+
+  BlobConfig ref_cfg = base;
+  ref_cfg.kernel = Tier::kReference;
+  ref_cfg.encode_threads = 1;
+  const auto reference = ExtendedBlob::encode(ref_cfg, data);
+
+  for (const Tier tier : supported_tiers()) {
+    for (const std::uint32_t threads : {0u, 1u}) {
+      BlobConfig cfg = base;
+      cfg.kernel = tier;
+      cfg.encode_threads = threads;
+      const auto blob = ExtendedBlob::encode(cfg, data);
+      for (std::uint32_t r = 0; r < cfg.n; ++r) {
+        ASSERT_EQ(blob.row_commitment(r), reference.row_commitment(r))
+            << "row=" << r << " tier=" << kernels::tier_name(tier)
+            << " threads=" << threads;
+      }
+      EXPECT_EQ(blob.original_data(), data);
+    }
+  }
+}
+
+TEST(Kernels, RowSpanIsContiguousOverCells) {
+  BlobConfig cfg;
+  cfg.k = 4;
+  cfg.n = 8;
+  cfg.cell_bytes = 16;
+  std::vector<std::uint8_t> data(cfg.original_bytes(), 0xa5);
+  const auto blob = ExtendedBlob::encode(cfg, data);
+  for (std::uint32_t r = 0; r < cfg.n; ++r) {
+    const auto row = blob.row_span(r);
+    ASSERT_EQ(row.size(), static_cast<std::size_t>(cfg.n) * cfg.cell_bytes);
+    for (std::uint32_t c = 0; c < cfg.n; ++c) {
+      const auto cell = blob.cell(r, c);
+      EXPECT_EQ(cell.data(), row.data() + static_cast<std::size_t>(c) * cfg.cell_bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pandas::erasure

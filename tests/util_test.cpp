@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "util/bitmap.h"
 #include "util/prng.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace pandas::util {
 namespace {
@@ -403,6 +406,69 @@ TEST(SummarizeFormat, SummaryAndSamplesAgree) {
   Samples s;
   for (const double v : {1.0, 2.0, 3.0}) s.add(v);
   EXPECT_EQ(summarize(s, "ms"), summarize(s.summary(), "ms"));
+}
+
+// --------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);  // on a 1-core machine this has no workers at all
+  std::vector<int> hits(64, 0);  // plain ints: safe iff the loop is inline
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i] = 1;
+    if (pool.workers() == 0 && std::this_thread::get_id() != caller) {
+      ++off_thread;
+    }
+  });
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), 1), 64);
+  if (pool.workers() == 0) {
+    EXPECT_EQ(off_thread.load(), 0);
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleRanges) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(0, 100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, SharedPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  std::atomic<int> calls{0};
+  ThreadPool::shared().parallel_for(0, 10, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
 }
 
 }  // namespace
