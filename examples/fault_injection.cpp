@@ -62,5 +62,34 @@ int main(int argc, char** argv) {
               "availability\n", sampled, started);
   std::printf("  => withholding %s\n",
               sampled == 0 ? "DETECTED by every node" : "NOT fully detected");
-  return sampled == 0 ? 0 : 1;
+
+  // ---- Corrupt-builder attack -----------------------------------------
+  // Subtler than silence: the builder seeds the full matrix but garbles the
+  // proof tags (fault::BuilderProfile::corrupt). Hardened nodes verify every
+  // received cell, so the corrupt cells never enter custody, nothing is
+  // servable, and — exactly as with withholding — zero nodes attest.
+  harness::print_header("Corrupt-builder attack");
+  harness::PandasConfig ccfg;
+  ccfg.net.nodes = cfg.net.nodes;
+  ccfg.net.seed = cfg.net.seed;
+  ccfg.slots = 1;
+  ccfg.block_gossip = false;
+  ccfg.faults.builder.corrupt = true;
+  harness::PandasExperiment corrupt_run(ccfg);
+  const auto cres = corrupt_run.run();
+  std::printf("  corrupt cells rejected: %llu   accepted into custody: %llu\n",
+              static_cast<unsigned long long>(cres.cells_corrupt_rejected),
+              static_cast<unsigned long long>(cres.cells_corrupt_accepted));
+  std::printf("  corrupt-builder slot: %llu/%llu nodes (incorrectly) attested "
+              "availability\n",
+              static_cast<unsigned long long>(cres.records -
+                                              cres.sampling_misses),
+              static_cast<unsigned long long>(cres.records));
+  const bool corrupt_detected = cres.sampling_misses == cres.records &&
+                                cres.cells_corrupt_accepted == 0 &&
+                                cres.cells_corrupt_rejected > 0;
+  std::printf("  => corruption %s\n", corrupt_detected
+                                          ? "REJECTED by every node"
+                                          : "NOT fully rejected");
+  return (sampled == 0 && corrupt_detected) ? 0 : 1;
 }

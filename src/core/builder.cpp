@@ -1,5 +1,7 @@
 #include "core/builder.h"
 
+#include "util/prng.h"
+
 namespace pandas::core {
 
 Builder::SeedingReport Builder::seed(std::uint64_t slot,
@@ -18,6 +20,17 @@ Builder::SeedingReport Builder::seed(std::uint64_t slot,
     msg.slot = slot;
     if (node < plan.cells_per_node.size()) {
       msg.cells = plan.cells_per_node[node];
+    }
+    msg.tags = net::proof_tags(slot, msg.cells);
+    if (fault_ != nullptr && fault_->corrupt) {
+      // Same hash-based (never RNG-stream) corruption decision as Byzantine
+      // peers, keyed off the builder's own index.
+      for (auto& tag : msg.tags) {
+        const std::uint64_t h = util::mix64(
+            tag ^ util::mix64(static_cast<std::uint64_t>(self_) + 1));
+        const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        if (u < fault_->corrupt_rate) tag ^= 0x6261644b5a4721ULL;
+      }
     }
     msg.boost = plan.boost_for(assignment.of(node));
 

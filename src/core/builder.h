@@ -4,6 +4,7 @@
 
 #include "core/seeding.h"
 #include "crypto/signature.h"
+#include "fault/fault.h"
 #include "net/transport.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
@@ -34,6 +35,12 @@ class Builder {
   /// events. The sink must outlive the builder.
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Builder misbehavior (nullptr = honest; must outlive the builder).
+  /// `corrupt` garbles seed proof tags; threshold withholding is applied to
+  /// the SeedPlan by the harness before seed() runs, since it is a property
+  /// of what gets planned, not of message assembly.
+  void set_fault(const fault::BuilderProfile* profile) { fault_ = profile; }
+
   /// Executes a dispatch plan: one seed message per node in the builder's
   /// view, in randomized order (nodes receiving no cells still get a
   /// boost-only message so they learn the slot has started). The transport
@@ -48,6 +55,7 @@ class Builder {
   net::NodeIndex self_;
   ProtocolParams params_;
   obs::TraceSink* trace_ = nullptr;
+  const fault::BuilderProfile* fault_ = nullptr;
 };
 
 }  // namespace pandas::core

@@ -2,18 +2,21 @@
 
 #include <algorithm>
 
+#include "core/reputation.h"
+
 namespace pandas::core {
 
 AdaptiveFetcher::AdaptiveFetcher(sim::Engine& engine, const ProtocolParams& params,
                                  const AssignmentTable& assignment,
                                  const View* view, net::NodeIndex self,
-                                 util::Xoshiro256 rng)
+                                 util::Xoshiro256 rng, PeerReputation* reputation)
     : engine_(engine),
       params_(params),
       assignment_(assignment),
       view_(view),
       self_(self),
-      rng_(rng) {}
+      rng_(rng),
+      reputation_(reputation) {}
 
 util::Bitmap512* AdaptiveFetcher::find_line(MissingMap& map, std::uint16_t index) {
   const auto it = std::lower_bound(
@@ -101,6 +104,8 @@ void AdaptiveFetcher::on_reply(net::NodeIndex from, std::uint32_t new_cells,
                                std::uint32_t reconstructed) {
   const auto it = query_round_.find(from);
   if (it == query_round_.end()) return;  // unsolicited
+  replied_.insert(from);
+  if (reputation_ != nullptr && new_cells > 0) reputation_->record_success(from);
   const std::uint32_t round = it->second;
   auto& st = stats_for_round(round);
   const bool in_round = round <= round_deadline_.size() &&
@@ -111,9 +116,61 @@ void AdaptiveFetcher::on_reply(net::NodeIndex from, std::uint32_t new_cells,
   } else {
     st.replies_after_round += 1;
     st.cells_after_round += new_cells;
+    // The silence was already charged as a timeout at the round deadline;
+    // the late reply proves the peer alive, so the charge is refunded.
+    if (reputation_ != nullptr) reputation_->redeem_timeout(from);
   }
   st.duplicates += duplicates;
   st.reconstructed += reconstructed;
+}
+
+void AdaptiveFetcher::on_corrupt_reply(net::NodeIndex from,
+                                       std::span<const net::CellId> cells) {
+  if (!started_ || query_round_.count(from) == 0) return;
+  replied_.insert(from);  // it did reply; the corrupt penalty is separate
+  std::vector<net::CellId> need;
+  for (const auto cell : cells) {
+    if (!is_outstanding(cell)) continue;
+    // Release the coverage the forged reply was credited with.
+    const auto it = coverage_.find(cell.packed());
+    if (it != coverage_.end() && it->second > 0) --it->second;
+    need.push_back(cell);
+  }
+  if (need.empty() || !rounds_active_ || round_ == 0) return;
+
+  // Immediate redraw: one replacement query per forged cell, planned over
+  // the clean candidates only (the forger is already in query_round_ and the
+  // reputation hit has demoted any accomplices).
+  std::vector<net::NodeIndex> pool;
+  gather_candidates(1, pool);
+  std::vector<Candidate> candidates;
+  score_candidates(pool, candidates);
+  const std::uint64_t salt = rng_();
+  std::sort(candidates.begin(), candidates.end(),
+            [salt](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return util::mix64(a.node ^ salt) < util::mix64(b.node ^ salt);
+            });
+
+  auto& st = stats_for_round(round_);
+  for (auto& cand : candidates) {
+    if (need.empty()) break;
+    if (cand.interest.empty()) materialize_interest(cand);
+    std::vector<net::CellId> query_cells;
+    for (const auto cell : cand.interest) {
+      const auto hit = std::find(need.begin(), need.end(), cell);
+      if (hit == need.end()) continue;
+      need.erase(hit);
+      query_cells.push_back(cell);
+    }
+    if (query_cells.empty()) continue;
+    for (const auto cell : query_cells) ++coverage_[cell.packed()];
+    query_round_[cand.node] = round_;
+    replied_.erase(cand.node);
+    st.messages_sent += 1;
+    st.cells_requested += static_cast<std::uint32_t>(query_cells.size());
+    send_(cand.node, std::move(query_cells));
+  }
 }
 
 void AdaptiveFetcher::gather_candidates(std::uint32_t k,
@@ -126,7 +183,8 @@ void AdaptiveFetcher::gather_candidates(std::uint32_t k,
 
   auto eligible = [&](net::NodeIndex n) {
     return n != self_ && query_round_.count(n) == 0 &&
-           (view_ == nullptr || view_->contains(n));
+           (view_ == nullptr || view_->contains(n)) &&
+           (reputation_ == nullptr || !reputation_->greylisted(n, engine_.now()));
   };
   auto add = [&](net::NodeIndex n) {
     if (eligible(n) && seen.insert(n).second) out.push_back(n);
@@ -220,6 +278,9 @@ void AdaptiveFetcher::score_candidates(std::vector<net::NodeIndex>& nodes,
       }
     }
     cand.score += params_.cb_boost * static_cast<double>(cand.seeded.size());
+    // Reputation demotes the whole score (boost included): a boosted holder
+    // that previously served garbage loses ties to clean fallback peers.
+    if (reputation_ != nullptr) cand.score *= reputation_->weight(node);
     out.push_back(std::move(cand));
   }
 }
@@ -245,8 +306,21 @@ void AdaptiveFetcher::materialize_interest(Candidate& cand) const {
                       cand.interest.end());
 }
 
+void AdaptiveFetcher::record_round_timeouts(std::uint32_t round) {
+  if (reputation_ == nullptr || round == 0) return;
+  for (const auto& [peer, queried_in] : query_round_) {
+    if (queried_in != round || replied_.count(peer) != 0) continue;
+    if (reputation_->record_timeout(peer, engine_.now())) {
+      obs::emit(trace_, obs::EventType::kPeerGreylisted, engine_.now(), peer);
+    }
+  }
+}
+
 void AdaptiveFetcher::run_round() {
   if (!rounds_active_) return;
+  // The previous round's deadline just expired: queried peers that stayed
+  // silent are charged a timeout (a late reply later redeems them).
+  record_round_timeouts(round_);
   if (round_ > 0 && round_ <= stats_.size()) {
     stats_[round_ - 1].remaining_after = outstanding_;
   }
@@ -319,6 +393,7 @@ void AdaptiveFetcher::run_round() {
       if (c == k) --under;
     }
     query_round_[cand.node] = round_;
+    replied_.erase(cand.node);  // a fresh query must be answered anew
     st.messages_sent += 1;
     st.cells_requested += static_cast<std::uint32_t>(query_cells.size());
     send_(cand.node, std::move(query_cells));

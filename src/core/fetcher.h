@@ -32,7 +32,14 @@
 /// greedily, highest score first, until every missing cell is covered by
 /// k_i planned queries or candidates run out; (3) EXECUTE the queries
 /// asynchronously and sleep t_i. A peer is queried at most once per slot.
+///
+/// With a PeerReputation attached, the greedy scoring also folds in peer
+/// history: scores are multiplied by the peer's reputation weight, greylisted
+/// peers are skipped outright, and a queried peer that stays silent past its
+/// round deadline is reported as a timeout (late replies then redeem it).
 namespace pandas::core {
+
+class PeerReputation;
 
 /// Per-round telemetry matching the rows of the paper's Table 1.
 struct FetchRoundStats {
@@ -55,9 +62,12 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
   using SendQueryFn =
       std::function<void(net::NodeIndex target, std::vector<net::CellId> cells)>;
 
+  /// `reputation` (optional, may outlive slots) enables history-aware
+  /// candidate scoring; nullptr preserves the paper's memoryless scoring.
   AdaptiveFetcher(sim::Engine& engine, const ProtocolParams& params,
                   const AssignmentTable& assignment, const View* view,
-                  net::NodeIndex self, util::Xoshiro256 rng);
+                  net::NodeIndex self, util::Xoshiro256 rng,
+                  PeerReputation* reputation = nullptr);
 
   /// Begins fetching the given cells. `boost` is the builder's CB map for
   /// this node's lines (may be empty). Idempotent per slot: only the first
@@ -99,6 +109,14 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
   /// `reconstructed` recoveries.
   void on_reply(net::NodeIndex from, std::uint32_t new_cells,
                 std::uint32_t duplicates, std::uint32_t reconstructed);
+
+  /// A reply from `from` carried cells whose proofs failed verification.
+  /// Unlike silence, a forged reply is a positive signal: the coverage those
+  /// queries were credited is released and replacement queries for the
+  /// still-missing cells go out immediately instead of waiting for the
+  /// round deadline.
+  void on_corrupt_reply(net::NodeIndex from,
+                        std::span<const net::CellId> cells);
 
   [[nodiscard]] bool complete() const noexcept { return outstanding_ == 0; }
   [[nodiscard]] bool started() const noexcept { return started_; }
@@ -143,12 +161,16 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
   bool clear_cell(net::CellId cell);
   FetchRoundStats& stats_for_round(std::uint32_t round);
 
+  /// Charges round timeouts for peers queried in `round` that never replied.
+  void record_round_timeouts(std::uint32_t round);
+
   sim::Engine& engine_;
   const ProtocolParams& params_;
   const AssignmentTable& assignment_;
   const View* view_;
   net::NodeIndex self_;
   util::Xoshiro256 rng_;
+  PeerReputation* reputation_ = nullptr;
 
   SendQueryFn send_;
   net::BoostMap boost_;
@@ -168,6 +190,9 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
   std::uint32_t cycles_used_ = 1;
   std::vector<sim::Time> round_deadline_;  // index: round-1
   std::unordered_map<net::NodeIndex, std::uint32_t> query_round_;
+  /// Peers that replied to their outstanding query (re-querying in a later
+  /// cycle removes them again), for round-timeout attribution.
+  std::unordered_set<net::NodeIndex> replied_;
   /// Cumulative per-cell query count (packed CellId -> queries planned so
   /// far). Redundancy targets are cumulative: round i tops every cell up to
   /// k_i total outstanding queries.

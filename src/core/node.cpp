@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "crypto/kzg_sim.h"
+
 namespace pandas::core {
 
 PandasNode::PandasNode(sim::Engine& engine, net::Transport& transport,
@@ -12,7 +14,8 @@ PandasNode::PandasNode(sim::Engine& engine, net::Transport& transport,
       self_(self),
       params_(params),
       sample_rng_(engine.rng_stream(0x73616d70ULL ^
-                                    (static_cast<std::uint64_t>(self) << 24))) {}
+                                    (static_cast<std::uint64_t>(self) << 24))),
+      reputation_(params_) {}
 
 void PandasNode::begin_slot(std::uint64_t slot) {
   slot_ = slot;
@@ -44,7 +47,8 @@ void PandasNode::begin_slot(std::uint64_t slot) {
   fetcher_ = std::make_shared<AdaptiveFetcher>(
       engine_, params_, *table_, view_, self_,
       engine_.rng_stream(0x66657463ULL ^
-                         (static_cast<std::uint64_t>(self_) << 20) ^ slot));
+                         (static_cast<std::uint64_t>(self_) << 20) ^ slot),
+      params_.reputation ? &reputation_ : nullptr);
   if (trace_ != nullptr) {
     trace_->set_slot(slot);
     fetcher_->set_trace(trace_);
@@ -67,10 +71,12 @@ bool PandasNode::handle_message(net::NodeIndex from, net::Message& msg) {
   return false;
 }
 
-void PandasNode::on_seed(net::NodeIndex /*from*/, net::SeedMsg&& msg) {
+void PandasNode::on_seed(net::NodeIndex from, net::SeedMsg&& msg) {
   // In the real protocol the node first verifies the proposer's signature
   // binding the sender as the slot's legitimate builder (§6.1); the
-  // simulator's builder is authentic by construction.
+  // simulator's builder is authentic by construction. Cell proofs, however,
+  // are verified even against the builder: a rational builder may seed
+  // garbage (§4.1), and nodes must not custody or attest to it.
   if (!seed_received_) {
     seed_received_ = true;
     record_.seed_time = engine_.now() - record_.slot_start;
@@ -78,6 +84,7 @@ void PandasNode::on_seed(net::NodeIndex /*from*/, net::SeedMsg&& msg) {
     obs::emit(trace_, obs::EventType::kSeedReceived, engine_.now(), obs::kNoPeer,
               static_cast<std::int64_t>(msg.cells.size()));
   }
+  verify_received(from, msg.cells, msg.tags);
   ingest(msg.cells);
   if (fetcher_->started()) {
     // Seed arrived after the fallback timer launched the fetch: the cells
@@ -243,6 +250,10 @@ void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
     });
   }
 
+  // A mute free-rider consumes the query (and keeps fetching for itself)
+  // but never serves: no reply, no buffering — the requester just times out.
+  if (behavior() == fault::Behavior::kMuteFreeRider) return;
+
   // Serve what is held right away; buffer the remainder for a delayed
   // reply once every remaining cell is available. There is never a negative
   // acknowledgement (§7). (The paper's handler replies all-at-once or
@@ -257,6 +268,21 @@ void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
     } else {
       remaining.push_back(cell);
     }
+  }
+  if (behavior() == fault::Behavior::kSelectiveWithhold) {
+    // Serve only `withhold_serve_cap` cells per row-line per query and
+    // silently withhold the rest — starving requesters just below the
+    // reconstruction threshold while still looking responsive. Withheld
+    // cells are not buffered either.
+    std::unordered_map<std::uint16_t, std::uint32_t> served_per_row;
+    std::vector<net::CellId> capped;
+    for (const auto cell : available) {
+      if (served_per_row[cell.row]++ < profile_->withhold_serve_cap) {
+        capped.push_back(cell);
+      }
+    }
+    available = std::move(capped);
+    remaining.clear();
   }
   if (!available.empty()) send_reply(from, std::move(available));
   if (!remaining.empty()) {
@@ -274,9 +300,59 @@ void PandasNode::on_reply(net::NodeIndex from, net::CellReplyMsg&& msg) {
   count_fetch_traffic(net::Message(msg));
   obs::emit(trace_, obs::EventType::kReplyReceived, engine_.now(), from,
             static_cast<std::int64_t>(msg.cells.size()));
+  const auto stripped = verify_received(from, msg.cells, msg.tags);
   const auto result = ingest(msg.cells);
   fetcher_->on_reply(from, result.new_cells, result.duplicates,
                      result.reconstructed);
+  if (!stripped.empty()) fetcher_->on_corrupt_reply(from, stripped);
+}
+
+std::vector<net::CellId> PandasNode::verify_received(
+    net::NodeIndex from, std::vector<net::CellId>& cells,
+    std::vector<std::uint64_t>& tags) {
+  std::vector<net::CellId> stripped;
+  if (cells.empty()) return stripped;
+  std::uint32_t corrupt = 0;
+  if (tags.size() != cells.size()) {
+    // Proofs missing entirely: indistinguishable from forgery.
+    corrupt = static_cast<std::uint32_t>(cells.size());
+    if (params_.verify_cells) {
+      stripped = std::move(cells);
+      cells.clear();
+      tags.clear();
+    }
+  } else {
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const bool good = tags[i] == crypto::sim_cell_tag(slot_, cells[i].row,
+                                                        cells[i].col);
+      if (!good) {
+        ++corrupt;
+        if (params_.verify_cells) {
+          stripped.push_back(cells[i]);
+          continue;
+        }
+      }
+      cells[write] = cells[i];
+      tags[write] = tags[i];
+      ++write;
+    }
+    cells.resize(write);
+    tags.resize(write);
+  }
+  if (corrupt == 0) return stripped;
+  if (params_.verify_cells) {
+    record_.cells_corrupt_rejected += corrupt;
+    obs::emit(trace_, obs::EventType::kCellsCorruptRejected, engine_.now(),
+              from, corrupt);
+    if (params_.reputation &&
+        reputation_.record_corrupt(from, engine_.now())) {
+      obs::emit(trace_, obs::EventType::kPeerGreylisted, engine_.now(), from);
+    }
+  } else {
+    record_.cells_corrupt_accepted += corrupt;
+  }
+  return stripped;
 }
 
 CustodyState::AddResult PandasNode::ingest(std::span<const net::CellId> cells) {
@@ -323,6 +399,20 @@ void PandasNode::send_reply(net::NodeIndex to, std::vector<net::CellId> cells,
   net::CellReplyMsg reply;
   reply.slot = slot_;
   reply.cells = std::move(cells);
+  reply.tags = net::proof_tags(slot_, reply.cells);
+  if (behavior() == fault::Behavior::kByzantineCorrupt) {
+    // Garble the proof tag of `corrupt_rate` of the served cells. The
+    // decision hashes (sender, honest tag) instead of drawing from an RNG
+    // stream, so enabling the fault cannot shift any correct node's
+    // randomness — runs stay comparable across fault configs.
+    for (auto& tag : reply.tags) {
+      const std::uint64_t h =
+          util::mix64(tag ^ util::mix64(static_cast<std::uint64_t>(self_) + 1));
+      const double u =
+          static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+      if (u < profile_->corrupt_rate) tag ^= 0x6261644b5a4721ULL;  // "badKZG!"
+    }
+  }
   count_fetch_traffic(net::Message(reply));
   transport_.send(self_, to, std::move(reply));
 }

@@ -8,7 +8,9 @@
 #include "core/custody.h"
 #include "core/fetcher.h"
 #include "core/params.h"
+#include "core/reputation.h"
 #include "core/view.h"
+#include "fault/fault.h"
 #include "net/transport.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
@@ -45,6 +47,12 @@ class PandasNode {
     /// in Fig 10 / Fig 13.
     std::uint32_t fetch_messages = 0;
     std::uint64_t fetch_bytes = 0;
+    /// Received cells whose proof tag failed verification and were
+    /// discarded (params.verify_cells on) ...
+    std::uint32_t cells_corrupt_rejected = 0;
+    /// ... or would have failed but were admitted (verification off). A
+    /// hardened node must keep this at zero.
+    std::uint32_t cells_corrupt_accepted = 0;
   };
 
   PandasNode(sim::Engine& engine, net::Transport& transport, net::NodeIndex self,
@@ -57,6 +65,12 @@ class PandasNode {
   /// Observability sink (nullptr = tracing off); propagated to the per-slot
   /// fetcher. The sink must outlive the node.
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  /// Fault-injection behavior profile (nullptr = correct). The profile must
+  /// outlive the node; only the serving-side behaviors are read here —
+  /// fail-silent, straggler, and churn act at the transport via the harness.
+  void set_fault_profile(const fault::NodeProfile* profile) {
+    profile_ = profile;
+  }
 
   /// Starts a new slot: fresh custody, fresh samples, fresh fetcher.
   void begin_slot(std::uint64_t slot);
@@ -78,6 +92,11 @@ class PandasNode {
   }
   [[nodiscard]] bool sampled() const noexcept {
     return record_.sampling_time.has_value();
+  }
+  /// Cross-slot peer reputation (drives fetch-path hardening when
+  /// params.reputation is on).
+  [[nodiscard]] const PeerReputation& reputation() const noexcept {
+    return reputation_;
   }
 
  private:
@@ -101,6 +120,17 @@ class PandasNode {
   void send_reply(net::NodeIndex to, std::vector<net::CellId> cells,
                   bool buffered = false);
   void count_fetch_traffic(const net::Message& msg);
+  /// Verifies proof tags against crypto::sim_cell_tag; strips cells that
+  /// fail (or all of them when tags are missing) and charges `from`'s
+  /// reputation. Returns the stripped cells so the fetch path can re-query
+  /// them immediately. With params.verify_cells off, nothing is stripped but
+  /// mismatches are still counted (cells_corrupt_accepted).
+  std::vector<net::CellId> verify_received(net::NodeIndex from,
+                                           std::vector<net::CellId>& cells,
+                                           std::vector<std::uint64_t>& tags);
+  [[nodiscard]] fault::Behavior behavior() const noexcept {
+    return profile_ == nullptr ? fault::Behavior::kCorrect : profile_->behavior;
+  }
 
   sim::Engine& engine_;
   net::Transport& transport_;
@@ -108,7 +138,9 @@ class PandasNode {
   ProtocolParams params_;
   const AssignmentTable* table_ = nullptr;
   const View* view_ = nullptr;
+  const fault::NodeProfile* profile_ = nullptr;
   util::Xoshiro256 sample_rng_;
+  PeerReputation reputation_;
 
   std::uint64_t slot_ = 0;
   bool slot_active_ = false;

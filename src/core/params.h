@@ -65,6 +65,33 @@ struct ProtocolParams {
   /// and redundancy for every round when set.
   bool adaptive = true;
 
+  /// ---- Defensive hardening (§4.1's Byzantine peers) ----
+
+  /// Verify the simulated KZG proof tag of every received cell; cells with
+  /// missing or mismatching tags are rejected (counted, never enter
+  /// custody). Disabling admits corrupt cells (they are still counted, as
+  /// cells_corrupt_accepted) — useful only to measure the attack's impact.
+  bool verify_cells = true;
+
+  /// Track per-peer reputation in the fetcher: corrupt replies and
+  /// round-timeout silences demote a peer's candidate score; repeat
+  /// offenders are greylisted (skipped entirely) for a while.
+  bool reputation = true;
+  /// Penalty added per message carrying at least one corrupt cell. At the
+  /// default threshold a single forged reply greylists the sender outright:
+  /// proof forgery is never an accident, so there is nothing to hedge.
+  double rep_corrupt_penalty = 8.0;
+  /// Penalty added when a queried peer lets a round deadline pass silently.
+  double rep_timeout_penalty = 0.5;
+  /// Penalty removed (floor 0) per useful reply.
+  double rep_success_credit = 0.5;
+  /// Candidate score multiplier is 1 / (1 + rep_weight_scale * penalty).
+  double rep_weight_scale = 0.25;
+  /// Accumulated penalty at which a peer is greylisted...
+  double rep_greylist_threshold = 8.0;
+  /// ...and for how long (penalty halves on expiry: forgiveness, not amnesty).
+  sim::Time rep_greylist_duration = 2 * sim::kSlotDuration;
+
   [[nodiscard]] sim::Time timeout_for_round(std::uint32_t round) const noexcept {
     if (!adaptive) return first_round_timeout;
     sim::Time t = first_round_timeout;

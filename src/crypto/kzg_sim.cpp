@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/prng.h"
+
 namespace pandas::crypto {
 
 namespace {
@@ -42,6 +44,17 @@ bool verify_cell(const Commitment& commitment, std::uint32_t cell_index,
                  std::span<const std::uint8_t> cell, const Proof& proof) noexcept {
   const Proof expected = prove_cell(commitment, cell_index, cell);
   return std::memcmp(expected.data(), proof.data(), kProofSize) == 0;
+}
+
+std::uint64_t sim_cell_tag(std::uint64_t slot, std::uint16_t row,
+                           std::uint16_t col) noexcept {
+  // mix64 rather than SHA-256: tags are verified once per transferred cell
+  // (millions per figure-scale run) and only need to make accidental or
+  // simulated-adversarial collisions vanishingly unlikely, not resist 2^64
+  // compute — the same soundness scope as the commitment scheme above.
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(row) << 16) | static_cast<std::uint64_t>(col);
+  return util::mix64(util::mix64(slot ^ 0x6b7a672d74616721ULL) ^ packed);
 }
 
 }  // namespace pandas::crypto

@@ -43,4 +43,17 @@ using Proof = std::array<std::uint8_t, kProofSize>;
                                std::span<const std::uint8_t> cell,
                                const Proof& proof) noexcept;
 
+/// 64-bit simulated per-cell proof tag for presence-level transports.
+///
+/// The discrete-event simulator exchanges CellIds, not payloads, so the full
+/// prove_cell()/verify_cell() pair above has nothing to bind. This tag is the
+/// sim-scale stand-in for the 48-byte KZG cell proof (already counted in the
+/// cell wire size): it is a pure function of (slot, row, col) that any node
+/// can recompute, so a receiver detects a corrupt or forged cell exactly when
+/// real verification would — deterministically. Byzantine senders in the
+/// fault-injection subsystem serve cells with mismatching tags; hardened
+/// receivers reject them (see src/fault and docs/FAULTS.md).
+[[nodiscard]] std::uint64_t sim_cell_tag(std::uint64_t slot, std::uint16_t row,
+                                         std::uint16_t col) noexcept;
+
 }  // namespace pandas::crypto

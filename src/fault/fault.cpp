@@ -1,0 +1,97 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/prng.h"
+
+namespace pandas::fault {
+
+const char* behavior_name(Behavior b) noexcept {
+  switch (b) {
+    case Behavior::kCorrect: return "correct";
+    case Behavior::kFailSilent: return "fail_silent";
+    case Behavior::kByzantineCorrupt: return "byzantine_corrupt";
+    case Behavior::kSelectiveWithhold: return "selective_withhold";
+    case Behavior::kMuteFreeRider: return "mute_freerider";
+    case Behavior::kStraggler: return "straggler";
+    case Behavior::kChurn: return "churn";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::generate(const FaultConfig& cfg, std::uint32_t nodes,
+                              std::uint64_t fallback_seed) {
+  FaultPlan plan;
+  plan.profiles_.assign(nodes, NodeProfile{});
+  plan.builder_ = cfg.builder;
+  plan.counts_[static_cast<std::size_t>(Behavior::kCorrect)] = nodes;
+  if (nodes == 0 || !cfg.any_node_fault()) return plan;
+
+  const std::uint64_t seed = cfg.seed != 0 ? cfg.seed : fallback_seed;
+  util::Xoshiro256 rng(util::mix64(seed ^ 0x6661756c74ULL /* "fault" */));
+
+  // One shuffled order; the fault sets are consecutive disjoint chunks, so a
+  // node never carries two behaviors and the draw is a pure function of
+  // (config fractions, seed).
+  std::vector<net::NodeIndex> order(nodes);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+
+  const auto chunk = [&](double fraction) {
+    return static_cast<std::uint32_t>(fraction * static_cast<double>(nodes));
+  };
+  struct Draw {
+    Behavior behavior;
+    std::uint32_t count;
+  };
+  const Draw draws[] = {
+      {Behavior::kFailSilent, chunk(cfg.dead_fraction)},
+      {Behavior::kByzantineCorrupt, chunk(cfg.byzantine_fraction)},
+      {Behavior::kSelectiveWithhold, chunk(cfg.withhold_fraction)},
+      {Behavior::kMuteFreeRider, chunk(cfg.freerider_fraction)},
+      {Behavior::kStraggler, chunk(cfg.straggler_fraction)},
+      {Behavior::kChurn, chunk(cfg.churn_fraction)},
+  };
+
+  std::size_t next = 0;
+  for (const auto& draw : draws) {
+    for (std::uint32_t i = 0; i < draw.count && next < order.size();
+         ++i, ++next) {
+      NodeProfile& p = plan.profiles_[order[next]];
+      p.behavior = draw.behavior;
+      switch (draw.behavior) {
+        case Behavior::kByzantineCorrupt:
+          p.corrupt_rate = cfg.corrupt_rate;
+          break;
+        case Behavior::kSelectiveWithhold:
+          p.withhold_serve_cap = cfg.withhold_serve_cap;
+          break;
+        case Behavior::kStraggler:
+          p.service_delay = cfg.straggler_delay;
+          break;
+        case Behavior::kChurn:
+          p.churn_offset = cfg.churn_window > 0
+                               ? static_cast<sim::Time>(rng.uniform(
+                                     static_cast<std::uint64_t>(cfg.churn_window)))
+                               : 0;
+          p.churn_downtime = cfg.churn_downtime;
+          break;
+        default:
+          break;
+      }
+      auto& taken = plan.counts_[static_cast<std::size_t>(draw.behavior)];
+      ++taken;
+      --plan.counts_[static_cast<std::size_t>(Behavior::kCorrect)];
+    }
+  }
+
+  for (net::NodeIndex i = 0; i < nodes; ++i) {
+    if (plan.profiles_[i].behavior == Behavior::kChurn) {
+      plan.churners_.push_back(i);
+    }
+  }
+  return plan;
+}
+
+}  // namespace pandas::fault

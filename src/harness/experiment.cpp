@@ -53,15 +53,28 @@ void PandasExperiment::setup() {
   views_.resize(n);
   builder_view_ = core::View::full(n);
 
-  // Dead nodes (fail-silent crashes / free-riders).
+  // Fault plan: one behavior profile per node, drawn deterministically from
+  // the fault config and the run seed. The legacy dead_fraction knob folds
+  // into the plan's fail-silent axis so existing configs keep working.
+  fault::FaultConfig faults = cfg_.faults;
+  if (faults.dead_fraction == 0.0) faults.dead_fraction = cfg_.dead_fraction;
+  fault_plan_ = fault::FaultPlan::generate(faults, n, cfg_.net.seed);
+
   dead_.assign(n, false);
-  if (cfg_.dead_fraction > 0.0) {
-    const auto dead_count = static_cast<std::uint32_t>(
-        cfg_.dead_fraction * static_cast<double>(n));
-    const auto picks = harness_rng_.sample_distinct(n, dead_count);
-    for (const auto i : picks) {
-      dead_[i] = true;
-      transport_->set_dead(i, true);
+  faulty_.assign(n, false);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& profile = fault_plan_.of(i);
+    faulty_[i] = profile.faulty();
+    switch (profile.behavior) {
+      case fault::Behavior::kFailSilent:
+        dead_[i] = true;
+        transport_->set_dead(i, true);
+        break;
+      case fault::Behavior::kStraggler:
+        transport_->set_extra_delay(i, profile.service_delay);
+        break;
+      default:
+        break;  // byzantine/withhold/freerider act in the node; churn per slot
     }
   }
 
@@ -78,6 +91,7 @@ void PandasExperiment::setup() {
                                                    cfg_.params);
     node->configure_epoch(assignment_.get());
     node->set_view(&views_[i]);
+    node->set_fault_profile(&fault_plan_.of(i));
     nodes_.push_back(std::move(node));
   }
 
@@ -116,6 +130,7 @@ void PandasExperiment::setup() {
 
   builder_ = std::make_unique<core::Builder>(*engine_, *transport_,
                                              builder_index_, cfg_.params);
+  builder_->set_fault(&fault_plan_.builder());
 
   // Observability wiring: per-actor sinks (nullptr when disabled or outside
   // the sample) and opt-in engine profiling. A trace seed of 0 inherits the
@@ -160,6 +175,23 @@ core::Builder::SeedingReport PandasExperiment::run_slot(std::uint64_t slot,
     block_arrival_[i] = -1;
   }
 
+  // Churn: each churner goes dark mid-slot at its drawn offset and comes
+  // back `churn_downtime` later (same offsets every slot — the draw is part
+  // of the plan, so the run stays a pure function of the seed).
+  for (const auto c : fault_plan_.churners()) {
+    const auto& profile = fault_plan_.of(c);
+    engine_->schedule_at(slot_start + profile.churn_offset, [this, c]() {
+      transport_->set_dead(c, true);
+      obs::emit(tracer_.sink(c), obs::EventType::kChurnLeave, engine_->now());
+    });
+    engine_->schedule_at(
+        slot_start + profile.churn_offset + profile.churn_downtime,
+        [this, c]() {
+          transport_->set_dead(c, false);
+          obs::emit(tracer_.sink(c), obs::EventType::kChurnJoin, engine_->now());
+        });
+  }
+
   // The proposer (a random node) publishes the block over gossip while the
   // builder concurrently seeds blob cells (Fig 4/5).
   if (cfg_.block_gossip) {
@@ -178,17 +210,31 @@ core::Builder::SeedingReport PandasExperiment::run_slot(std::uint64_t slot,
 
   auto plan = core::plan_seeding(cfg_.params, *assignment_, builder_view_,
                                  cfg_.policy, harness_rng_);
+  if (fault_plan_.builder().withhold_threshold) {
+    // Threshold withholding (§4.1): the builder never releases the last
+    // parity column, so no row can reach k distinct cells and every sample
+    // drawn on the withheld columns is unobtainable. The boost map is left
+    // untouched — an adversarial builder lies about availability for free.
+    const std::uint16_t cutoff = cfg_.params.matrix_k - 1;
+    for (auto& cells : plan.cells_per_node) {
+      std::erase_if(cells,
+                    [cutoff](const net::CellId& c) { return c.col >= cutoff; });
+    }
+  }
   const auto report =
       builder_->seed(slot, *assignment_, builder_view_, plan, harness_rng_);
 
   engine_->run_until(slot_start + cfg_.slot_duration);
 
-  // Collect per-node records (correct nodes only; dead nodes are not part of
-  // the population whose completion the paper reports).
+  // Collect per-node records (correct nodes only; faulty nodes — dead,
+  // byzantine, withholding, … — are not part of the population whose
+  // completion the paper reports).
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (dead_[i]) continue;
+    if (faulty_[i]) continue;
     const auto& rec = nodes_[i]->record();
     out.records += 1;
+    out.cells_corrupt_rejected += rec.cells_corrupt_rejected;
+    out.cells_corrupt_accepted += rec.cells_corrupt_accepted;
     if (rec.seed_time) out.seed_ms.add(sim::to_ms(*rec.seed_time));
     if (rec.consolidation_time) {
       out.consolidation_ms.add(sim::to_ms(*rec.consolidation_time));
@@ -253,6 +299,7 @@ void PandasExperiment::collect_obs(sim::Time slot_start) {
   std::vector<RoundSums> sums;
   std::uint64_t seed_cells = 0, fetch_messages = 0, fetch_bytes = 0;
   std::uint64_t cons_misses = 0, samp_misses = 0, n_records = 0;
+  std::uint64_t corrupt_rejected = 0, corrupt_accepted = 0;
 
   util::Histogram& h_seed =
       registry_.histogram("phase_ms", obs::label("phase", "seeding"));
@@ -263,7 +310,7 @@ void PandasExperiment::collect_obs(sim::Time slot_start) {
 
   const std::uint32_t n = cfg_.net.nodes;
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (dead_[i]) continue;
+    if (faulty_[i]) continue;
     const auto& rec = nodes_[i]->record();
     const auto* fetcher = nodes_[i]->fetcher();
 
@@ -320,6 +367,8 @@ void PandasExperiment::collect_obs(sim::Time slot_start) {
       seed_cells += rec.seed_cells;
       fetch_messages += rec.fetch_messages;
       fetch_bytes += rec.fetch_bytes;
+      corrupt_rejected += rec.cells_corrupt_rejected;
+      corrupt_accepted += rec.cells_corrupt_accepted;
       if (fetcher != nullptr) {
         const auto& rounds = fetcher->round_stats();
         if (sums.size() < rounds.size()) sums.resize(rounds.size());
@@ -345,6 +394,8 @@ void PandasExperiment::collect_obs(sim::Time slot_start) {
     registry_.counter("seed_cells").inc(seed_cells);
     registry_.counter("fetch_traffic_messages").inc(fetch_messages);
     registry_.counter("fetch_traffic_bytes").inc(fetch_bytes);
+    registry_.counter("cells_corrupt_rejected").inc(corrupt_rejected);
+    registry_.counter("cells_corrupt_accepted").inc(corrupt_accepted);
     for (std::size_t r = 0; r < sums.size(); ++r) {
       const auto lbl = obs::label("round", static_cast<std::uint64_t>(r + 1));
       registry_.counter("fetch_messages", lbl).inc(sums[r].messages);
@@ -376,6 +427,19 @@ void PandasExperiment::collect_run_metrics() {
   }
   registry_.gauge("trace_events_dropped")
       .set(static_cast<double>(tracer_.total_dropped()));
+
+  // Reputation outcomes on correct nodes (lifetime counters, hence gauges).
+  std::uint64_t greylists = 0, timeouts = 0, corrupt_peers = 0;
+  for (std::uint32_t i = 0; i < cfg_.net.nodes; ++i) {
+    if (faulty_[i]) continue;
+    const auto& rep = nodes_[i]->reputation();
+    greylists += rep.greylist_events();
+    timeouts += rep.timeout_events();
+    corrupt_peers += rep.corrupt_events();
+  }
+  registry_.gauge("peers_greylisted").set(static_cast<double>(greylists));
+  registry_.gauge("fetch_peer_timeouts").set(static_cast<double>(timeouts));
+  registry_.gauge("fetch_corrupt_replies").set(static_cast<double>(corrupt_peers));
 
   const auto totals = transport_->typed_totals();
   for (std::size_t c = 0; c < net::kMsgClassCount; ++c) {
@@ -415,6 +479,12 @@ void PandasExperiment::write_records_jsonl(std::FILE* out) const {
     w.kv("seed_cells", r.rec.seed_cells);
     w.kv("fetch_messages", r.rec.fetch_messages);
     w.kv("fetch_bytes", r.rec.fetch_bytes);
+    if (r.rec.cells_corrupt_rejected > 0) {
+      w.kv("cells_corrupt_rejected", r.rec.cells_corrupt_rejected);
+    }
+    if (r.rec.cells_corrupt_accepted > 0) {
+      w.kv("cells_corrupt_accepted", r.rec.cells_corrupt_accepted);
+    }
     w.kv("initial_outstanding", r.initial_outstanding);
     w.key("rounds");
     w.begin_array();
@@ -455,6 +525,14 @@ PandasResults PandasExperiment::run() {
   }
   out.builder_bytes_per_slot = builder_bytes / cfg_.slots;
   out.builder_msgs_per_slot = builder_msgs / cfg_.slots;
+  // Reputation counters are lifetime (they persist across slots by design),
+  // so sum them once at the end rather than per slot.
+  for (std::uint32_t i = 0; i < cfg_.net.nodes; ++i) {
+    if (faulty_[i]) continue;
+    const auto& rep = nodes_[i]->reputation();
+    out.peers_greylisted += rep.greylist_events();
+    out.fetch_peer_timeouts += rep.timeout_events();
+  }
   collect_run_metrics();
   return out;
 }

@@ -9,6 +9,7 @@
 #include "core/builder.h"
 #include "core/node.h"
 #include "core/seeding.h"
+#include "fault/fault.h"
 #include "gossip/gossipsub.h"
 #include "net/directory.h"
 #include "net/sim_transport.h"
@@ -58,8 +59,13 @@ struct PandasConfig {
   core::ProtocolParams params{};
   core::SeedingPolicy policy = core::SeedingPolicy::redundant(8);
   std::uint32_t slots = 10;
-  /// Fraction of dead (crashed / free-riding) nodes (Fig 15a).
+  /// Fraction of dead (crashed / free-riding) nodes (Fig 15a). Legacy knob:
+  /// folded into `faults.dead_fraction` when that one is 0.
   double dead_fraction = 0.0;
+  /// Adversarial fault injection (src/fault, docs/FAULTS.md): behavior
+  /// fractions, per-behavior knobs, and builder misbehavior. The plan is
+  /// drawn deterministically from (faults, seed) at setup.
+  fault::FaultConfig faults{};
   /// Fraction of the network *missing* from each node's view (Fig 15b);
   /// 0.2 means every node sees a random 80% of the network.
   double out_of_view_fraction = 0.0;
@@ -93,6 +99,14 @@ struct PandasResults {
   std::uint64_t consolidation_misses = 0;
   std::uint64_t sampling_misses = 0;
   std::uint64_t records = 0;
+
+  /// Defensive-hardening totals over correct node-slots. A hardened run
+  /// keeps `cells_corrupt_accepted` at exactly zero no matter the adversary.
+  std::uint64_t cells_corrupt_rejected = 0;
+  std::uint64_t cells_corrupt_accepted = 0;
+  /// Reputation outcomes summed over correct nodes (whole run).
+  std::uint64_t peers_greylisted = 0;
+  std::uint64_t fetch_peer_timeouts = 0;
 
   /// Per-fetch-round aggregation (Table 1): sample sets over nodes.
   struct RoundAgg {
@@ -132,6 +146,10 @@ class PandasExperiment {
   [[nodiscard]] const core::AssignmentTable& assignment() const {
     return *assignment_;
   }
+  /// The deterministic per-node behavior draw for this run.
+  [[nodiscard]] const fault::FaultPlan& fault_plan() const {
+    return fault_plan_;
+  }
 
   /// Runs a single slot starting at the current engine time; exposed so
   /// tests can interleave custom events. Returns per-slot builder report.
@@ -168,6 +186,9 @@ class PandasExperiment {
   std::vector<std::unique_ptr<core::PandasNode>> nodes_;
   std::vector<std::unique_ptr<gossip::GossipSubNode>> gossip_;
   std::vector<bool> dead_;
+  /// Any non-correct behavior: excluded from the measured population.
+  std::vector<bool> faulty_;
+  fault::FaultPlan fault_plan_;
   std::unique_ptr<core::Builder> builder_;
   core::View builder_view_;
   net::NodeIndex builder_index_ = net::kInvalidNode;

@@ -1,0 +1,70 @@
+#pragma once
+
+#include "harness/args.h"
+#include "harness/experiment.h"
+
+/// Shared fault-injection CLI surface for bench binaries and examples:
+///   --dead F                fail-silent fraction (Fig 15a axis)
+///   --byzantine F           byzantine-corrupt fraction
+///   --withhold F            selective-withholder fraction
+///   --freerider F           mute free-rider fraction
+///   --straggler F           straggler fraction
+///   --churn F               churner fraction
+///   --corrupt-rate R        fraction of a byzantine peer's cells corrupted
+///   --withhold-cap N        cells served per line before withholding
+///   --straggler-delay-ms N  extra service delay per transmission
+///   --churn-down-ms N       downtime per mid-slot departure
+///   --builder-corrupt       builder garbles its seed proof tags
+///   --builder-withhold      builder withholds the decode-threshold column
+///   --no-verify             disable proof-tag verification (accept corrupt)
+///   --no-reputation         disable peer reputation / greylisting
+///   --fault-seed N          dedicated adversary seed (0 = experiment seed)
+///
+/// Fractions draw disjoint node sets, so they must sum to <= 1.
+namespace pandas::harness {
+
+struct FaultCli {
+  fault::FaultConfig faults;
+  bool verify_cells = true;
+  bool reputation = true;
+
+  [[nodiscard]] static FaultCli parse(const Args& args) {
+    FaultCli cli;
+    auto& f = cli.faults;
+    f.dead_fraction = args.get_double("--dead", 0.0);
+    f.byzantine_fraction = args.get_double("--byzantine", 0.0);
+    f.withhold_fraction = args.get_double("--withhold", 0.0);
+    f.freerider_fraction = args.get_double("--freerider", 0.0);
+    f.straggler_fraction = args.get_double("--straggler", 0.0);
+    f.churn_fraction = args.get_double("--churn", 0.0);
+    f.corrupt_rate = args.get_double("--corrupt-rate", f.corrupt_rate);
+    f.withhold_serve_cap = static_cast<std::uint32_t>(
+        args.get_int("--withhold-cap", f.withhold_serve_cap));
+    f.straggler_delay =
+        args.get_int("--straggler-delay-ms",
+                     f.straggler_delay / sim::kMillisecond) *
+        sim::kMillisecond;
+    f.churn_downtime = args.get_int("--churn-down-ms",
+                                    f.churn_downtime / sim::kMillisecond) *
+                       sim::kMillisecond;
+    f.builder.corrupt = args.has("--builder-corrupt");
+    f.builder.withhold_threshold = args.has("--builder-withhold");
+    f.seed = static_cast<std::uint64_t>(args.get_int("--fault-seed", 0));
+    cli.verify_cells = !args.has("--no-verify");
+    cli.reputation = !args.has("--no-reputation");
+    return cli;
+  }
+
+  /// Installs the parsed adversary + hardening switches on a run config.
+  void apply(PandasConfig& cfg) const {
+    cfg.faults = faults;
+    cfg.params.verify_cells = verify_cells;
+    cfg.params.reputation = reputation;
+  }
+
+  [[nodiscard]] bool any() const {
+    return faults.any_node_fault() || faults.builder.faulty();
+  }
+};
+
+}  // namespace pandas::harness

@@ -50,6 +50,10 @@ ResultsSnapshot snapshot_of(const std::string& label, const PandasConfig& cfg,
   out.deadline_fraction = res.deadline_fraction();
   out.builder_bytes_per_slot = res.builder_bytes_per_slot;
   out.builder_msgs_per_slot = res.builder_msgs_per_slot;
+  out.cells_corrupt_rejected = res.cells_corrupt_rejected;
+  out.cells_corrupt_accepted = res.cells_corrupt_accepted;
+  out.peers_greylisted = res.peers_greylisted;
+  out.fetch_peer_timeouts = res.fetch_peer_timeouts;
 
   out.series.push_back(series_of("seed_ms", "ms", res.seed_ms, cdf_points));
   out.series.push_back(series_of("consolidation_from_seed_ms", "ms",
@@ -119,6 +123,13 @@ void ResultsSnapshot::write_json(std::FILE* out) const {
   w.kv("consolidation_misses", consolidation_misses);
   w.kv("sampling_misses", sampling_misses);
   w.kv("deadline_fraction", deadline_fraction);
+  w.key("hardening");
+  w.begin_object();
+  w.kv("cells_corrupt_rejected", cells_corrupt_rejected);
+  w.kv("cells_corrupt_accepted", cells_corrupt_accepted);
+  w.kv("peers_greylisted", peers_greylisted);
+  w.kv("fetch_peer_timeouts", fetch_peer_timeouts);
+  w.end_object();
   w.key("builder");
   w.begin_object();
   w.kv("bytes_per_slot", builder_bytes_per_slot);

@@ -50,6 +50,11 @@ struct ResultsSnapshot {
   double deadline_fraction = 0;
   double builder_bytes_per_slot = 0;
   double builder_msgs_per_slot = 0;
+  /// Defensive-hardening counters (docs/FAULTS.md). Zero in benign runs.
+  std::uint64_t cells_corrupt_rejected = 0;
+  std::uint64_t cells_corrupt_accepted = 0;
+  std::uint64_t peers_greylisted = 0;
+  std::uint64_t fetch_peer_timeouts = 0;
   std::vector<SeriesSnapshot> series;
   std::vector<RoundRowSnapshot> table1;
 

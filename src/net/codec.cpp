@@ -136,6 +136,13 @@ class Reader {
   bool ok_ = true;
 };
 
+/// Proof-tag vectors must pair with their cells: either one tag per cell or
+/// none at all (proofs stripped). Anything else is a malformed datagram.
+bool tags_well_formed(const std::vector<std::uint64_t>& tags,
+                      const std::vector<CellId>& cells) noexcept {
+  return tags.empty() || tags.size() == cells.size();
+}
+
 void put_node_id(Writer& w, const crypto::NodeId& id) { w.bytes(id.bytes); }
 
 bool get_node_id(Reader& r, crypto::NodeId& id) { return r.bytes(id.bytes); }
@@ -188,6 +195,7 @@ struct EncodeVisitor {
     w.u8(static_cast<std::uint8_t>(Tag::kSeed));
     w.u64(m.slot);
     w.cells(m.cells);
+    w.ids(m.tags);
     put_boost(w, m.boost);
   }
   void operator()(const CellQueryMsg& m) {
@@ -199,6 +207,7 @@ struct EncodeVisitor {
     w.u8(static_cast<std::uint8_t>(Tag::kCellReply));
     w.u64(m.slot);
     w.cells(m.cells);
+    w.ids(m.tags);
   }
   void operator()(const GossipDataMsg& m) {
     w.u8(static_cast<std::uint8_t>(Tag::kGossipData));
@@ -278,7 +287,10 @@ std::optional<Message> decode(std::span<const std::uint8_t> data) {
     case Tag::kSeed: {
       SeedMsg m;
       m.slot = r.u64();
-      if (!r.cells(m.cells) || !get_boost(r, m.boost)) return std::nullopt;
+      if (!r.cells(m.cells) || !r.ids(m.tags) ||
+          !tags_well_formed(m.tags, m.cells) || !get_boost(r, m.boost)) {
+        return std::nullopt;
+      }
       out = std::move(m);
       break;
     }
@@ -292,7 +304,10 @@ std::optional<Message> decode(std::span<const std::uint8_t> data) {
     case Tag::kCellReply: {
       CellReplyMsg m;
       m.slot = r.u64();
-      if (!r.cells(m.cells)) return std::nullopt;
+      if (!r.cells(m.cells) || !r.ids(m.tags) ||
+          !tags_well_formed(m.tags, m.cells)) {
+        return std::nullopt;
+      }
       out = std::move(m);
       break;
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "crypto/kzg_sim.h"
+
 namespace pandas::net {
 
 namespace {
@@ -74,6 +76,25 @@ inline constexpr bool kCarriesCells =
     std::is_same_v<T, GossipDataMsg> || std::is_same_v<T, DhtStoreMsg> ||
     std::is_same_v<T, DhtValueMsg>;
 
+template <typename T>
+inline constexpr bool kHasTags =
+    std::is_same_v<T, SeedMsg> || std::is_same_v<T, CellReplyMsg>;
+
+/// Compacts `v` by removing the sorted-ascending `positions` in one pass.
+template <typename V>
+void compact_out(V& v, const std::vector<std::uint32_t>& positions) {
+  std::size_t write = 0;
+  std::size_t drop_i = 0;
+  for (std::size_t read = 0; read < v.size(); ++read) {
+    if (drop_i < positions.size() && positions[drop_i] == read) {
+      ++drop_i;
+      continue;
+    }
+    v[write++] = v[read];
+  }
+  v.resize(write);
+}
+
 }  // namespace
 
 std::uint32_t wire_size(const Message& msg) noexcept {
@@ -131,21 +152,26 @@ void drop_cells(Message& msg, const std::vector<std::uint32_t>& positions) {
         using T = std::remove_cvref_t<decltype(m)>;
         if constexpr (kCarriesCells<T>) {
           if (positions.empty()) return;
-          // positions are sorted ascending; compact in one pass.
-          std::vector<CellId>& v = m.cells;
-          std::size_t write = 0;
-          std::size_t drop_i = 0;
-          for (std::size_t read = 0; read < v.size(); ++read) {
-            if (drop_i < positions.size() && positions[drop_i] == read) {
-              ++drop_i;
-              continue;
-            }
-            v[write++] = v[read];
+          // positions are sorted ascending; compact in one pass. Proof tags
+          // ride at the same positions as their cells, so a lossy packet
+          // never misaligns surviving (cell, tag) pairs.
+          compact_out(m.cells, positions);
+          if constexpr (kHasTags<T>) {
+            if (!m.tags.empty()) compact_out(m.tags, positions);
           }
-          v.resize(write);
         }
       },
       msg);
+}
+
+std::vector<std::uint64_t> proof_tags(std::uint64_t slot,
+                                      const std::vector<CellId>& cells) {
+  std::vector<std::uint64_t> tags;
+  tags.reserve(cells.size());
+  for (const CellId& c : cells) {
+    tags.push_back(crypto::sim_cell_tag(slot, c.row, c.col));
+  }
+  return tags;
 }
 
 }  // namespace pandas::net

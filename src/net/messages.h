@@ -106,9 +106,16 @@ using BoostMap = std::vector<std::shared_ptr<const LineBoost>>;
 
 /// Builder -> node: initial seed cells plus optional boost map. Carries the
 /// proposer's signature binding the builder identity (§6.1).
+///
+/// `tags` holds one simulated KZG proof tag per cell (parallel to `cells`;
+/// see crypto::sim_cell_tag). The 48 proof bytes are already part of
+/// kCellWireBytes, so tags do not change wire sizes — they only let
+/// receivers verify cells at presence level. An empty or short vector means
+/// the proofs are missing (hardened receivers reject such cells).
 struct SeedMsg {
   std::uint64_t slot = 0;
   std::vector<CellId> cells;
+  std::vector<std::uint64_t> tags;
   BoostMap boost;
 };
 
@@ -119,10 +126,11 @@ struct CellQueryMsg {
 };
 
 /// Node -> node: cells in response to a query (possibly delayed — §6.2's
-/// buffered queries).
+/// buffered queries). `tags` as in SeedMsg.
 struct CellReplyMsg {
   std::uint64_t slot = 0;
   std::vector<CellId> cells;
+  std::vector<std::uint64_t> tags;
 };
 
 /// ---- Block dissemination / GossipSub (§2, baselines §8.1) ----
@@ -220,7 +228,13 @@ inline constexpr std::size_t kMsgClassCount = 5;
 /// cells are lost rather than the whole message (see SimTransport).
 [[nodiscard]] std::size_t carried_cells(const Message& msg) noexcept;
 
-/// Removes the cells at the given positions (used by the loss model).
+/// Removes the cells at the given positions (used by the loss model). For
+/// messages with per-cell proof tags, tags at the same positions are dropped
+/// too, keeping the vectors parallel.
 void drop_cells(Message& msg, const std::vector<std::uint32_t>& positions);
+
+/// Honest proof tags for `cells` at `slot` (crypto::sim_cell_tag per cell).
+[[nodiscard]] std::vector<std::uint64_t> proof_tags(
+    std::uint64_t slot, const std::vector<CellId>& cells);
 
 }  // namespace pandas::net

@@ -56,6 +56,10 @@ void SimTransport::set_dead(NodeIndex node, bool dead) {
   links_.at(node).dead = dead;
 }
 
+void SimTransport::set_extra_delay(NodeIndex node, sim::Time delay) {
+  links_.at(node).extra_delay = delay;
+}
+
 void SimTransport::reset_stats() {
   for (auto& s : stats_) s.reset();
   for (auto& s : typed_stats_) s.reset();
@@ -126,8 +130,11 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   const sim::Time tx_time = static_cast<sim::Time>(
       std::ceil(static_cast<double>(total_bytes) * 8.0 / src.up_bps *
                 static_cast<double>(sim::kSecond)));
-  const sim::Time departure = std::max(now, src.up_busy_until) + tx_time;
-  src.up_busy_until = departure;
+  // Straggler delay is service latency, not serialization: it postpones the
+  // departure without occupying the uplink for other messages.
+  const sim::Time departure =
+      std::max(now, src.up_busy_until) + tx_time + src.extra_delay;
+  src.up_busy_until = std::max(now, src.up_busy_until) + tx_time;
 
   // Loss is decided at send time to keep the RNG stream independent of
   // event interleaving. A fully lost message still consumed uplink.

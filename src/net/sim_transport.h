@@ -86,6 +86,14 @@ class SimTransport final : public Transport {
   void set_dead(NodeIndex node, bool dead);
   [[nodiscard]] bool is_dead(NodeIndex node) const { return links_[node].dead; }
 
+  /// Adds a fixed delay to every transmission leaving `node` (straggler
+  /// fault model: an overloaded or badly-connected host that is correct but
+  /// consistently late).
+  void set_extra_delay(NodeIndex node, sim::Time delay);
+  [[nodiscard]] sim::Time extra_delay(NodeIndex node) const {
+    return links_[node].extra_delay;
+  }
+
   [[nodiscard]] std::size_t node_count() const noexcept { return links_.size(); }
   [[nodiscard]] const TrafficStats& stats(NodeIndex node) const {
     return stats_[node];
@@ -114,6 +122,7 @@ class SimTransport final : public Transport {
     double down_bps = 0;
     sim::Time up_busy_until = 0;
     sim::Time down_busy_until = 0;
+    sim::Time extra_delay = 0;
     bool dead = false;
   };
 

@@ -38,10 +38,19 @@ std::vector<Message> fragment(Message msg, std::size_t max_cells) {
           const auto all = std::move(m.cells);
           for (std::size_t base = 0; base < all.size(); base += max_cells) {
             T part = m;  // copies the header fields (boost only on first)
-            part.cells.assign(
-                all.begin() + static_cast<std::ptrdiff_t>(base),
-                all.begin() + static_cast<std::ptrdiff_t>(
-                                  std::min(all.size(), base + max_cells)));
+            const std::size_t end = std::min(all.size(), base + max_cells);
+            part.cells.assign(all.begin() + static_cast<std::ptrdiff_t>(base),
+                              all.begin() + static_cast<std::ptrdiff_t>(end));
+            if constexpr (std::is_same_v<T, SeedMsg> ||
+                          std::is_same_v<T, CellReplyMsg>) {
+              // Proof tags travel with their cells: same slice per fragment.
+              if (m.tags.size() == all.size()) {
+                part.tags.assign(m.tags.begin() + static_cast<std::ptrdiff_t>(base),
+                                 m.tags.begin() + static_cast<std::ptrdiff_t>(end));
+              } else {
+                part.tags.clear();
+              }
+            }
             if constexpr (std::is_same_v<T, SeedMsg>) {
               if (base != 0) part.boost.clear();
             }

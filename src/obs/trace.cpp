@@ -27,6 +27,10 @@ const char* event_name(EventType t) noexcept {
     case EventType::kPhaseSeeding: return "seeding";
     case EventType::kPhaseConsolidation: return "consolidation";
     case EventType::kPhaseSampling: return "sampling";
+    case EventType::kCellsCorruptRejected: return "cells_corrupt_rejected";
+    case EventType::kPeerGreylisted: return "peer_greylisted";
+    case EventType::kChurnLeave: return "churn_leave";
+    case EventType::kChurnJoin: return "churn_join";
   }
   return "unknown";
 }

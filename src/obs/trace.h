@@ -55,6 +55,11 @@ enum class EventType : std::uint8_t {
   kPhaseSeeding,
   kPhaseConsolidation,
   kPhaseSampling,
+  // Defensive hardening / fault injection (src/fault, docs/FAULTS.md).
+  kCellsCorruptRejected, ///< cells failing proof verification (peer, a=cells)
+  kPeerGreylisted,       ///< peer's penalty crossed the greylist bar (peer)
+  kChurnLeave,           ///< churning node goes dark mid-slot
+  kChurnJoin,            ///< churning node comes back
 };
 
 /// Stable lowercase names used in exports ("seed_dispatch", "query", ...).

@@ -41,6 +41,10 @@ void ThreadPool::run_range(const std::function<void(std::size_t)>& fn) {
 }
 
 void ThreadPool::worker_loop() {
+  // A job may itself call parallel_for; from a worker that must run inline,
+  // or the worker would republish the shared job state it is executing and
+  // then wait for active_ == 0 while holding active_ > 0.
+  inside_parallel_for = true;
   std::uint64_t seen = 0;
   for (;;) {
     std::function<void(std::size_t)> job;

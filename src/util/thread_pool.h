@@ -39,8 +39,8 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [begin, end), distributing iterations over
   /// the workers plus the calling thread; returns when all are done.
-  /// `fn` must not throw and must not call parallel_for on the same pool
-  /// (nested calls run inline on the caller).
+  /// `fn` must not throw. Nested parallel_for calls — from the caller or
+  /// from inside a job on a worker — run inline on the issuing thread.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

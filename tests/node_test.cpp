@@ -56,6 +56,7 @@ TEST(PandasNode, SeedIngestRecordsTimeAndCells) {
   seed.slot = 1;
   const auto& lines = net.table->of(0);
   for (std::uint16_t c = 0; c < 8; ++c) seed.cells.push_back({lines.rows[0], c});
+  seed.tags = net::proof_tags(seed.slot, seed.cells);
   net::Message msg(seed);
   net.nodes[0]->handle_message(net::kInvalidNode - 1, msg);
   ASSERT_TRUE(net.nodes[0]->record().seed_time.has_value());
@@ -88,6 +89,7 @@ TEST(PandasNode, QueryServedImmediatelyWhenHeld) {
   net::SeedMsg seed;
   seed.slot = 1;
   seed.cells.push_back({row, 3});
+  seed.tags = net::proof_tags(seed.slot, seed.cells);
   net::Message sm(seed);
   b.handle_message(99, sm);
 
@@ -123,6 +125,7 @@ TEST(PandasNode, QueryBufferedUntilAvailable) {
   net::SeedMsg seed;
   seed.slot = 1;
   seed.cells.push_back({row, 5});
+  seed.tags = net::proof_tags(seed.slot, seed.cells);
   net::Message sm(seed);
   b.handle_message(99, sm);
   net.engine.run_until(net.engine.now() + sim::kSecond);
@@ -171,6 +174,7 @@ TEST(PandasNode, SamplingCompletesWhenSamplesArrive) {
   net::CellReplyMsg reply;
   reply.slot = 1;
   reply.cells = a.samples();
+  reply.tags = net::proof_tags(reply.slot, reply.cells);
   // Must have an active fetcher for reply accounting; start via seed.
   net::SeedMsg seed;
   seed.slot = 1;
