@@ -6,8 +6,12 @@
 //   ./build/bench/bench_fig09_phases [--nodes 1000] [--slots 10] [--quick]
 //                                    [--no-boost] [--cdf] [--json]
 //                                    [--trace-out t.json] [--metrics-out m.json]
-//                                    [--records-out r.jsonl]
+//                                    [--records-out r.jsonl] [--trace-flows]
+//                                    [--attribution-out a.jsonl]
 //                                    [--trace-sample-rate R] [--trace-ring N]
+//
+// Export files are suffixed with the policy label (t.minimal.json,
+// t.single.json, t.redundant-r-8.json, ...), one set per configuration.
 
 #include <cstdio>
 
@@ -76,7 +80,7 @@ int main(int argc, char** argv) {
         harness::print_cdf(snap.series_named("sampling_ms"));
       }
     }
-    obs.finish(experiment);
+    obs.finish(experiment, policy.name());
   }
   return 0;
 }

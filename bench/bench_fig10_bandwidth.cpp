@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(t.cells_lost));
       }
     }
-    obs.finish(experiment);
+    obs.finish(experiment, policy.name());
   }
   return 0;
 }

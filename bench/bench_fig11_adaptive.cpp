@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(snap.sampling_misses),
                   100.0 * snap.deadline_fraction);
     }
-    obs.finish(experiment);
+    obs.finish(experiment, adaptive ? "adaptive" : "constant");
   }
   return 0;
 }

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
           100.0 * snap.deadline_fraction);
       std::fflush(stdout);
     }
-    obs.finish(experiment);
+    obs.finish(experiment, "n" + std::to_string(n));
   }
   return 0;
 }

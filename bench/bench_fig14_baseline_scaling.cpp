@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
       } else {
         print_row(n, "PANDAS", snap, "fetch_messages", "fetch_mb");
       }
-      obs.finish(experiment);
+      obs.finish(experiment, "n" + std::to_string(n));
     }
     {
       harness::GossipDasConfig cfg;

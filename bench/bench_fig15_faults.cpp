@@ -124,7 +124,8 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(snap.peers_greylisted));
         std::fflush(stdout);
       }
-      obs.finish(experiment);
+      obs.finish(experiment, std::string(spec.tag) + "-f" +
+                                 std::to_string(static_cast<int>(f * 100)));
     }
   }
   return 0;

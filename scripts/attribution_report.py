@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Offline analyzer for deadline-attribution JSONL exports.
+
+The input is what a bench writes via --attribution-out: one JSON object per
+(node, slot) with per-category critical-path milliseconds (see
+src/obs/attribution.h and docs/OBSERVABILITY.md).
+
+Usage:
+  scripts/attribution_report.py attr.jsonl [more.jsonl ...]
+      Print the aggregate "top deadline contributors" table (same shape as
+      the in-bench report, but runnable over any saved/merged exports).
+
+  scripts/attribution_report.py --check attr.jsonl [more.jsonl ...]
+      Validate instead of report: schema, non-negative categories, the
+      per-record invariant sum(categories_ms) == elapsed_ms (within 1%),
+      and dominant == argmax(categories_ms). Exits non-zero on the first
+      violation — this is the tier-1 smoke gate.
+"""
+
+import argparse
+import json
+import sys
+
+CATEGORIES = [
+    "builder_uplink",
+    "uplink",
+    "propagation",
+    "downlink_queue",
+    "handler",
+    "buffered_wait",
+    "retry_timeout",
+    "corrupt_redraw",
+    "seed_fallback",
+]
+
+REQUIRED = {"slot", "node", "completed", "elapsed_ms", "dominant",
+            "categories_ms"}
+
+
+def fail(path, line_no, msg):
+    print(f"{path}:{line_no}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(paths, check):
+    records = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(path, line_no, f"invalid JSON: {e}")
+                if check:
+                    validate(path, line_no, rec)
+                records.append(rec)
+    return records
+
+
+def validate(path, line_no, rec):
+    missing = REQUIRED - rec.keys()
+    if missing:
+        fail(path, line_no, f"missing keys: {sorted(missing)}")
+    cats = rec["categories_ms"]
+    if sorted(cats.keys()) != sorted(CATEGORIES):
+        fail(path, line_no,
+             f"category set mismatch: {sorted(cats.keys())}")
+    for name, ms in cats.items():
+        if not isinstance(ms, (int, float)) or ms < 0:
+            fail(path, line_no, f"negative/non-numeric category {name}: {ms}")
+    elapsed = rec["elapsed_ms"]
+    total = sum(cats.values())
+    # The in-sim segmentation is exact; the JSON rounds each number to 6
+    # significant digits, so allow 1% (the acceptance bound) with a small
+    # absolute floor for near-zero slots.
+    if abs(total - elapsed) > max(0.01 * elapsed, 0.1):
+        fail(path, line_no,
+             f"categories sum {total:.3f} != elapsed {elapsed:.3f}")
+    dominant = rec["dominant"]
+    if dominant not in cats:
+        fail(path, line_no, f"unknown dominant category {dominant!r}")
+    if cats[dominant] < max(cats.values()) - 1e-9:
+        fail(path, line_no,
+             f"dominant {dominant} ({cats[dominant]}) is not the argmax "
+             f"({max(cats.values())})")
+    if "path" in rec:
+        p = rec["path"]
+        for key in ("kind", "server", "round", "redraw"):
+            if key not in p:
+                fail(path, line_no, f"path record missing {key!r}")
+
+
+def report(records):
+    if not records:
+        print("no records")
+        return
+    total_ms = {c: 0.0 for c in CATEGORIES}
+    dom_done = {c: 0 for c in CATEGORIES}
+    dom_miss = {c: 0 for c in CATEGORIES}
+    completed = missed = 0
+    for rec in records:
+        for c, ms in rec["categories_ms"].items():
+            total_ms[c] += ms
+        if rec["completed"]:
+            completed += 1
+            dom_done[rec["dominant"]] += 1
+        else:
+            missed += 1
+            dom_miss[rec["dominant"]] += 1
+    n = completed + missed
+    grand = sum(total_ms.values())
+    print(f"Deadline attribution ({n} node-slots, {missed} missed):")
+    print(f"  {'category':<16} {'mean ms':>10} {'share':>7} "
+          f"{'dom(done)':>10} {'dom(miss)':>10}")
+    ranked = sorted(CATEGORIES, key=lambda c: -total_ms[c])
+    for c in ranked:
+        if total_ms[c] == 0 and dom_done[c] == 0 and dom_miss[c] == 0:
+            continue
+        share = 100.0 * total_ms[c] / grand if grand > 0 else 0.0
+        print(f"  {c:<16} {total_ms[c] / n:>10.2f} {share:>6.1f}% "
+              f"{dom_done[c]:>10} {dom_miss[c]:>10}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", help="attribution JSONL export(s)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate invariants instead of reporting")
+    args = ap.parse_args()
+    records = load(args.files, args.check)
+    if args.check:
+        print(f"check OK: {len(records)} records across "
+              f"{len(args.files)} file(s)")
+    else:
+        report(records)
+
+
+if __name__ == "__main__":
+    main()

@@ -44,13 +44,15 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
 # Observability smoke job: a quick fig09 run must produce a valid Chrome
-# trace and a valid metrics dump with the per-round fetch families.
+# trace and a valid metrics dump with the per-round fetch families. Export
+# files carry the per-configuration label suffix (here: the seeding policy).
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
 "./${BUILD_DIR}/bench/bench_fig09_phases" --quick \
     --trace-out "${SMOKE_DIR}/t.json" --metrics-out "${SMOKE_DIR}/m.json" \
     > /dev/null
-python3 - "${SMOKE_DIR}/t.json" "${SMOKE_DIR}/m.json" <<'EOF'
+python3 - "${SMOKE_DIR}/t.redundant-r-8.json" \
+    "${SMOKE_DIR}/m.redundant-r-8.json" <<'EOF'
 import json, sys
 trace = json.load(open(sys.argv[1]))
 events = trace["traceEvents"]
@@ -65,6 +67,34 @@ assert "engine_events_executed" in metrics["gauges"]
 print(f"smoke OK: {len(events)} trace events, "
       f"{len(counters)} counter series")
 EOF
+
+# Attribution smoke job: causal tracing + deadline attribution end-to-end.
+# A small fig09 run with flow arrows and the attribution export must (a)
+# pass the offline analyzer's invariant checks (categories sum to elapsed,
+# dominant is the argmax), (b) stitch balanced Perfetto flow arrows into the
+# Chrome trace, and (c) be byte-identical across two same-seed runs.
+ATTR_ARGS=(--quick --nodes 120 --slots 1 --trace-flows)
+for run in run1 run2; do
+  mkdir -p "${SMOKE_DIR}/${run}"
+  "./${BUILD_DIR}/bench/bench_fig09_phases" "${ATTR_ARGS[@]}" \
+      --attribution-out "${SMOKE_DIR}/${run}/attr.jsonl" \
+      --trace-out "${SMOKE_DIR}/${run}/flow.json" > /dev/null
+done
+python3 scripts/attribution_report.py --check \
+    "${SMOKE_DIR}"/run1/attr.*.jsonl
+python3 - "${SMOKE_DIR}/run1/flow.redundant-r-8.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+starts = sum(1 for e in events if e.get("cat") == "flow" and e["ph"] == "s")
+ends = sum(1 for e in events if e.get("cat") == "flow" and e["ph"] == "f")
+assert starts > 0 and starts == ends, f"unbalanced flows: {starts} s, {ends} f"
+print(f"flow smoke OK: {starts} arrows")
+EOF
+for f in "${SMOKE_DIR}"/run1/*.jsonl "${SMOKE_DIR}"/run1/*.json; do
+  cmp "$f" "${SMOKE_DIR}/run2/$(basename "$f")" \
+      || { echo "same-seed export differs: $(basename "$f")"; exit 1; }
+done
+echo "attribution smoke OK (same-seed exports byte-identical)"
 
 # Portable-fallback job (default config only): build the erasure stack with
 # SIMD tiers compiled out and no AVX in the baseline ISA, so the scalar

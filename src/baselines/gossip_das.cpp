@@ -125,11 +125,15 @@ void GossipDasNode::start_sampling() {
   const std::uint64_t generation = generation_;
   fetcher_->start(
       needed, {},
-      [this, generation](net::NodeIndex target, std::vector<net::CellId> cells) {
+      [this, generation](net::NodeIndex target, std::vector<net::CellId> cells,
+                         std::uint32_t round, bool redraw) {
         if (generation != generation_) return;
         net::CellQueryMsg q;
         q.slot = slot_;
         q.cells = std::move(cells);
+        q.cause = obs::CauseId{slot_, self_, cause_seq_++};
+        q.round = round;
+        q.redraw = redraw;
         record_.messages += 1;
         record_.bytes += net::wire_size(net::Message(q));
         transport_.send(self_, target, std::move(q));

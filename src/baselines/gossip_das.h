@@ -89,6 +89,8 @@ class GossipDasNode {
   std::uint64_t slot_ = 0;
   std::uint64_t generation_ = 0;
   sim::Time slot_start_ = 0;
+  /// CauseId sequence for originated queries (obs/causal.h).
+  std::uint32_t cause_seq_ = 0;
   core::CustodyState custody_;
   std::vector<net::CellId> samples_;
   std::unordered_set<std::uint32_t> missing_samples_;

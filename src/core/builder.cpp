@@ -14,10 +14,12 @@ Builder::SeedingReport Builder::seed(std::uint64_t slot,
   std::vector<net::NodeIndex> order = builder_view.members();
   rng.shuffle(order);
 
+  std::uint32_t cause_seq = 0;  // per-slot CauseId sequence (obs/causal.h)
   for (const auto node : order) {
     if (node == self_) continue;
     net::SeedMsg msg;
     msg.slot = slot;
+    msg.cause = obs::CauseId{slot, self_, cause_seq++};
     if (node < plan.cells_per_node.size()) {
       msg.cells = plan.cells_per_node[node];
     }

@@ -169,7 +169,7 @@ void AdaptiveFetcher::on_corrupt_reply(net::NodeIndex from,
     replied_.erase(cand.node);
     st.messages_sent += 1;
     st.cells_requested += static_cast<std::uint32_t>(query_cells.size());
-    send_(cand.node, std::move(query_cells));
+    send_(cand.node, std::move(query_cells), round_, /*redraw=*/true);
   }
 }
 
@@ -396,7 +396,7 @@ void AdaptiveFetcher::run_round() {
     replied_.erase(cand.node);  // a fresh query must be answered anew
     st.messages_sent += 1;
     st.cells_requested += static_cast<std::uint32_t>(query_cells.size());
-    send_(cand.node, std::move(query_cells));
+    send_(cand.node, std::move(query_cells), round_, /*redraw=*/false);
   }
 
   // Candidate pool exhausted while cells are still missing: begin a fresh

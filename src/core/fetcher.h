@@ -59,8 +59,13 @@ struct FetchRoundStats {
 /// references, so a fetcher abandoned at a slot boundary simply stops.
 class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
  public:
+  /// `round` is the 1-based fetch round issuing the query; `redraw` marks
+  /// immediate replacement queries after a corrupt reply. Both feed the
+  /// query's causal metadata (obs/causal.h) so deadline attribution can
+  /// distinguish round-timeout waits from corrupt-redraw waits.
   using SendQueryFn =
-      std::function<void(net::NodeIndex target, std::vector<net::CellId> cells)>;
+      std::function<void(net::NodeIndex target, std::vector<net::CellId> cells,
+                         std::uint32_t round, bool redraw)>;
 
   /// `reputation` (optional, may outlive slots) enables history-aware
   /// candidate scoring; nullptr preserves the paper's memoryless scoring.

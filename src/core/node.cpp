@@ -28,6 +28,8 @@ void PandasNode::begin_slot(std::uint64_t slot) {
   record_ = SlotRecord{};
   record_.slot = slot;
   record_.slot_start = engine_.now();
+  cause_seq_ = 0;
+  if (causal_ != nullptr) causal_->begin_slot(slot, engine_.now());
 
   // Unpredictable sample selection (§6.3): unlike the assignment F, the
   // samples must not be computable by third parties in advance.
@@ -84,6 +86,18 @@ void PandasNode::on_seed(net::NodeIndex from, net::SeedMsg&& msg) {
     obs::emit(trace_, obs::EventType::kSeedReceived, engine_.now(), obs::kNoPeer,
               static_cast<std::int64_t>(msg.cells.size()));
   }
+  if (causal_ != nullptr) {
+    const obs::HopTiming* hd = transport_.last_delivery();
+    const obs::HopTiming hop = hd != nullptr ? *hd : obs::HopTiming{};
+    causal_->mark_seed(hop);
+    obs::FlowRecord f;
+    f.slot = slot_;
+    f.kind = obs::FlowKind::kSeed;
+    f.peer = from;
+    f.cause = msg.cause;
+    f.hop = hop;
+    causal_->record_delivery(f);
+  }
   verify_received(from, msg.cells, msg.tags);
   ingest(msg.cells);
   if (fetcher_->started()) {
@@ -97,6 +111,9 @@ void PandasNode::on_seed(net::NodeIndex from, net::SeedMsg&& msg) {
 
 void PandasNode::start_fetch(net::BoostMap boost) {
   if (fetcher_->started()) return;
+  if (causal_ != nullptr) {
+    causal_->mark_fetch_start(engine_.now(), /*fallback=*/!seed_received_);
+  }
 
   // F = enough missing assigned cells to reconstruct every line, plus the
   // missing samples (consolidation and sampling run concurrently through one
@@ -220,13 +237,17 @@ void PandasNode::start_fetch(net::BoostMap boost) {
             static_cast<std::int64_t>(needed.size()));
   fetcher_->start(
       needed, std::move(boost),
-      [this, generation](net::NodeIndex target, std::vector<net::CellId> cells) {
+      [this, generation](net::NodeIndex target, std::vector<net::CellId> cells,
+                         std::uint32_t round, bool redraw) {
         if (generation != slot_generation_) return;
         obs::emit(trace_, obs::EventType::kQuerySent, engine_.now(), target,
                   static_cast<std::int64_t>(cells.size()));
         net::CellQueryMsg q;
         q.slot = slot_;
         q.cells = std::move(cells);
+        q.cause = obs::CauseId{slot_, self_, cause_seq_++};
+        q.round = round;
+        q.redraw = redraw;
         count_fetch_traffic(net::Message(q));
         transport_.send(self_, target, std::move(q));
       });
@@ -237,6 +258,15 @@ void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
   count_fetch_traffic(net::Message(msg));
   obs::emit(trace_, obs::EventType::kQueryReceived, engine_.now(), from,
             static_cast<std::int64_t>(msg.cells.size()));
+  // Capture the query's causal context now: replies (immediate or buffered)
+  // echo it back so the requester sees the full request -> reply chain.
+  QueryContext ctx;
+  ctx.cause = msg.cause;
+  ctx.round = msg.round;
+  ctx.redraw = msg.redraw;
+  if (const obs::HopTiming* hd = transport_.last_delivery(); hd != nullptr) {
+    ctx.hop = *hd;
+  }
 
   if (!seed_received_ && !fetcher_->started() && !fallback_armed_) {
     // First sign of the slot without seed data: arm the fallback timer
@@ -284,7 +314,7 @@ void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
     available = std::move(capped);
     remaining.clear();
   }
-  if (!available.empty()) send_reply(from, std::move(available));
+  if (!available.empty()) send_reply(from, std::move(available), ctx);
   if (!remaining.empty()) {
     obs::emit(trace_, obs::EventType::kQueryBuffered, engine_.now(), from,
               static_cast<std::int64_t>(remaining.size()));
@@ -292,6 +322,7 @@ void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
     pq.requester = from;
     pq.cells = remaining;
     pq.remaining = std::move(remaining);
+    pq.ctx = ctx;
     pending_.push_back(std::move(pq));
   }
 }
@@ -300,6 +331,22 @@ void PandasNode::on_reply(net::NodeIndex from, net::CellReplyMsg&& msg) {
   count_fetch_traffic(net::Message(msg));
   obs::emit(trace_, obs::EventType::kReplyReceived, engine_.now(), from,
             static_cast<std::int64_t>(msg.cells.size()));
+  if (causal_ != nullptr) {
+    obs::FlowRecord f;
+    f.slot = slot_;
+    f.kind =
+        msg.buffered ? obs::FlowKind::kBufferedReply : obs::FlowKind::kReply;
+    f.peer = from;
+    f.cause = msg.cause;
+    f.parent = msg.parent;
+    if (const obs::HopTiming* hd = transport_.last_delivery(); hd != nullptr) {
+      f.hop = *hd;
+    }
+    f.round = msg.round;
+    f.redraw = msg.redraw;
+    f.query_hop = msg.query_hop;
+    causal_->record_delivery(f);
+  }
   const auto stripped = verify_received(from, msg.cells, msg.tags);
   const auto result = ingest(msg.cells);
   fetcher_->on_reply(from, result.new_cells, result.duplicates,
@@ -361,6 +408,12 @@ CustodyState::AddResult PandasNode::ingest(std::span<const net::CellId> cells) {
     obs::emit(trace_, obs::EventType::kReconstruction, engine_.now(),
               obs::kNoPeer, result.reconstructed);
   }
+  if (causal_ != nullptr) {
+    // Credit the delivery currently being ingested with everything it made
+    // available, reconstruction cascades included.
+    causal_->note_progress(static_cast<std::uint32_t>(result.obtained.size()),
+                           engine_.now());
+  }
   if (!result.obtained.empty()) {
     fetcher_->on_cells_obtained(result.obtained);
     if (!missing_samples_.empty()) {
@@ -382,7 +435,7 @@ void PandasNode::serve_pending() {
                        [&](net::CellId c) { return custody_.has_cell(c); }),
         pq.remaining.end());
     if (pq.remaining.empty()) {
-      send_reply(pq.requester, std::move(pq.cells), /*buffered=*/true);
+      send_reply(pq.requester, std::move(pq.cells), pq.ctx, /*buffered=*/true);
       it = pending_.erase(it);
     } else {
       ++it;
@@ -391,7 +444,7 @@ void PandasNode::serve_pending() {
 }
 
 void PandasNode::send_reply(net::NodeIndex to, std::vector<net::CellId> cells,
-                            bool buffered) {
+                            const QueryContext& ctx, bool buffered) {
   obs::emit(trace_,
             buffered ? obs::EventType::kBufferedReplyServed
                      : obs::EventType::kReplySent,
@@ -400,6 +453,12 @@ void PandasNode::send_reply(net::NodeIndex to, std::vector<net::CellId> cells,
   reply.slot = slot_;
   reply.cells = std::move(cells);
   reply.tags = net::proof_tags(slot_, reply.cells);
+  reply.cause = obs::CauseId{slot_, self_, cause_seq_++};
+  reply.parent = ctx.cause;
+  reply.round = ctx.round;
+  reply.redraw = ctx.redraw;
+  reply.buffered = buffered;
+  reply.query_hop = ctx.hop;
   if (behavior() == fault::Behavior::kByzantineCorrupt) {
     // Garble the proof tag of `corrupt_rate` of the served cells. The
     // decision hashes (sender, honest tag) instead of drawing from an RNG
@@ -422,10 +481,12 @@ void PandasNode::check_completion() {
   if (!record_.consolidation_time && custody_.all_lines_complete()) {
     record_.consolidation_time = elapsed;
     obs::emit(trace_, obs::EventType::kConsolidationDone, engine_.now());
+    if (causal_ != nullptr) causal_->mark_consolidation(engine_.now());
   }
   if (!record_.sampling_time && missing_samples_.empty()) {
     record_.sampling_time = elapsed;
     obs::emit(trace_, obs::EventType::kSamplingDone, engine_.now());
+    if (causal_ != nullptr) causal_->mark_sampling(engine_.now());
   }
 }
 

@@ -65,6 +65,10 @@ class PandasNode {
   /// Observability sink (nullptr = tracing off); propagated to the per-slot
   /// fetcher. The sink must outlive the node.
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  /// Causal provenance sink (nullptr = off; obs/causal.h). Records where
+  /// every cell-carrying delivery came from and which one completed the
+  /// slot, for critical-path deadline attribution. Must outlive the node.
+  void set_causal(obs::CausalSink* sink) { causal_ = sink; }
   /// Fault-injection behavior profile (nullptr = correct). The profile must
   /// outlive the node; only the serving-side behaviors are read here —
   /// fail-silent, straggler, and churn act at the transport via the harness.
@@ -100,10 +104,20 @@ class PandasNode {
   }
 
  private:
+  /// Causal context of the query a reply answers, echoed into the reply so
+  /// the requester can reconstruct the request -> serve -> reply chain.
+  struct QueryContext {
+    obs::CauseId cause{};
+    std::uint32_t round = 0;
+    bool redraw = false;
+    obs::HopTiming hop{};  ///< the query's transit, seen at this server
+  };
+
   struct PendingQuery {
     net::NodeIndex requester = 0;
     std::vector<net::CellId> cells;      // full original request
     std::vector<net::CellId> remaining;  // still unavailable
+    QueryContext ctx;
   };
 
   void on_seed(net::NodeIndex from, net::SeedMsg&& msg);
@@ -118,7 +132,7 @@ class PandasNode {
   void serve_pending();
   void check_completion();
   void send_reply(net::NodeIndex to, std::vector<net::CellId> cells,
-                  bool buffered = false);
+                  const QueryContext& ctx, bool buffered = false);
   void count_fetch_traffic(const net::Message& msg);
   /// Verifies proof tags against crypto::sim_cell_tag; strips cells that
   /// fail (or all of them when tags are missing) and charges `from`'s
@@ -161,6 +175,9 @@ class PandasNode {
   bool seed_received_ = false;
   SlotRecord record_;
   obs::TraceSink* trace_ = nullptr;
+  obs::CausalSink* causal_ = nullptr;
+  /// Per-slot sequence for CauseIds this node originates (queries, replies).
+  std::uint32_t cause_seq_ = 0;
 };
 
 }  // namespace pandas::core

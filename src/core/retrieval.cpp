@@ -69,6 +69,7 @@ void RetrievalClient::round(const std::shared_ptr<LineState>& st,
     net::CellQueryMsg q;
     q.slot = st->slot;
     q.cells = wanted;
+    q.cause = obs::CauseId{st->slot, self_, cause_seq_++};
     transport_.send(self_, peer, std::move(q));
   }
 

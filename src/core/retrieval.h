@@ -79,6 +79,8 @@ class RetrievalClient : public std::enable_shared_from_this<RetrievalClient> {
   const View* view_;
   util::Xoshiro256 rng_;
   std::vector<std::shared_ptr<LineState>> lines_;
+  /// CauseId sequence for the queries this client originates (obs/causal.h).
+  std::uint32_t cause_seq_ = 0;
 };
 
 }  // namespace pandas::core

@@ -147,6 +147,16 @@ void PandasExperiment::setup() {
     builder_->set_trace(tracer_.sink(builder_index_));
     transport_->set_tracer(&tracer_);
   }
+  // Causal provenance sinks (attribution and/or flow arrows). Unlike trace
+  // sampling this is all-or-nothing: the attribution criterion covers every
+  // correct node. --trace-flows implies collection.
+  const bool causal_on = cfg_.obs.causal || cfg_.obs.trace_flows;
+  causal_ = obs::CausalTracer(causal_on, n + 1, cfg_.obs.trace_flows);
+  if (causal_.enabled()) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      nodes_[i]->set_causal(causal_.sink(i));
+    }
+  }
   engine_->set_profiling(cfg_.obs.metrics);
 
   // Warm-up: let the gossip meshes stabilize before the first slot.
@@ -276,6 +286,18 @@ core::Builder::SeedingReport PandasExperiment::run_slot(std::uint64_t slot,
         agg.reconstructed.add(st.reconstructed);
         agg.coverage_pct.add(
             100.0 * (1.0 - static_cast<double>(st.remaining_after) / baseline));
+      }
+    }
+
+    // Slot-end causal walk: per-category deadline attribution (must run
+    // before the next begin_slot() resets the sink).
+    if (causal_.enabled()) {
+      if (const auto* sink = causal_.sink(i); sink != nullptr) {
+        auto a = obs::attribute(sink->slot_data(),
+                                slot_start + cfg_.slot_duration);
+        a.node = i;
+        attribution_agg_.add(a);
+        attributions_.push_back(a);
       }
     }
   }
@@ -425,8 +447,12 @@ void PandasExperiment::collect_run_metrics() {
     registry_.gauge("engine_wall_per_sim_second")
         .set(prof.wall_per_sim_second());
   }
-  registry_.gauge("trace_events_dropped")
-      .set(static_cast<double>(tracer_.total_dropped()));
+  // Monotone event-loss counter (was a gauge; counters survive registry
+  // merges and make "did we ever drop?" a plain >0 check). Mid-run calls
+  // fold in only the delta since the previous collection.
+  const std::uint64_t dropped = tracer_.total_dropped();
+  registry_.counter("trace_events_dropped").inc(dropped - trace_dropped_counted_);
+  trace_dropped_counted_ = dropped;
 
   // Reputation outcomes on correct nodes (lifetime counters, hence gauges).
   std::uint64_t greylists = 0, timeouts = 0, corrupt_peers = 0;
@@ -504,6 +530,36 @@ void PandasExperiment::write_records_jsonl(std::FILE* out) const {
       w.end_object();
     }
     w.end_array();
+    w.end_object();
+    w.newline();
+  }
+}
+
+void PandasExperiment::write_attribution_jsonl(std::FILE* out) const {
+  for (const auto& a : attributions_) {
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.kv("slot", a.slot);
+    w.kv("node", a.node);
+    w.kv("completed", a.completed);
+    w.kv("elapsed_ms", sim::to_ms(a.elapsed));
+    w.kv("dominant", obs::category_name(a.dominant));
+    w.key("categories_ms");
+    w.begin_object();
+    for (std::size_t c = 0; c < obs::kCategoryCount; ++c) {
+      w.kv(obs::category_name(static_cast<obs::Category>(c)),
+           sim::to_ms(a.by_category[c]));
+    }
+    w.end_object();
+    if (a.has_path) {
+      w.key("path");
+      w.begin_object();
+      w.kv("kind", obs::flow_kind_name(a.path_kind));
+      w.kv("server", a.path_server);
+      w.kv("round", a.path_round);
+      w.kv("redraw", a.path_redraw);
+      w.end_object();
+    }
     w.end_object();
     w.newline();
   }

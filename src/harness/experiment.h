@@ -13,6 +13,8 @@
 #include "gossip/gossipsub.h"
 #include "net/directory.h"
 #include "net/sim_transport.h"
+#include "obs/attribution.h"
+#include "obs/causal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
@@ -52,6 +54,12 @@ struct ObsConfig {
   bool wall_metrics = false;
   /// Keep per-(node, slot) records for the JSONL exporter.
   bool collect_records = false;
+  /// Causal provenance collection (obs/causal.h): per-node CausalSinks plus
+  /// the slot-end attribution walk. O(1) memory per node-slot.
+  bool causal = false;
+  /// Additionally retain every delivery record so the Chrome trace gets
+  /// Perfetto flow arrows (implies `causal`; memory grows with traffic).
+  bool trace_flows = false;
 };
 
 struct PandasConfig {
@@ -164,6 +172,22 @@ class PandasExperiment {
     return records_;
   }
 
+  /// Causal layer (empty/disabled unless cfg.obs.causal): the tracer holding
+  /// per-actor provenance sinks, the per-(correct node, slot) attribution
+  /// walks, and their aggregate for the deadline-contributors table.
+  [[nodiscard]] const obs::CausalTracer& causal() const { return causal_; }
+  [[nodiscard]] const std::vector<obs::NodeAttribution>& attributions() const {
+    return attributions_;
+  }
+  [[nodiscard]] const obs::AttributionAgg& attribution_agg() const {
+    return attribution_agg_;
+  }
+
+  /// JSONL export: one attribution record per (correct node, slot), with
+  /// per-category milliseconds that sum exactly to `elapsed_ms`. Requires
+  /// cfg.obs.causal.
+  void write_attribution_jsonl(std::FILE* out) const;
+
   /// Engine / transport / trace gauges sampled "now" — called by run() at
   /// the end, and callable mid-run for snapshots. No-op without metrics.
   void collect_run_metrics();
@@ -198,6 +222,12 @@ class PandasExperiment {
   obs::Tracer tracer_;
   obs::Registry registry_;
   std::vector<NodeSlotRecord> records_;
+  obs::CausalTracer causal_;
+  std::vector<obs::NodeAttribution> attributions_;
+  obs::AttributionAgg attribution_agg_;
+  /// Drops already folded into the trace_events_dropped counter, so mid-run
+  /// collect_run_metrics() calls increment by the delta only.
+  std::uint64_t trace_dropped_counted_ = 0;
 
   /// Rebuilds the assignment table when `slot` crosses an epoch boundary
   /// (F is short-lived, §5) and points every node at the new table.

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "harness/snapshot.h"
+#include "obs/attribution.h"
 #include "util/stats.h"
 
 /// Console reporting helpers shared by the bench binaries: each bench prints
@@ -68,6 +69,35 @@ inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
+}
+
+/// "Top deadline contributors" table: per-category mean milliseconds on the
+/// critical path (over all correct node-slots), sorted by total contribution,
+/// plus how often each category dominated a completed / missed slot.
+inline void print_attribution(const obs::AttributionAgg& agg,
+                              const std::string& label = "") {
+  if (agg.records() == 0) return;
+  std::printf("  Deadline attribution%s%s (%llu node-slots, %llu missed):\n",
+              label.empty() ? "" : " ", label.c_str(),
+              static_cast<unsigned long long>(agg.records()),
+              static_cast<unsigned long long>(agg.missed));
+  std::printf("    %-16s %10s %7s %10s %10s\n", "category", "mean ms",
+              "share", "dom(done)", "dom(miss)");
+  double total = 0;
+  for (const auto ms : agg.total_ms) total += ms;
+  for (const auto c : agg.ranked()) {
+    const auto i = static_cast<std::size_t>(c);
+    if (agg.total_ms[i] == 0 && agg.dominant_completed[i] == 0 &&
+        agg.dominant_missed[i] == 0) {
+      continue;
+    }
+    std::printf("    %-16s %10.2f %6.1f%% %10llu %10llu\n",
+                obs::category_name(c),
+                agg.total_ms[i] / static_cast<double>(agg.records()),
+                total > 0 ? 100.0 * agg.total_ms[i] / total : 0.0,
+                static_cast<unsigned long long>(agg.dominant_completed[i]),
+                static_cast<unsigned long long>(agg.dominant_missed[i]));
+  }
 }
 
 }  // namespace pandas::harness

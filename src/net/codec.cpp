@@ -147,6 +147,40 @@ void put_node_id(Writer& w, const crypto::NodeId& id) { w.bytes(id.bytes); }
 
 bool get_node_id(Reader& r, crypto::NodeId& id) { return r.bytes(id.bytes); }
 
+/// Causal metadata (obs/causal.h). The CauseId's slot is the message's own
+/// slot, so only (origin, seq) ride the wire; hop times are sim::Time
+/// microseconds encoded as two's-complement u64.
+void put_cause(Writer& w, const obs::CauseId& c) {
+  w.u32(c.origin);
+  w.u32(c.seq);
+}
+
+void get_cause(Reader& r, obs::CauseId& c, std::uint64_t slot) {
+  c.origin = r.u32();
+  c.seq = r.u32();
+  c.slot = slot;
+}
+
+void put_hop(Writer& w, const obs::HopTiming& h) {
+  w.u64(static_cast<std::uint64_t>(h.sent));
+  w.u64(static_cast<std::uint64_t>(h.uplink_wait));
+  w.u64(static_cast<std::uint64_t>(h.uplink_tx));
+  w.u64(static_cast<std::uint64_t>(h.propagation));
+  w.u64(static_cast<std::uint64_t>(h.downlink_wait));
+  w.u64(static_cast<std::uint64_t>(h.downlink_rx));
+  w.u64(static_cast<std::uint64_t>(h.delivered));
+}
+
+void get_hop(Reader& r, obs::HopTiming& h) {
+  h.sent = static_cast<sim::Time>(r.u64());
+  h.uplink_wait = static_cast<sim::Time>(r.u64());
+  h.uplink_tx = static_cast<sim::Time>(r.u64());
+  h.propagation = static_cast<sim::Time>(r.u64());
+  h.downlink_wait = static_cast<sim::Time>(r.u64());
+  h.downlink_rx = static_cast<sim::Time>(r.u64());
+  h.delivered = static_cast<sim::Time>(r.u64());
+}
+
 void put_boost(Writer& w, const BoostMap& boost) {
   std::uint32_t lines = 0;
   for (const auto& lb : boost) {
@@ -197,17 +231,27 @@ struct EncodeVisitor {
     w.cells(m.cells);
     w.ids(m.tags);
     put_boost(w, m.boost);
+    put_cause(w, m.cause);
   }
   void operator()(const CellQueryMsg& m) {
     w.u8(static_cast<std::uint8_t>(Tag::kCellQuery));
     w.u64(m.slot);
     w.cells(m.cells);
+    put_cause(w, m.cause);
+    w.u32(m.round);
+    w.u8(m.redraw ? 1 : 0);
   }
   void operator()(const CellReplyMsg& m) {
     w.u8(static_cast<std::uint8_t>(Tag::kCellReply));
     w.u64(m.slot);
     w.cells(m.cells);
     w.ids(m.tags);
+    put_cause(w, m.cause);
+    put_cause(w, m.parent);
+    w.u32(m.round);
+    w.u8(m.redraw ? 1 : 0);
+    w.u8(m.buffered ? 1 : 0);
+    put_hop(w, m.query_hop);
   }
   void operator()(const GossipDataMsg& m) {
     w.u8(static_cast<std::uint8_t>(Tag::kGossipData));
@@ -291,6 +335,7 @@ std::optional<Message> decode(std::span<const std::uint8_t> data) {
           !tags_well_formed(m.tags, m.cells) || !get_boost(r, m.boost)) {
         return std::nullopt;
       }
+      get_cause(r, m.cause, m.slot);
       out = std::move(m);
       break;
     }
@@ -298,6 +343,9 @@ std::optional<Message> decode(std::span<const std::uint8_t> data) {
       CellQueryMsg m;
       m.slot = r.u64();
       if (!r.cells(m.cells)) return std::nullopt;
+      get_cause(r, m.cause, m.slot);
+      m.round = r.u32();
+      m.redraw = r.u8() != 0;
       out = std::move(m);
       break;
     }
@@ -308,6 +356,12 @@ std::optional<Message> decode(std::span<const std::uint8_t> data) {
           !tags_well_formed(m.tags, m.cells)) {
         return std::nullopt;
       }
+      get_cause(r, m.cause, m.slot);
+      get_cause(r, m.parent, m.slot);
+      m.round = r.u32();
+      m.redraw = r.u8() != 0;
+      m.buffered = r.u8() != 0;
+      get_hop(r, m.query_hop);
       out = std::move(m);
       break;
     }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "crypto/node_id.h"
+#include "obs/causal.h"
 #include "util/bitmap.h"
 
 /// Wire message taxonomy for PANDAS and the two baselines, plus wire-size
@@ -117,20 +118,38 @@ struct SeedMsg {
   std::vector<CellId> cells;
   std::vector<std::uint64_t> tags;
   BoostMap boost;
+  /// Causal metadata (obs/causal.h), stamped by the sender. Like all causal
+  /// fields below it is excluded from wire_size: a production header would
+  /// carry ~16 B of it per message, noise against a 560 B cell.
+  obs::CauseId cause{};
 };
 
 /// Node -> node: request for specific cells (consolidation or sampling).
 struct CellQueryMsg {
   std::uint64_t slot = 0;
   std::vector<CellId> cells;
+  obs::CauseId cause{};
+  std::uint32_t round = 0;  ///< fetch round that issued the query (1-based)
+  bool redraw = false;      ///< re-query after a corrupt reply
 };
 
 /// Node -> node: cells in response to a query (possibly delayed — §6.2's
 /// buffered queries). `tags` as in SeedMsg.
+///
+/// The causal fields echo the answered query's context (its CauseId, round,
+/// redraw flag, and transit as measured at the server), so the requester can
+/// reconstruct the full request -> serve -> reply chain without per-query
+/// bookkeeping — late buffered replies included.
 struct CellReplyMsg {
   std::uint64_t slot = 0;
   std::vector<CellId> cells;
   std::vector<std::uint64_t> tags;
+  obs::CauseId cause{};
+  obs::CauseId parent{};       ///< the query being answered
+  std::uint32_t round = 0;     ///< echoed query round
+  bool redraw = false;         ///< echoed redraw flag
+  bool buffered = false;       ///< served from the buffered-query path
+  obs::HopTiming query_hop{};  ///< the query's transit, seen at the server
 };
 
 /// ---- Block dissemination / GossipSub (§2, baselines §8.1) ----

@@ -130,6 +130,10 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   const sim::Time tx_time = static_cast<sim::Time>(
       std::ceil(static_cast<double>(total_bytes) * 8.0 / src.up_bps *
                 static_cast<double>(sim::kSecond)));
+  // Each per-hop segment the NIC model derives here is also kept for the
+  // causal layer (obs::HopTiming via last_delivery()); the straggler service
+  // delay folds into its propagation component.
+  const sim::Time uplink_wait = std::max<sim::Time>(0, src.up_busy_until - now);
   // Straggler delay is service latency, not serialization: it postpones the
   // departure without occupying the uplink for other messages.
   const sim::Time departure =
@@ -154,15 +158,20 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
                 cells_lost, static_cast<std::int64_t>(cls));
     }
   }
+  const sim::Time extra = src.extra_delay;
   if (to == from) {
     // Loopback: deliver after the serialization delay only.
-    engine_.schedule_at(departure, [this, from, to, cls, m = std::move(msg)]() mutable {
+    engine_.schedule_at(departure, [this, from, to, cls, now, uplink_wait,
+                                    tx_time, extra,
+                                    m = std::move(msg)]() mutable {
       auto& rstats = stats_[to];
       rstats.msgs_received += 1;
       rstats.bytes_received += wire_size(m);
       auto& rtyped = typed_stats_[to].of(cls);
       rtyped.msgs_received += 1;
       rtyped.bytes_received += wire_size(m);
+      last_hop_ = obs::HopTiming{now,   uplink_wait, tx_time, extra,
+                                 0,     0,           engine_.now()};
       if (handlers_[to]) handlers_[to](from, std::move(m));
     });
     return;
@@ -175,9 +184,10 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   // arrives; we model it lazily by scheduling at arrival_start and computing
   // queueing against down_busy_until then (event order at equal times is
   // deterministic, so this stays reproducible).
+  const sim::Time propagation = owd + extra;
   engine_.schedule_at(
-      arrival_start,
-      [this, from, to, cls, total_bytes, m = std::move(msg)]() mutable {
+      arrival_start, [this, from, to, cls, total_bytes, now, uplink_wait,
+                      tx_time, propagation, m = std::move(msg)]() mutable {
         Link& dst = links_[to];
         if (dst.dead) {  // dead nodes do not receive
           typed_stats_[from].of(cls).msgs_to_dead += 1;
@@ -186,22 +196,31 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
         const sim::Time rx_time = static_cast<sim::Time>(
             std::ceil(static_cast<double>(total_bytes) * 8.0 / dst.down_bps *
                       static_cast<double>(sim::kSecond)));
+        const sim::Time downlink_wait =
+            std::max<sim::Time>(0, dst.down_busy_until - engine_.now());
         const sim::Time delivered =
             std::max(engine_.now(), dst.down_busy_until) + rx_time;
         dst.down_busy_until = delivered;
-        engine_.schedule_at(delivered, [this, from, to, cls, m = std::move(m)]() mutable {
-          if (links_[to].dead) {
-            typed_stats_[from].of(cls).msgs_to_dead += 1;
-            return;
-          }
-          auto& rstats = stats_[to];
-          rstats.msgs_received += 1;
-          rstats.bytes_received += wire_size(m);
-          auto& rtyped = typed_stats_[to].of(cls);
-          rtyped.msgs_received += 1;
-          rtyped.bytes_received += wire_size(m);
-          if (handlers_[to]) handlers_[to](from, std::move(m));
-        });
+        engine_.schedule_at(
+            delivered, [this, from, to, cls, now, uplink_wait, tx_time,
+                        propagation, downlink_wait, rx_time,
+                        m = std::move(m)]() mutable {
+              if (links_[to].dead) {
+                typed_stats_[from].of(cls).msgs_to_dead += 1;
+                return;
+              }
+              auto& rstats = stats_[to];
+              rstats.msgs_received += 1;
+              rstats.bytes_received += wire_size(m);
+              auto& rtyped = typed_stats_[to].of(cls);
+              rtyped.msgs_received += 1;
+              rtyped.bytes_received += wire_size(m);
+              last_hop_ =
+                  obs::HopTiming{now,           uplink_wait, tx_time,
+                                 propagation,   downlink_wait, rx_time,
+                                 engine_.now()};
+              if (handlers_[to]) handlers_[to](from, std::move(m));
+            });
       });
 }
 

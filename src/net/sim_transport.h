@@ -82,6 +82,14 @@ class SimTransport final : public Transport {
   void send(NodeIndex from, NodeIndex to, Message msg) override;
   void set_handler(NodeIndex node, Handler handler) override;
 
+  /// Transit breakdown of the message whose handler is currently running
+  /// (obs/causal.h). The engine is single-threaded and the fields are
+  /// written immediately before the handler is invoked, so reading this
+  /// inside a handler is deterministic and race-free.
+  [[nodiscard]] const obs::HopTiming* last_delivery() const noexcept override {
+    return &last_hop_;
+  }
+
   /// Marks a node dead (crash / free-rider): it neither sends nor receives.
   void set_dead(NodeIndex node, bool dead);
   [[nodiscard]] bool is_dead(NodeIndex node) const { return links_[node].dead; }
@@ -140,6 +148,8 @@ class SimTransport final : public Transport {
   std::vector<TypedTrafficStats> typed_stats_;
   util::Xoshiro256 loss_rng_;
   obs::Tracer* tracer_ = nullptr;
+  /// Hop timing of the in-flight delivery (see last_delivery()).
+  obs::HopTiming last_hop_{};
 };
 
 }  // namespace pandas::net

@@ -24,6 +24,15 @@ class Transport {
 
   /// Registers the receive handler for a node. One handler per node.
   virtual void set_handler(NodeIndex node, Handler handler) = 0;
+
+  /// Transit breakdown of the message currently being delivered: valid only
+  /// inside a handler invocation, for transports that model per-hop timing
+  /// (SimTransport). Returns nullptr otherwise (e.g. real sockets), so
+  /// callers degrade to zeroed hop data rather than changing the Handler
+  /// signature across every protocol component.
+  [[nodiscard]] virtual const obs::HopTiming* last_delivery() const noexcept {
+    return nullptr;
+  }
 };
 
 /// Per-node traffic counters (drives Fig 10 / Fig 13 style statistics).

@@ -1,0 +1,143 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+
+namespace pandas::obs {
+
+namespace {
+
+/// Cursor-based exact segmentation: advance(t, c) charges max(0, t - cursor)
+/// to category c and moves the cursor monotonically forward. Because the
+/// walk ends with advance(t_end, ...), the charges telescope to exactly
+/// t_end - slot_start no matter how individual boundaries interleave.
+class Walk {
+ public:
+  explicit Walk(sim::Time start) : cursor_(start) {}
+
+  void advance(sim::Time to, Category c) {
+    if (to <= cursor_) return;
+    acc_[static_cast<std::size_t>(c)] += to - cursor_;
+    cursor_ = to;
+  }
+
+  /// Charges a hop's NIC segments in transit order. `up` distinguishes the
+  /// builder's uplink (seed hops) from node uplinks; queueing and
+  /// serialization at the receiver fold into kDownlinkQueue — the
+  /// store-and-forward receive path the NIC model charges as one block.
+  void hop(const HopTiming& h, Category up) {
+    advance(h.sent, Category::kHandler);
+    advance(h.sent + h.uplink_wait + h.uplink_tx, up);
+    advance(h.sent + h.uplink_wait + h.uplink_tx + h.propagation,
+            Category::kPropagation);
+    advance(h.delivered, Category::kDownlinkQueue);
+  }
+
+  [[nodiscard]] const std::array<sim::Time, kCategoryCount>& acc() const {
+    return acc_;
+  }
+
+ private:
+  sim::Time cursor_;
+  std::array<sim::Time, kCategoryCount> acc_{};
+};
+
+}  // namespace
+
+NodeAttribution attribute(const NodeSlotCausal& c, sim::Time slot_end) {
+  NodeAttribution a;
+  a.slot = c.slot;
+  a.completed = c.sampling_at >= 0;
+  const sim::Time t_end = a.completed ? c.sampling_at : slot_end;
+  a.elapsed = t_end - c.slot_start;
+
+  // The delivery anchoring the walk: for completed slots the one whose
+  // ingest finished sampling; for misses the last one that made progress.
+  const FlowRecord* f = nullptr;
+  if (a.completed && c.has_completion) {
+    f = &c.completion;
+  } else if (!a.completed && c.has_delivery) {
+    f = &c.last_delivery;
+  }
+
+  Walk w(c.slot_start);
+  if (f != nullptr && f->kind != FlowKind::kSeed) {
+    // Reply chain. First: how the node got to sending the critical query.
+    const sim::Time q_sent = f->query_hop.sent;
+    if (c.seed_at >= 0 && c.seed_at <= q_sent) {
+      w.hop(c.seed_hop, Category::kBuilderUplink);
+    } else if (c.fetch_start >= 0) {
+      // Fetch launched by the 400 ms no-seed fallback timer (or before the
+      // seed arrived): the wait until launch is missing-seed time.
+      w.advance(std::min(c.fetch_start, q_sent), Category::kSeedFallback);
+    }
+    // Fetch start -> critical query out: round timeouts already waited out
+    // (or, for a redraw query, the round spent on the forged reply).
+    w.advance(q_sent,
+              f->redraw ? Category::kCorruptRedraw : Category::kRetryTimeout);
+    w.hop(f->query_hop, Category::kUplink);
+    // Query arrival -> reply departure at the server: immediate serves are
+    // handler time; buffered serves waited for the server's own cells.
+    w.advance(f->hop.sent, f->kind == FlowKind::kBufferedReply
+                               ? Category::kBufferedWait
+                               : Category::kHandler);
+    w.hop(f->hop, Category::kUplink);
+  } else if (f != nullptr) {
+    // Completed (or last progressed) straight off the builder's seed.
+    w.hop(f->hop, Category::kBuilderUplink);
+  } else if (c.seed_at >= 0) {
+    // Seed arrived but nothing was ever fetched.
+    w.hop(c.seed_hop, Category::kBuilderUplink);
+  } else if (c.fetch_start >= 0) {
+    w.advance(c.fetch_start, Category::kSeedFallback);
+  } else {
+    // Never seeded, never started: the whole interval is the missing seed.
+    w.advance(t_end, Category::kSeedFallback);
+  }
+  // Tail: progress stalled between the anchor delivery and t_end (always 0
+  // for completed slots, where the completing ingest IS the instant).
+  w.advance(t_end, Category::kRetryTimeout);
+
+  a.by_category = w.acc();
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kCategoryCount; ++i) {
+    if (a.by_category[i] > a.by_category[best]) best = i;
+  }
+  a.dominant = static_cast<Category>(best);
+
+  if (f != nullptr) {
+    a.has_path = true;
+    a.path_kind = f->kind;
+    a.path_server = f->peer;
+    a.path_round = f->round;
+    a.path_redraw = f->redraw;
+  }
+  return a;
+}
+
+void AttributionAgg::add(const NodeAttribution& a) {
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    total_ms[i] += sim::to_ms(a.by_category[i]);
+  }
+  const auto d = static_cast<std::size_t>(a.dominant);
+  if (a.completed) {
+    ++completed;
+    ++dominant_completed[d];
+  } else {
+    ++missed;
+    ++dominant_missed[d];
+  }
+}
+
+std::array<Category, kCategoryCount> AttributionAgg::ranked() const {
+  std::array<Category, kCategoryCount> order{};
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    order[i] = static_cast<Category>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [this](Category a, Category b) {
+    return total_ms[static_cast<std::size_t>(a)] >
+           total_ms[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace pandas::obs

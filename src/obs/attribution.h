@@ -1,0 +1,114 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "obs/causal.h"
+#include "sim/time.h"
+
+/// Critical-path deadline attribution (the consumer of obs/causal.h).
+///
+/// On slot end, attribute() walks backward from a node's sampling-complete
+/// (or deadline-miss) event over the recorded cause chain — completing reply
+/// <- serve/buffer wait at the server <- query transit <- fetch launch <-
+/// seed transit <- builder dispatch — and segments the entire interval
+/// [slot_start, completion] into contiguous, non-overlapping category
+/// spans. Because the segmentation is exact (the NIC model's HopTiming
+/// components partition each hop), the per-category milliseconds sum to the
+/// measured completion time by construction, not approximately.
+namespace pandas::obs {
+
+/// Where a node-slot's time went. Categories are a partition of wall (sim)
+/// time, not of messages: e.g. kRetryTimeout is the time spent waiting out
+/// round timeouts before the critical query was even sent.
+enum class Category : std::uint8_t {
+  kBuilderUplink = 0,  ///< seed serialization out of the builder NIC
+  kUplink,             ///< node-side uplink wait + serialization
+  kPropagation,        ///< one-way propagation (+ straggler service delay)
+  kDownlinkQueue,      ///< receiver NIC queueing + serialization
+  kHandler,            ///< synchronous handler / immediate-serve time
+  kBufferedWait,       ///< query sat buffered at the server awaiting cells
+  kRetryTimeout,       ///< waiting out fetch-round timeouts / silence
+  kCorruptRedraw,      ///< redraw issued after a corrupt (forged) reply
+  kSeedFallback,       ///< no-seed fallback window before the fetch started
+  kCount_,             ///< sentinel for the exhaustiveness guard
+};
+inline constexpr std::size_t kCategoryCount =
+    static_cast<std::size_t>(Category::kCount_);
+
+/// Stable lowercase names used by the JSONL export, the report table and the
+/// offline analyzer. Compile error on a nameless new category.
+[[nodiscard]] constexpr const char* category_name(Category c) noexcept {
+  switch (c) {
+    case Category::kBuilderUplink: return "builder_uplink";
+    case Category::kUplink: return "uplink";
+    case Category::kPropagation: return "propagation";
+    case Category::kDownlinkQueue: return "downlink_queue";
+    case Category::kHandler: return "handler";
+    case Category::kBufferedWait: return "buffered_wait";
+    case Category::kRetryTimeout: return "retry_timeout";
+    case Category::kCorruptRedraw: return "corrupt_redraw";
+    case Category::kSeedFallback: return "seed_fallback";
+    case Category::kCount_: break;
+  }
+  return nullptr;
+}
+
+namespace detail {
+template <std::size_t... I>
+constexpr bool categories_all_named(std::index_sequence<I...>) {
+  return ((category_name(static_cast<Category>(I)) != nullptr) && ...);
+}
+}  // namespace detail
+static_assert(detail::categories_all_named(
+                  std::make_index_sequence<kCategoryCount>{}),
+              "every obs::Category needs a name in category_name()");
+
+/// Per-node-slot attribution breakdown.
+struct NodeAttribution {
+  std::uint32_t node = 0;
+  std::uint64_t slot = 0;
+  bool completed = false;  ///< sampling finished within the slot
+  /// Completion instant (misses: slot end) minus slot start. Equal to the
+  /// sum of by_category by construction.
+  sim::Time elapsed = 0;
+  std::array<sim::Time, kCategoryCount> by_category{};
+  Category dominant = Category::kRetryTimeout;
+
+  /// Tail of the critical path: the delivery that completed sampling (or,
+  /// for misses, the last one that made progress).
+  bool has_path = false;
+  FlowKind path_kind = FlowKind::kSeed;
+  std::uint32_t path_server = kNoActor;
+  std::uint32_t path_round = 0;
+  bool path_redraw = false;
+
+  [[nodiscard]] sim::Time of(Category c) const noexcept {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Backward walk over one node-slot's cause records. `slot_end` bounds the
+/// interval for deadline misses (typically slot_start + slot_duration).
+[[nodiscard]] NodeAttribution attribute(const NodeSlotCausal& c,
+                                        sim::Time slot_end);
+
+/// Aggregate over node-slots, feeding the "top deadline contributors" table.
+struct AttributionAgg {
+  std::array<double, kCategoryCount> total_ms{};
+  std::array<std::uint64_t, kCategoryCount> dominant_completed{};
+  std::array<std::uint64_t, kCategoryCount> dominant_missed{};
+  std::uint64_t completed = 0;
+  std::uint64_t missed = 0;
+
+  void add(const NodeAttribution& a);
+  [[nodiscard]] std::uint64_t records() const noexcept {
+    return completed + missed;
+  }
+  /// Categories sorted by total contributed milliseconds, descending (ties
+  /// broken by enum order — deterministic).
+  [[nodiscard]] std::array<Category, kCategoryCount> ranked() const;
+};
+
+}  // namespace pandas::obs

@@ -1,0 +1,69 @@
+#include "obs/causal.h"
+
+#include "obs/json.h"
+
+namespace pandas::obs {
+
+CausalTracer::CausalTracer(bool enabled, std::uint32_t actor_count,
+                           bool keep_flows)
+    : enabled_(enabled), keep_flows_(keep_flows) {
+  if (!enabled_) return;
+  sinks_.resize(actor_count);
+  for (std::uint32_t i = 0; i < actor_count; ++i) {
+    sinks_[i].configure(i, keep_flows_);
+  }
+}
+
+CausalSink* CausalTracer::sink(std::uint32_t actor) {
+  if (!enabled_ || actor >= sinks_.size()) return nullptr;
+  return &sinks_[actor];
+}
+
+namespace {
+
+/// One flow arrow: begin ("s") on the sender track at `start`, end ("f",
+/// binding point "e" = enclosing slice) on the receiver track at `finish`.
+void write_arrow(JsonWriter& w, const char* name, std::uint64_t id,
+                 std::uint32_t from, sim::Time start, std::uint32_t to,
+                 sim::Time finish) {
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("cat", "flow");
+  w.kv("ph", "s");
+  w.kv("id", id);
+  w.kv("ts", static_cast<std::int64_t>(start));
+  w.kv("pid", 0);
+  w.kv("tid", from);
+  w.end_object();
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("cat", "flow");
+  w.kv("ph", "f");
+  w.kv("bp", "e");
+  w.kv("id", id);
+  w.kv("ts", static_cast<std::int64_t>(finish));
+  w.kv("pid", 0);
+  w.kv("tid", to);
+  w.end_object();
+}
+
+}  // namespace
+
+void CausalTracer::write_flow_events(JsonWriter& w) const {
+  if (!enabled_ || !keep_flows_) return;
+  // Actor-major, arrival order within an actor: both are deterministic under
+  // the engine's tie-breaking, so same seed => byte-identical flow events.
+  for (std::uint32_t actor = 0; actor < sinks_.size(); ++actor) {
+    for (const auto& f : sinks_[actor].flows()) {
+      if (f.parent.valid()) {
+        // The query that triggered this reply: requester -> server.
+        write_arrow(w, "query", f.parent.flow_key(), actor, f.query_hop.sent,
+                    f.peer, f.query_hop.delivered);
+      }
+      write_arrow(w, flow_kind_name(f.kind), f.cause.flow_key(), f.peer,
+                  f.hop.sent, actor, f.hop.delivered);
+    }
+  }
+}
+
+}  // namespace pandas::obs

@@ -1,0 +1,249 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+/// Causal cell-lifecycle layer: every in-sim PANDAS message carries a
+/// compact CauseId, the simulated NIC model reports a per-hop transit
+/// breakdown, and receiving nodes record the provenance of the deliveries
+/// that advanced their slot (seeded directly, fetched from peer P in round
+/// R, served late from the buffered-query path, or triggering an erasure
+/// reconstruction).
+///
+/// The layer follows the TraceSink discipline: components hold a plain
+/// `CausalSink*` that is nullptr when causal collection is off, so the
+/// disabled hot path is one pointer test and never allocates. Senders stamp
+/// CauseIds unconditionally (three integer stores — cheaper than forking the
+/// send paths), and all recorded times are sim time, so two runs with the
+/// same seed export byte-identical attribution files.
+///
+/// Consumers: obs/attribution.h walks one NodeSlotCausal backward from the
+/// sampling-complete (or deadline-miss) instant into per-category
+/// milliseconds; CausalTracer::write_flow_events() stitches Perfetto flow
+/// arrows into the Chrome trace.
+namespace pandas::obs {
+
+class JsonWriter;
+
+inline constexpr std::uint32_t kNoActor = ~0u;
+
+/// Compact identity of one in-sim message: (slot, origin actor, per-origin
+/// sequence within the slot).
+struct CauseId {
+  std::uint64_t slot = 0;
+  std::uint32_t origin = kNoActor;
+  std::uint32_t seq = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return origin != kNoActor; }
+  /// Stable id binding a Perfetto flow-begin ("s") to its flow-end ("f").
+  [[nodiscard]] std::uint64_t flow_key() const noexcept {
+    return (slot << 44) ^ (static_cast<std::uint64_t>(origin) << 22) ^ seq;
+  }
+  [[nodiscard]] bool operator==(const CauseId&) const = default;
+};
+
+/// Per-hop transit breakdown of one delivered message, as computed by the
+/// simulated NIC model (net::SimTransport already derives every segment; this
+/// struct stops them from being discarded). All fields are sim time.
+///
+/// Invariant: delivered - sent == uplink_wait + uplink_tx + propagation +
+/// downlink_wait + downlink_rx — the segments partition the hop exactly,
+/// which is what makes attribution sums exact by construction.
+struct HopTiming {
+  sim::Time sent = 0;           ///< when send() was called
+  sim::Time uplink_wait = 0;    ///< queueing behind earlier sends at the NIC
+  sim::Time uplink_tx = 0;      ///< uplink store-and-forward serialization
+  sim::Time propagation = 0;    ///< one-way delay (+ straggler service delay)
+  sim::Time downlink_wait = 0;  ///< queueing at the receiver NIC
+  sim::Time downlink_rx = 0;    ///< downlink serialization
+  sim::Time delivered = 0;      ///< handler invocation time
+};
+
+/// What kind of delivery a provenance record describes.
+enum class FlowKind : std::uint8_t {
+  kSeed = 0,       ///< builder seed delivery
+  kReply,          ///< immediate cell reply
+  kBufferedReply,  ///< reply served late from the buffered-query path
+  kCount_,         ///< sentinel for the exhaustiveness guard
+};
+inline constexpr std::size_t kFlowKindCount =
+    static_cast<std::size_t>(FlowKind::kCount_);
+
+/// Stable lowercase names used by both exporters. Adding a FlowKind without
+/// a name fails the static_assert below (same guard as obs::event_name).
+[[nodiscard]] constexpr const char* flow_kind_name(FlowKind k) noexcept {
+  switch (k) {
+    case FlowKind::kSeed: return "seed";
+    case FlowKind::kReply: return "reply";
+    case FlowKind::kBufferedReply: return "buffered_reply";
+    case FlowKind::kCount_: break;
+  }
+  return nullptr;
+}
+
+/// Receiver-side provenance record of one delivered cell-carrying message:
+/// the message's own transit breakdown plus, for replies, the echoed request
+/// context (fetch round, corrupt-redraw flag, the query's own transit as
+/// measured at the server). The reply echoes everything the requester needs,
+/// so requesters keep no per-query bookkeeping.
+struct FlowRecord {
+  std::uint64_t slot = 0;
+  FlowKind kind = FlowKind::kSeed;
+  std::uint32_t peer = kNoActor;  ///< the sending actor
+  CauseId cause{};                ///< the delivered message
+  CauseId parent{};               ///< the query behind a reply (else invalid)
+  HopTiming hop{};                ///< transit of the delivered message
+  std::uint32_t round = 0;        ///< fetch round of the query (0 = none)
+  bool redraw = false;            ///< query re-issued after a corrupt reply
+  HopTiming query_hop{};          ///< transit of the query (replies only)
+  std::uint32_t new_cells = 0;    ///< fresh cells this delivery contributed
+};
+
+/// Everything the attribution walk needs about one node-slot. O(1) memory:
+/// milestone instants plus the last/completing delivery records — not one
+/// record per cell, which would not survive 10k-node runs.
+struct NodeSlotCausal {
+  std::uint64_t slot = 0;
+  sim::Time slot_start = 0;
+  sim::Time seed_at = -1;  ///< first seed delivery (absolute engine time)
+  HopTiming seed_hop{};
+  sim::Time fetch_start = -1;
+  bool fetch_from_fallback = false;  ///< fetch launched by the no-seed timer
+  sim::Time consolidation_at = -1;
+  sim::Time sampling_at = -1;
+  sim::Time last_progress = -1;  ///< last delivery that contributed cells
+  FlowRecord last_delivery{};    ///< the record behind last_progress
+  bool has_delivery = false;
+  FlowRecord completion{};  ///< delivery whose ingest completed sampling
+  bool has_completion = false;
+};
+
+/// Per-actor causal sink. Deliveries are recorded eagerly (before custody
+/// ingest); note_progress() then credits the fresh-cell count, and the
+/// milestone marks snapshot the responsible delivery. The harness reads
+/// slot_data() at slot end, before the next begin_slot() resets it.
+class CausalSink {
+ public:
+  /// `keep_flows` additionally retains every delivery record across slots
+  /// for the Perfetto flow export (--trace-flows); attribution alone does
+  /// not need the history.
+  void configure(std::uint32_t self, bool keep_flows) {
+    self_ = self;
+    keep_flows_ = keep_flows;
+  }
+
+  void begin_slot(std::uint64_t slot, sim::Time slot_start) {
+    cur_ = NodeSlotCausal{};
+    cur_.slot = slot;
+    cur_.slot_start = slot_start;
+    has_pending_ = false;
+  }
+
+  /// First seed delivery of the slot.
+  void mark_seed(const HopTiming& hop) {
+    if (cur_.seed_at >= 0) return;
+    cur_.seed_at = hop.delivered;
+    cur_.seed_hop = hop;
+  }
+
+  void mark_fetch_start(sim::Time now, bool fallback) {
+    if (cur_.fetch_start >= 0) return;
+    cur_.fetch_start = now;
+    cur_.fetch_from_fallback = fallback;
+  }
+
+  /// Delivery of a cell-carrying message; call before custody ingest.
+  void record_delivery(const FlowRecord& f) {
+    pending_ = f;
+    has_pending_ = true;
+    if (keep_flows_) flows_.push_back(f);
+  }
+
+  /// Ingest outcome of the most recent delivery: `new_cells` counts cells
+  /// that became held (received plus reconstruction cascades).
+  void note_progress(std::uint32_t new_cells, sim::Time now) {
+    if (!has_pending_ || new_cells == 0) return;
+    pending_.new_cells = new_cells;
+    if (keep_flows_ && !flows_.empty()) flows_.back().new_cells = new_cells;
+    cur_.last_delivery = pending_;
+    cur_.has_delivery = true;
+    cur_.last_progress = now;
+  }
+
+  void mark_consolidation(sim::Time now) {
+    if (cur_.consolidation_at < 0) cur_.consolidation_at = now;
+  }
+
+  void mark_sampling(sim::Time now) {
+    if (cur_.sampling_at >= 0) return;
+    cur_.sampling_at = now;
+    if (cur_.has_delivery) {
+      cur_.completion = cur_.last_delivery;
+      cur_.has_completion = true;
+    }
+  }
+
+  [[nodiscard]] const NodeSlotCausal& slot_data() const noexcept {
+    return cur_;
+  }
+  [[nodiscard]] const std::vector<FlowRecord>& flows() const noexcept {
+    return flows_;
+  }
+  [[nodiscard]] std::uint32_t self() const noexcept { return self_; }
+
+ private:
+  std::uint32_t self_ = kNoActor;
+  bool keep_flows_ = false;
+  bool has_pending_ = false;
+  NodeSlotCausal cur_{};
+  FlowRecord pending_{};
+  std::vector<FlowRecord> flows_;
+};
+
+/// Owns one CausalSink per actor. All-or-nothing: the attribution criterion
+/// covers every node, so there is no sampling knob here (the per-node cost
+/// is O(milestones), not O(cells)).
+class CausalTracer {
+ public:
+  CausalTracer() = default;
+  CausalTracer(bool enabled, std::uint32_t actor_count, bool keep_flows);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::uint32_t actor_count() const noexcept {
+    return static_cast<std::uint32_t>(sinks_.size());
+  }
+
+  /// Per-actor sink, or nullptr when causal collection is off. Pointer stays
+  /// valid for the tracer's lifetime.
+  [[nodiscard]] CausalSink* sink(std::uint32_t actor);
+
+  /// True when deliveries are retained for the flow export.
+  [[nodiscard]] bool keeps_flows() const noexcept { return keep_flows_; }
+
+  /// Emits Perfetto flow begin/end pairs ("s"/"f") for every retained
+  /// delivery into an already-open traceEvents array: one arrow per seed
+  /// (builder -> node) and two per reply (query out, reply back). Queries
+  /// that were never answered leave no arrow — a flow needs both endpoints.
+  void write_flow_events(JsonWriter& w) const;
+
+ private:
+  bool enabled_ = false;
+  bool keep_flows_ = false;
+  std::vector<CausalSink> sinks_;
+};
+
+namespace detail {
+template <std::size_t... I>
+constexpr bool flow_kinds_all_named(std::index_sequence<I...>) {
+  return ((flow_kind_name(static_cast<FlowKind>(I)) != nullptr) && ...);
+}
+}  // namespace detail
+static_assert(detail::flow_kinds_all_named(
+                  std::make_index_sequence<kFlowKindCount>{}),
+              "every obs::FlowKind needs a name in flow_kind_name()");
+
+}  // namespace pandas::obs

@@ -2,38 +2,11 @@
 
 #include <algorithm>
 
+#include "obs/causal.h"
 #include "obs/json.h"
 #include "util/prng.h"
 
 namespace pandas::obs {
-
-const char* event_name(EventType t) noexcept {
-  switch (t) {
-    case EventType::kSeedDispatch: return "seed_dispatch";
-    case EventType::kSeedReceived: return "seed_received";
-    case EventType::kFetchStart: return "fetch_start";
-    case EventType::kRoundStart: return "round_start";
-    case EventType::kQuerySent: return "query_sent";
-    case EventType::kQueryReceived: return "query_received";
-    case EventType::kQueryBuffered: return "query_buffered";
-    case EventType::kReplySent: return "reply_sent";
-    case EventType::kBufferedReplyServed: return "buffered_reply_served";
-    case EventType::kReplyReceived: return "reply_received";
-    case EventType::kReconstruction: return "reconstruction";
-    case EventType::kConsolidationDone: return "consolidation_complete";
-    case EventType::kSamplingDone: return "sampling_complete";
-    case EventType::kMsgDropped: return "msg_dropped";
-    case EventType::kCellsDropped: return "cells_dropped";
-    case EventType::kPhaseSeeding: return "seeding";
-    case EventType::kPhaseConsolidation: return "consolidation";
-    case EventType::kPhaseSampling: return "sampling";
-    case EventType::kCellsCorruptRejected: return "cells_corrupt_rejected";
-    case EventType::kPeerGreylisted: return "peer_greylisted";
-    case EventType::kChurnLeave: return "churn_leave";
-    case EventType::kChurnJoin: return "churn_join";
-  }
-  return "unknown";
-}
 
 void TraceSink::configure(std::size_t ring_capacity) {
   capacity_ = ring_capacity;
@@ -132,7 +105,8 @@ std::uint64_t Tracer::total_dropped() const {
   return total;
 }
 
-void Tracer::write_chrome_trace(std::FILE* out) const {
+void Tracer::write_chrome_trace(std::FILE* out,
+                                const CausalTracer* flows) const {
   JsonWriter w(out);
   w.begin_object();
   w.key("traceEvents");
@@ -174,6 +148,7 @@ void Tracer::write_chrome_trace(std::FILE* out) const {
       w.end_object();
     }
   }
+  if (flows != nullptr) flows->write_flow_events(w);
   w.end_array();
   w.kv("displayTimeUnit", "ms");
   w.key("otherData");

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
@@ -29,6 +30,8 @@
 /// events as instants. Timestamps are sim-time microseconds, so two runs
 /// with the same seed export byte-identical files.
 namespace pandas::obs {
+
+class CausalTracer;
 
 inline constexpr std::uint32_t kNoPeer = ~0u;
 
@@ -60,10 +63,53 @@ enum class EventType : std::uint8_t {
   kPeerGreylisted,       ///< peer's penalty crossed the greylist bar (peer)
   kChurnLeave,           ///< churning node goes dark mid-slot
   kChurnJoin,            ///< churning node comes back
+  kCount_,               ///< sentinel — keep last (exhaustiveness guard)
 };
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::kCount_);
 
 /// Stable lowercase names used in exports ("seed_dispatch", "query", ...).
-[[nodiscard]] const char* event_name(EventType t) noexcept;
+/// Single source of truth for every exporter. The switch has no default and
+/// the static_assert below walks all enumerators, so adding an EventType
+/// without a name is a compile error rather than an "unknown" in a trace.
+[[nodiscard]] constexpr const char* event_name(EventType t) noexcept {
+  switch (t) {
+    case EventType::kSeedDispatch: return "seed_dispatch";
+    case EventType::kSeedReceived: return "seed_received";
+    case EventType::kFetchStart: return "fetch_start";
+    case EventType::kRoundStart: return "round_start";
+    case EventType::kQuerySent: return "query_sent";
+    case EventType::kQueryReceived: return "query_received";
+    case EventType::kQueryBuffered: return "query_buffered";
+    case EventType::kReplySent: return "reply_sent";
+    case EventType::kBufferedReplyServed: return "buffered_reply_served";
+    case EventType::kReplyReceived: return "reply_received";
+    case EventType::kReconstruction: return "reconstruction";
+    case EventType::kConsolidationDone: return "consolidation_complete";
+    case EventType::kSamplingDone: return "sampling_complete";
+    case EventType::kMsgDropped: return "msg_dropped";
+    case EventType::kCellsDropped: return "cells_dropped";
+    case EventType::kPhaseSeeding: return "seeding";
+    case EventType::kPhaseConsolidation: return "consolidation";
+    case EventType::kPhaseSampling: return "sampling";
+    case EventType::kCellsCorruptRejected: return "cells_corrupt_rejected";
+    case EventType::kPeerGreylisted: return "peer_greylisted";
+    case EventType::kChurnLeave: return "churn_leave";
+    case EventType::kChurnJoin: return "churn_join";
+    case EventType::kCount_: break;
+  }
+  return nullptr;
+}
+
+namespace detail {
+template <std::size_t... I>
+constexpr bool events_all_named(std::index_sequence<I...>) {
+  return ((event_name(static_cast<EventType>(I)) != nullptr) && ...);
+}
+}  // namespace detail
+static_assert(detail::events_all_named(
+                  std::make_index_sequence<kEventTypeCount>{}),
+              "every obs::EventType needs a name in event_name()");
 
 struct TraceEvent {
   sim::Time ts = 0;     ///< sim time, microseconds
@@ -139,8 +185,11 @@ class Tracer {
   /// Total events dropped by ring truncation across all actors.
   [[nodiscard]] std::uint64_t total_dropped() const;
 
-  /// Chrome trace-event JSON ("traceEvents" array form).
-  void write_chrome_trace(std::FILE* out) const;
+  /// Chrome trace-event JSON ("traceEvents" array form). When `flows` is
+  /// given (--trace-flows), its retained deliveries are stitched in as
+  /// Perfetto flow arrows ("s"/"f" pairs) alongside the per-actor events.
+  void write_chrome_trace(std::FILE* out,
+                          const CausalTracer* flows = nullptr) const;
 
  private:
   TraceConfig cfg_;

@@ -49,7 +49,8 @@ struct World {
 using Queries = std::map<net::NodeIndex, std::vector<net::CellId>>;
 
 AdaptiveFetcher::SendQueryFn collect(Queries& out) {
-  return [&out](net::NodeIndex target, std::vector<net::CellId> cells) {
+  return [&out](net::NodeIndex target, std::vector<net::CellId> cells,
+                std::uint32_t /*round*/, bool /*redraw*/) {
     auto& v = out[target];
     v.insert(v.end(), cells.begin(), cells.end());
   };
@@ -106,9 +107,8 @@ TEST(Fetcher, EachNodeQueriedOncePerCycle) {
   const std::vector<net::CellId> needed{{1, 5}, {1, 6}};
   std::map<net::NodeIndex, int> messages;
   f->start(needed, {},
-           [&](net::NodeIndex target, std::vector<net::CellId>) {
-             messages[target] += 1;
-           });
+           [&](net::NodeIndex target, std::vector<net::CellId>, std::uint32_t,
+               bool) { messages[target] += 1; });
   // Within the first fetch cycle (before the 2-node candidate pool is
   // exhausted) nobody is queried twice.
   w.engine.run_until(500 * sim::kMillisecond);

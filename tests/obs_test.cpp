@@ -403,11 +403,13 @@ harness::PandasConfig tiny_config(std::uint64_t seed) {
   cfg.obs.trace.enabled = true;
   cfg.obs.metrics = true;
   cfg.obs.collect_records = true;
+  cfg.obs.causal = true;
+  cfg.obs.trace_flows = true;
   return cfg;
 }
 
 struct Exports {
-  std::string trace, metrics, records;
+  std::string trace, flow_trace, metrics, records, attribution;
 };
 
 Exports run_and_export(std::uint64_t seed) {
@@ -415,8 +417,12 @@ Exports run_and_export(std::uint64_t seed) {
   (void)ex.run();
   Exports out;
   out.trace = render([&](std::FILE* f) { ex.tracer().write_chrome_trace(f); });
+  out.flow_trace = render(
+      [&](std::FILE* f) { ex.tracer().write_chrome_trace(f, &ex.causal()); });
   out.metrics = render([&](std::FILE* f) { ex.registry().write_json(f); });
   out.records = render([&](std::FILE* f) { ex.write_records_jsonl(f); });
+  out.attribution =
+      render([&](std::FILE* f) { ex.write_attribution_jsonl(f); });
   return out;
 }
 
@@ -424,11 +430,18 @@ TEST(HarnessExports, SameSeedByteIdentical) {
   const Exports a = run_and_export(7);
   const Exports b = run_and_export(7);
   EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.flow_trace, b.flow_trace);
   EXPECT_EQ(a.metrics, b.metrics);
   EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.attribution, b.attribution);
   EXPECT_FALSE(a.trace.empty());
   EXPECT_FALSE(a.metrics.empty());
   EXPECT_FALSE(a.records.empty());
+  EXPECT_FALSE(a.attribution.empty());
+  // The flow-stitched trace strictly extends the plain one.
+  EXPECT_GT(a.flow_trace.size(), a.trace.size());
+  EXPECT_NE(a.flow_trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(a.flow_trace.find("\"ph\":\"f\""), std::string::npos);
 }
 
 TEST(HarnessExports, DifferentSeedsDiffer) {
