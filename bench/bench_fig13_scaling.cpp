@@ -5,6 +5,12 @@
 //   ./build/bench/bench_fig13_scaling [--quick] [--max-nodes 20000]
 //                                     [--slots 3] [--json] [--trace-out F]
 //                                     [--metrics-out F] [--records-out F]
+//                                     [--engine-stats]
+//
+// --engine-stats appends a per-size scheduler line (events executed,
+// events/sec, wall seconds per sim second, peak queue depth) to stderr —
+// the numbers behind EXPERIMENTS.md's scheduler table. Combine with
+// PANDAS_ENGINE=heap for the binary-heap baseline.
 //
 // Defaults stop at 5,000 nodes so the whole bench suite completes on a
 // laptop; pass --max-nodes 20000 for the paper's full sweep. Large sweeps
@@ -24,6 +30,7 @@ int main(int argc, char** argv) {
   harness::Args args(argc, argv);
   const bool quick = args.has("--quick");
   const auto obs = harness::ObsCli::parse(args);
+  const bool engine_stats = args.has("--engine-stats");
   const auto max_nodes = static_cast<std::uint32_t>(
       args.get_int("--max-nodes", quick ? 1000 : 3000));
   const auto slots =
@@ -51,7 +58,21 @@ int main(int argc, char** argv) {
     obs.apply(cfg);
 
     harness::PandasExperiment experiment(cfg);
+    if (engine_stats) experiment.engine().set_profiling(true);
     const auto res = experiment.run();
+    if (engine_stats) {
+      const auto& prof = experiment.engine().profile();
+      std::fprintf(stderr,
+                   "engine-stats n=%u scheduler=%s events=%llu "
+                   "events_per_sec=%.0f wall_per_sim_s=%.3f "
+                   "peak_queue=%llu allocs=%llu capacity=%zu\n",
+                   n, experiment.engine().scheduler_name(),
+                   static_cast<unsigned long long>(prof.events),
+                   prof.events_per_wall_second(), prof.wall_per_sim_second(),
+                   static_cast<unsigned long long>(prof.peak_queue_depth),
+                   static_cast<unsigned long long>(prof.scheduler_allocs),
+                   static_cast<std::size_t>(prof.event_capacity));
+    }
     const auto snap =
         harness::snapshot_of("fig13/n" + std::to_string(n), cfg, res);
     if (obs.json) {

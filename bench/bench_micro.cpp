@@ -229,6 +229,53 @@ void BM_EventQueue_PushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue_PushPop);
 
+// Scheduler A/B throughput at simulation-like queue depths: a self-renewing
+// population of timers (each callback reschedules itself with a spread of
+// delays, like retransmit/deadline timers in a live run). items/second is
+// the events/sec figure quoted in EXPERIMENTS.md; the `allocs` counter is
+// container growths observed during the measured (steady-state) phase — the
+// zero-allocation acceptance criterion for the calendar queue.
+//   Arg 0: sim::SchedulerKind (0 wheel, 1 heap)   Arg 1: pending events
+void BM_Engine_SteadyState(benchmark::State& state) {
+  const auto kind = static_cast<sim::SchedulerKind>(state.range(0));
+  const auto population = static_cast<std::uint64_t>(state.range(1));
+  sim::Engine engine(1, kind);
+  // Delay spread mimicking a PANDAS slot: mostly sub-ms hops with a tail of
+  // multi-second deadline timers, all derived deterministically.
+  struct Timer {
+    sim::Engine* eng;
+    std::uint64_t salt;
+    void operator()() const {
+      const std::uint64_t d = util::mix64(eng->now() ^ salt);
+      const sim::Time delay =
+          (d % 997) + (d % 7 == 0 ? 4 * sim::kSecond : sim::Time{0}) + 1;
+      eng->schedule_in(delay, Timer{eng, salt + 1});
+    }
+  };
+  for (std::uint64_t i = 0; i < population; ++i) {
+    engine.schedule_in(1 + i % 997, Timer{&engine, i});
+  }
+  // Warm the pools past the initial growth phase before measuring.
+  engine.run_until(engine.now() + 100 * sim::kMillisecond);
+  const std::uint64_t allocs_before = engine.scheduler_allocs();
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    events += engine.run_until(engine.now() + 10 * sim::kMillisecond);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["allocs"] = static_cast<double>(engine.scheduler_allocs() -
+                                                 allocs_before);
+  state.counters["capacity"] = static_cast<double>(engine.event_capacity());
+  state.SetLabel(engine.scheduler_name());
+}
+BENCHMARK(BM_Engine_SteadyState)
+    ->Args({0, 1 << 10})
+    ->Args({1, 1 << 10})
+    ->Args({0, 1 << 14})
+    ->Args({1, 1 << 14})
+    ->Args({0, 1 << 17})
+    ->Args({1, 1 << 17});
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -15,6 +15,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Documentation drift check first: dead intra-repo links, unbalanced code
+# fences, flags/binaries documented but gone from the sources, and docs/
+# pages missing from the README index. Cheap, so it runs before the build.
+python3 scripts/check_docs.py
+
 BUILD_DIR=build
 CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
 if [[ "${1:-}" == "--asan" ]]; then
@@ -95,6 +100,19 @@ for f in "${SMOKE_DIR}"/run1/*.jsonl "${SMOKE_DIR}"/run1/*.json; do
       || { echo "same-seed export differs: $(basename "$f")"; exit 1; }
 done
 echo "attribution smoke OK (same-seed exports byte-identical)"
+
+# Scheduler-equivalence job: the same run under the binary-heap baseline
+# (PANDAS_ENGINE=heap) must export byte-identical traces and attribution —
+# the calendar queue's determinism contract (docs/SIMULATION.md).
+mkdir -p "${SMOKE_DIR}/heap"
+PANDAS_ENGINE=heap "./${BUILD_DIR}/bench/bench_fig09_phases" "${ATTR_ARGS[@]}" \
+    --attribution-out "${SMOKE_DIR}/heap/attr.jsonl" \
+    --trace-out "${SMOKE_DIR}/heap/flow.json" > /dev/null
+for f in "${SMOKE_DIR}"/run1/*.jsonl "${SMOKE_DIR}"/run1/*.json; do
+  cmp "$f" "${SMOKE_DIR}/heap/$(basename "$f")" \
+      || { echo "heap/wheel export differs: $(basename "$f")"; exit 1; }
+done
+echo "scheduler equivalence OK (wheel vs heap exports byte-identical)"
 
 # Portable-fallback job (default config only): build the erasure stack with
 # SIMD tiers compiled out and no AVX in the baseline ISA, so the scalar

@@ -441,11 +441,18 @@ void PandasExperiment::collect_run_metrics() {
   registry_.gauge("engine_peak_queue_depth")
       .set(static_cast<double>(prof.peak_queue_depth));
   if (cfg_.obs.wall_metrics) {
-    // Wall time is not a function of the seed; exporting it is an explicit
-    // opt-out of the byte-identical metrics guarantee.
+    // Wall time is not a function of the seed, and the scheduler counters
+    // below depend on which engine (wheel vs PANDAS_ENGINE=heap) is running;
+    // exporting them is an explicit opt-out of the byte-identical metrics
+    // guarantee.
     registry_.gauge("engine_wall_seconds").set(prof.wall_seconds);
     registry_.gauge("engine_wall_per_sim_second")
         .set(prof.wall_per_sim_second());
+    registry_.gauge("engine_events_per_sec").set(prof.events_per_wall_second());
+    registry_.gauge("engine_scheduler_allocs")
+        .set(static_cast<double>(engine_->scheduler_allocs()));
+    registry_.gauge("engine_event_capacity")
+        .set(static_cast<double>(engine_->event_capacity()));
   }
   // Monotone event-loss counter (was a gauge; counters survive registry
   // merges and make "did we ever drop?" a plain >0 check). Mid-run calls

@@ -159,69 +159,100 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
     }
   }
   const sim::Time extra = src.extra_delay;
+  // Park the message and its hop timing in the pending pool: engine
+  // callbacks are size-bounded (InlineCallback) so the scheduled closures
+  // below carry only {this, slot index}.
+  const PendingIndex pi = acquire_pending_();
+  Pending& p = pending_[static_cast<std::size_t>(pi)];
+  p.msg = std::move(msg);
+  p.send_time = now;
+  p.uplink_wait = uplink_wait;
+  p.tx_time = tx_time;
+  p.total_bytes = total_bytes;
+  p.from = from;
+  p.to = to;
+  p.cls = cls;
+
   if (to == from) {
     // Loopback: deliver after the serialization delay only.
-    engine_.schedule_at(departure, [this, from, to, cls, now, uplink_wait,
-                                    tx_time, extra,
-                                    m = std::move(msg)]() mutable {
-      auto& rstats = stats_[to];
-      rstats.msgs_received += 1;
-      rstats.bytes_received += wire_size(m);
-      auto& rtyped = typed_stats_[to].of(cls);
-      rtyped.msgs_received += 1;
-      rtyped.bytes_received += wire_size(m);
-      last_hop_ = obs::HopTiming{now,   uplink_wait, tx_time, extra,
-                                 0,     0,           engine_.now()};
-      if (handlers_[to]) handlers_[to](from, std::move(m));
-    });
+    p.propagation = extra;
+    p.downlink_wait = 0;
+    p.rx_time = 0;
+    engine_.schedule_at(departure, [this, pi] { deliver_(pi); });
     return;
   }
 
   const sim::Time owd = topology_.owd(src.vertex, links_[to].vertex);
   const sim::Time arrival_start = departure + owd;
+  p.propagation = owd + extra;
 
   // Receiver-side downlink serialization is applied when the first byte
   // arrives; we model it lazily by scheduling at arrival_start and computing
   // queueing against down_busy_until then (event order at equal times is
   // deterministic, so this stays reproducible).
-  const sim::Time propagation = owd + extra;
-  engine_.schedule_at(
-      arrival_start, [this, from, to, cls, total_bytes, now, uplink_wait,
-                      tx_time, propagation, m = std::move(msg)]() mutable {
-        Link& dst = links_[to];
-        if (dst.dead) {  // dead nodes do not receive
-          typed_stats_[from].of(cls).msgs_to_dead += 1;
-          return;
-        }
-        const sim::Time rx_time = static_cast<sim::Time>(
-            std::ceil(static_cast<double>(total_bytes) * 8.0 / dst.down_bps *
-                      static_cast<double>(sim::kSecond)));
-        const sim::Time downlink_wait =
-            std::max<sim::Time>(0, dst.down_busy_until - engine_.now());
-        const sim::Time delivered =
-            std::max(engine_.now(), dst.down_busy_until) + rx_time;
-        dst.down_busy_until = delivered;
-        engine_.schedule_at(
-            delivered, [this, from, to, cls, now, uplink_wait, tx_time,
-                        propagation, downlink_wait, rx_time,
-                        m = std::move(m)]() mutable {
-              if (links_[to].dead) {
-                typed_stats_[from].of(cls).msgs_to_dead += 1;
-                return;
-              }
-              auto& rstats = stats_[to];
-              rstats.msgs_received += 1;
-              rstats.bytes_received += wire_size(m);
-              auto& rtyped = typed_stats_[to].of(cls);
-              rtyped.msgs_received += 1;
-              rtyped.bytes_received += wire_size(m);
-              last_hop_ =
-                  obs::HopTiming{now,           uplink_wait, tx_time,
-                                 propagation,   downlink_wait, rx_time,
-                                 engine_.now()};
-              if (handlers_[to]) handlers_[to](from, std::move(m));
-            });
-      });
+  engine_.schedule_at(arrival_start, [this, pi] {
+    Pending& pd = pending_[static_cast<std::size_t>(pi)];
+    Link& dst = links_[pd.to];
+    if (dst.dead) {  // dead nodes do not receive
+      typed_stats_[pd.from].of(pd.cls).msgs_to_dead += 1;
+      release_pending_(pi);
+      return;
+    }
+    const sim::Time rx_time = static_cast<sim::Time>(
+        std::ceil(static_cast<double>(pd.total_bytes) * 8.0 / dst.down_bps *
+                  static_cast<double>(sim::kSecond)));
+    const sim::Time downlink_wait =
+        std::max<sim::Time>(0, dst.down_busy_until - engine_.now());
+    const sim::Time delivered =
+        std::max(engine_.now(), dst.down_busy_until) + rx_time;
+    dst.down_busy_until = delivered;
+    pd.downlink_wait = downlink_wait;
+    pd.rx_time = rx_time;
+    engine_.schedule_at(delivered, [this, pi] { deliver_(pi); });
+  });
+}
+
+SimTransport::PendingIndex SimTransport::acquire_pending_() {
+  if (pending_free_ != -1) {
+    const PendingIndex i = pending_free_;
+    pending_free_ = pending_[static_cast<std::size_t>(i)].next_free;
+    return i;
+  }
+  pending_.emplace_back();
+  return static_cast<PendingIndex>(pending_.size() - 1);
+}
+
+void SimTransport::release_pending_(PendingIndex i) noexcept {
+  Pending& p = pending_[static_cast<std::size_t>(i)];
+  p.msg = Message{};  // drop payload buffers; the slot itself stays pooled
+  p.next_free = pending_free_;
+  pending_free_ = i;
+}
+
+void SimTransport::deliver_(PendingIndex pi) {
+  Pending& p = pending_[static_cast<std::size_t>(pi)];
+  if (links_[p.to].dead) {
+    typed_stats_[p.from].of(p.cls).msgs_to_dead += 1;
+    release_pending_(pi);
+    return;
+  }
+  const NodeIndex from = p.from;
+  const NodeIndex to = p.to;
+  const MsgClass cls = p.cls;
+  last_hop_ = obs::HopTiming{p.send_time,   p.uplink_wait,   p.tx_time,
+                             p.propagation, p.downlink_wait, p.rx_time,
+                             engine_.now()};
+  // Move the message out and free the slot before invoking the handler: the
+  // handler may send (growing the pool and invalidating references).
+  Message m = std::move(p.msg);
+  release_pending_(pi);
+  auto& rstats = stats_[to];
+  rstats.msgs_received += 1;
+  rstats.bytes_received += wire_size(m);
+  auto& rtyped = typed_stats_[to].of(cls);
+  rtyped.msgs_received += 1;
+  rtyped.bytes_received += wire_size(m);
+  if (handlers_[to]) handlers_[to](from, std::move(m));
 }
 
 }  // namespace pandas::net

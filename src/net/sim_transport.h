@@ -139,6 +139,33 @@ class SimTransport final : public Transport {
   /// cell-carrying message.
   bool apply_loss(Message& msg, std::uint32_t& cells_lost);
 
+  /// In-flight delivery state. Engine callbacks are size-bounded
+  /// (sim::InlineCallback has no heap fallback) and a Message variant is far
+  /// too large to capture, so each send parks its message and hop timing in
+  /// this pool and the scheduled closures capture only {this, index}.
+  struct Pending {
+    Message msg{};
+    sim::Time send_time = 0;
+    sim::Time uplink_wait = 0;
+    sim::Time tx_time = 0;
+    /// One-way delay + straggler delay (loopback: straggler delay only).
+    sim::Time propagation = 0;
+    sim::Time downlink_wait = 0;  ///< filled at first-byte arrival
+    sim::Time rx_time = 0;        ///< filled at first-byte arrival
+    std::uint64_t total_bytes = 0;
+    NodeIndex from = 0;
+    NodeIndex to = 0;
+    MsgClass cls{};
+    std::int32_t next_free = -1;  ///< intrusive freelist link
+  };
+  using PendingIndex = std::int32_t;
+
+  [[nodiscard]] PendingIndex acquire_pending_();
+  /// Drops the slot's message payload and returns it to the freelist.
+  void release_pending_(PendingIndex i) noexcept;
+  /// Final delivery stage: downlink serialization done, hand to the handler.
+  void deliver_(PendingIndex i);
+
   sim::Engine& engine_;
   const sim::Topology& topology_;
   SimTransportConfig cfg_;
@@ -146,6 +173,8 @@ class SimTransport final : public Transport {
   std::vector<Handler> handlers_;
   std::vector<TrafficStats> stats_;
   std::vector<TypedTrafficStats> typed_stats_;
+  std::vector<Pending> pending_;
+  PendingIndex pending_free_ = -1;
   util::Xoshiro256 loss_rng_;
   obs::Tracer* tracer_ = nullptr;
   /// Hop timing of the in-flight delivery (see last_delivery()).

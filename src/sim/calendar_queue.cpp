@@ -1,0 +1,205 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace pandas::sim {
+
+CalendarQueue::EventIndex CalendarQueue::acquire_() {
+  if (free_head_ != kNil) {
+    const EventIndex i = free_head_;
+    free_head_ = slab_[static_cast<std::size_t>(i)].next;
+    return i;
+  }
+  if (slab_.size() == slab_.capacity()) ++allocs_;
+  slab_.emplace_back();
+  return static_cast<EventIndex>(slab_.size() - 1);
+}
+
+void CalendarQueue::release(EventIndex i) noexcept {
+  slab_[static_cast<std::size_t>(i)].next = free_head_;
+  free_head_ = i;
+}
+
+void CalendarQueue::discard(EventIndex i) noexcept {
+  slab_[static_cast<std::size_t>(i)].fn.reset();
+  release(i);
+}
+
+void CalendarQueue::push(Time t, std::uint64_t seq, InlineCallback fn) {
+  const EventIndex i = acquire_();
+  Event& ev = slab_[static_cast<std::size_t>(i)];
+  ev.time = static_cast<std::uint64_t>(t);
+  ev.seq = seq;
+  ev.fn = std::move(fn);
+  file_(i);
+  ++size_;
+}
+
+void CalendarQueue::file_(EventIndex i) {
+  Event& ev = slab_[static_cast<std::size_t>(i)];
+  ev.next = kNil;
+  const std::uint64_t delta = ev.time - base_;
+  if (delta >= kSpan) {
+    if (overflow_.empty() || ev.time < overflow_min_) overflow_min_ = ev.time;
+    if (overflow_.size() == overflow_.capacity()) ++allocs_;
+    overflow_.push_back(i);
+    return;
+  }
+  // Level L holds deltas in [64^L, 64^(L+1)); slots index absolute time, so
+  // cascades and direct pushes agree on placement.
+  const int level =
+      delta == 0 ? 0 : (std::bit_width(delta) - 1) / kSlotBits;
+  const int slot =
+      static_cast<int>((ev.time >> (kSlotBits * level)) & (kSlots - 1));
+  Bucket& b = buckets_[level][slot];
+  if (b.tail == kNil) {
+    b.head = b.tail = i;
+    b.min_time = ev.time;
+    occupancy_[level] |= 1ULL << slot;
+  } else {
+    slab_[static_cast<std::size_t>(b.tail)].next = i;
+    b.tail = i;
+    b.min_time = std::min(b.min_time, ev.time);
+  }
+}
+
+void CalendarQueue::cascade_(int level, int slot) {
+  EventIndex i = buckets_[level][slot].head;
+  buckets_[level][slot] = Bucket{};
+  occupancy_[level] &= ~(1ULL << slot);
+  while (i != kNil) {
+    const EventIndex next = slab_[static_cast<std::size_t>(i)].next;
+    file_(i);  // delta shrank since insertion: refiles at a lower level
+    i = next;
+  }
+}
+
+void CalendarQueue::migrate_overflow_() {
+  std::size_t kept = 0;
+  std::uint64_t min_left = ~0ULL;
+  for (const EventIndex i : overflow_) {
+    const Event& ev = slab_[static_cast<std::size_t>(i)];
+    if (ev.time - base_ < kSpan) {
+      file_(i);
+    } else {
+      min_left = std::min(min_left, ev.time);
+      overflow_[kept++] = i;
+    }
+  }
+  overflow_.resize(kept);
+  overflow_min_ = min_left;
+}
+
+std::optional<Time> CalendarQueue::next_time() {
+  for (;;) {
+    std::optional<std::uint64_t> cand;
+    const std::uint64_t w0 = base_ & ~static_cast<std::uint64_t>(kSlots - 1);
+    const int c0 = static_cast<int>(base_ & (kSlots - 1));
+    if (const std::uint64_t ahead = occupancy_[0] >> c0; ahead != 0) {
+      // An occupied level-0 slot in the current 64 µs window is the exact
+      // global minimum: entering the window cascaded every higher-level
+      // slot covering it, so nothing earlier can hide above.
+      cand = w0 + static_cast<std::uint64_t>(c0 + std::countr_zero(ahead));
+    } else {
+      // Slots behind the cursor belong to the next window.
+      if (const std::uint64_t wrapped = occupancy_[0] & ((1ULL << c0) - 1);
+          wrapped != 0) {
+        cand = w0 + kSlots + static_cast<std::uint64_t>(std::countr_zero(wrapped));
+      }
+      for (int level = 1; level < kLevels; ++level) {
+        if (occupancy_[level] == 0) continue;
+        const int cur = static_cast<int>((base_ >> (kSlotBits * level)) &
+                                         (kSlots - 1));
+        // Rotated scan order: cur+1..63 (this epoch), then 0..cur (next —
+        // the current slot can only hold wrapped, next-epoch events). The
+        // first occupied bucket covers the earliest range; its maintained
+        // min_time is the level's exact minimum (no list walk — a single
+        // tail-heavy bucket can hold most of the population).
+        const std::uint64_t ahead_mask = occupancy_[level] & ~((2ULL << cur) - 1);
+        const std::uint64_t bits =
+            ahead_mask != 0 ? ahead_mask
+                            : occupancy_[level] & ((2ULL << cur) - 1);
+        const int slot = std::countr_zero(bits);
+        const std::uint64_t mn = buckets_[level][slot].min_time;
+        if (!cand || mn < *cand) cand = mn;
+      }
+    }
+    if (!overflow_.empty()) {
+      if (overflow_min_ - base_ < kSpan) {
+        // Overflow events have come within the wheel's span: file them and
+        // rescan. (Never advance base_ here — the engine may still schedule
+        // between now and the overflow minimum; only pop_time commits.)
+        migrate_overflow_();
+        continue;
+      }
+      if (!cand || overflow_min_ < *cand) {
+        return static_cast<Time>(overflow_min_);
+      }
+    }
+    if (!cand) return std::nullopt;
+    return static_cast<Time>(*cand);
+  }
+}
+
+void CalendarQueue::pop_time(Time t, std::vector<EventIndex>& out) {
+  const auto ut = static_cast<std::uint64_t>(t);
+  assert(ut >= base_ && "pop_time target behind the wheel clock");
+  base_ = ut;
+  // If t was reported straight out of the overflow list, the clock jump just
+  // brought it (and possibly its neighbours) inside the span: file them now
+  // so the level-0 detach below finds them.
+  if (!overflow_.empty() && overflow_min_ - base_ < kSpan) migrate_overflow_();
+  // Crossing into t's range at each level: cascade the (at most one) slot
+  // per level that covers t, top-down so events trickle to level 0. All
+  // intermediate slots are provably empty — t is the minimum pending time.
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const int slot =
+        static_cast<int>((ut >> (kSlotBits * level)) & (kSlots - 1));
+    if (occupancy_[level] & (1ULL << slot)) cascade_(level, slot);
+  }
+  out.clear();
+  const int s0 = static_cast<int>(ut & (kSlots - 1));
+  const std::size_t cap_before = out.capacity();
+  for (EventIndex i = buckets_[0][s0].head; i != kNil;) {
+    const EventIndex next = slab_[static_cast<std::size_t>(i)].next;
+    assert(slab_[static_cast<std::size_t>(i)].time == ut);
+    out.push_back(i);
+    i = next;
+  }
+  buckets_[0][s0] = Bucket{};
+  occupancy_[0] &= ~(1ULL << s0);
+  if (out.capacity() != cap_before) ++allocs_;
+  // Level-0 buckets are 1 µs wide, so everything here shares timestamp t;
+  // sorting by the monotone seq restores exact scheduling (FIFO) order
+  // regardless of which cascade path each event arrived by.
+  std::sort(out.begin(), out.end(), [this](EventIndex a, EventIndex b) {
+    return slab_[static_cast<std::size_t>(a)].seq <
+           slab_[static_cast<std::size_t>(b)].seq;
+  });
+  size_ -= out.size();
+}
+
+void CalendarQueue::clear() {
+  for (int level = 0; level < kLevels; ++level) {
+    std::uint64_t occ = occupancy_[level];
+    occupancy_[level] = 0;
+    while (occ != 0) {
+      const int slot = std::countr_zero(occ);
+      occ &= occ - 1;
+      EventIndex i = buckets_[level][slot].head;
+      buckets_[level][slot] = Bucket{};
+      while (i != kNil) {
+        const EventIndex next = slab_[static_cast<std::size_t>(i)].next;
+        discard(i);
+        i = next;
+      }
+    }
+  }
+  for (const EventIndex i : overflow_) discard(i);
+  overflow_.clear();
+  size_ = 0;
+}
+
+}  // namespace pandas::sim

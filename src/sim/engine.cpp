@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <limits>
 #include <stdexcept>
 
 namespace pandas::sim {
+
+namespace {
+
+SchedulerKind scheduler_from_env() {
+  const char* env = std::getenv("PANDAS_ENGINE");
+  if (env != nullptr && std::strcmp(env, "heap") == 0) {
+    return SchedulerKind::kHeap;
+  }
+  return SchedulerKind::kWheel;
+}
+
+}  // namespace
 
 std::string format_time(Time t) {
   char buf[48];
@@ -15,49 +29,108 @@ std::string format_time(Time t) {
   return buf;
 }
 
+Engine::Engine(std::uint64_t seed) : Engine(seed, scheduler_from_env()) {}
+
+Engine::Engine(std::uint64_t seed, SchedulerKind kind)
+    : kind_(kind), rng_(seed), seed_(seed) {}
+
 void Engine::schedule_at(Time t, Callback fn) {
   if (t < now_) {
     throw std::logic_error("Engine::schedule_at: time in the past");
   }
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
-  if (profiling_ && queue_.size() > profile_.peak_queue_depth) {
-    profile_.peak_queue_depth = queue_.size();
+  const std::uint64_t seq = next_seq_++;
+  if (kind_ == SchedulerKind::kHeap) {
+    if (heap_.size() == heap_.capacity()) ++heap_allocs_;
+    heap_.push_back(HeapEvent{t, seq, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  } else {
+    wheel_.push(t, seq, std::move(fn));
   }
+  if (profiling_) {
+    const std::size_t depth = pending();
+    if (depth > profile_.peak_queue_depth) profile_.peak_queue_depth = depth;
+  }
+}
+
+std::optional<Time> Engine::peek_time_() {
+  if (kind_ == SchedulerKind::kHeap) {
+    if (heap_.empty()) return std::nullopt;
+    return heap_.front().time;
+  }
+  return wheel_.next_time();
+}
+
+std::uint64_t Engine::drain_until_(Time limit) {
+  std::uint64_t n = 0;
+  if (kind_ == SchedulerKind::kHeap) {
+    while (!heap_.empty() && heap_.front().time <= limit) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      HeapEvent ev = std::move(heap_.back());
+      heap_.pop_back();
+      now_ = std::max(now_, ev.time);
+      ev.fn();
+      ++n;
+    }
+    return n;
+  }
+  for (;;) {
+    const auto t = wheel_.next_time();
+    if (!t || *t > limit) break;
+    wheel_.pop_time(*t, bucket_);
+    detached_ = bucket_.size();
+    now_ = std::max(now_, *t);
+    const std::uint64_t epoch = clear_epoch_;
+    for (std::size_t k = 0; k < bucket_.size(); ++k) {
+      if (clear_epoch_ != epoch) {
+        // clear() ran inside a callback: the rest of this instant's events
+        // are pending-and-discarded, same as under the heap scheduler.
+        for (std::size_t j = k; j < bucket_.size(); ++j) {
+          wheel_.discard(bucket_[j]);
+        }
+        break;
+      }
+      Callback fn = wheel_.take(bucket_[k]);
+      wheel_.release(bucket_[k]);
+      --detached_;
+      fn();
+      ++n;
+    }
+    if (clear_epoch_ != epoch) detached_ = 0;
+  }
+  return n;
 }
 
 std::uint64_t Engine::run_until(Time limit) {
   const bool profiled = profiling_;
   std::chrono::steady_clock::time_point wall_start;
-  Time sim_start = now_;
+  const Time sim_start = now_;
   if (profiled) wall_start = std::chrono::steady_clock::now();
-  std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= limit) {
-    // priority_queue::top() is const; move out via const_cast, which is safe
-    // because we pop immediately and never observe the moved-from state.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ev.fn();
-    ++n;
-  }
+  const std::uint64_t n = drain_until_(limit);
   executed_ += n;
-  if (queue_.empty() && limit != std::numeric_limits<Time>::max()) {
-    now_ = limit;  // advance the clock to the requested horizon
-  } else if (!queue_.empty() && queue_.top().time > limit) {
-    now_ = limit;
-  }
+  // Advance the clock to the requested horizon (events beyond it stay
+  // queued); after draining to "forever" the clock rests on the last event.
+  if (limit != std::numeric_limits<Time>::max()) now_ = limit;
   if (profiled) {
     profile_.wall_seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
     profile_.sim_time += now_ - sim_start;
+    profile_.events += n;
+    profile_.scheduler_allocs = scheduler_allocs();
+    profile_.event_capacity = event_capacity();
   }
   return n;
 }
 
 void Engine::clear() {
-  while (!queue_.empty()) queue_.pop();
+  if (kind_ == SchedulerKind::kHeap) {
+    heap_.clear();  // keeps capacity: the pool stays warm across slots
+  } else {
+    wheel_.clear();
+    detached_ = 0;
+    ++clear_epoch_;
+  }
 }
 
 std::uint64_t Engine::run_realtime(Time duration,
@@ -78,19 +151,13 @@ std::uint64_t Engine::run_realtime(Time duration,
     if (wall >= virtual_start + duration) break;
 
     // Execute timers that have come due.
-    while (!queue_.empty() && queue_.top().time <= wall) {
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
-      now_ = std::max(now_, ev.time);
-      ev.fn();
-      ++executed;
-    }
+    executed += drain_until_(wall);
     now_ = std::max(now_, wall);
 
     // Sleep/poll until the next timer or for a small bounded interval.
     Time max_wait = virtual_start + duration - wall;
-    if (!queue_.empty()) {
-      max_wait = std::min(max_wait, queue_.top().time - wall);
+    if (const auto next = peek_time_(); next.has_value()) {
+      max_wait = std::min(max_wait, *next - wall);
     }
     max_wait = std::clamp<Time>(max_wait, 0, 20 * kMillisecond);
     if (idle) {

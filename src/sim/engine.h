@@ -3,23 +3,44 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <vector>
 
+#include "sim/calendar_queue.h"
+#include "sim/inline_callback.h"
 #include "sim/time.h"
 #include "util/prng.h"
 
 /// The discrete-event simulation engine: a virtual clock plus an ordered
 /// queue of callbacks. Events scheduled for the same instant execute in
 /// scheduling order (a monotone sequence number breaks ties), which makes
-/// every run bit-reproducible for a given seed.
+/// every run bit-reproducible for a given seed — the determinism contract
+/// every component relies on is written down in docs/SIMULATION.md.
+///
+/// Two interchangeable schedulers implement that contract:
+///  - `kWheel` (default): a hierarchical calendar queue (sim/calendar_queue.h)
+///    over a slab-pooled event store. O(1) amortized per event and zero heap
+///    allocations in steady state — the scheduler that makes 20k-node sweeps
+///    tractable.
+///  - `kHeap`: the original binary-heap ordering, kept as the A/B baseline.
+///    Select it with the environment variable `PANDAS_ENGINE=heap`; same-seed
+///    runs export byte-identical results under either scheduler (enforced by
+///    scripts/tier1.sh).
 namespace pandas::sim {
+
+enum class SchedulerKind : std::uint8_t { kWheel, kHeap };
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  /// Inline, pool-friendly callable (sim/inline_callback.h). Captures are
+  /// bounded at compile time; bulky state (e.g. in-flight messages) lives in
+  /// component-owned pools instead of the closure.
+  using Callback = InlineCallback;
 
-  explicit Engine(std::uint64_t seed = 1) : rng_(seed), seed_(seed) {}
+  /// Scheduler selection defaults to the `PANDAS_ENGINE` environment
+  /// variable ("heap" selects the binary-heap baseline, anything else the
+  /// calendar queue).
+  explicit Engine(std::uint64_t seed = 1);
+  Engine(std::uint64_t seed, SchedulerKind kind);
 
   [[nodiscard]] Time now() const noexcept { return now_; }
 
@@ -43,26 +64,64 @@ class Engine {
   std::uint64_t run_realtime(Time duration,
                              const std::function<void(Time max_wait)>& idle);
 
-  /// Discards all pending events (used between slots by the harness).
+  /// Discards all pending events (used between slots by the harness). Safe
+  /// to call from inside a running callback: the rest of the current
+  /// instant's events are dropped too, exactly as under the heap scheduler.
   void clear();
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  /// Events scheduled but not yet executed.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return kind_ == SchedulerKind::kHeap ? heap_.size()
+                                         : wheel_.size() + detached_;
+  }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Which scheduler this engine runs ("wheel" or "heap").
+  [[nodiscard]] SchedulerKind scheduler() const noexcept { return kind_; }
+  [[nodiscard]] const char* scheduler_name() const noexcept {
+    return kind_ == SchedulerKind::kHeap ? "heap" : "wheel";
+  }
+
+  /// Number of times a scheduler container grew (event slab / heap vector /
+  /// overflow list). Constant across a window of steady-state scheduling —
+  /// i.e. zero allocations — once the pools are warm; bench_micro's engine
+  /// benchmark asserts this.
+  [[nodiscard]] std::uint64_t scheduler_allocs() const noexcept {
+    return kind_ == SchedulerKind::kHeap ? heap_allocs_ : wheel_.alloc_count();
+  }
+  /// Current event-storage capacity (slots), mode-specific.
+  [[nodiscard]] std::size_t event_capacity() const noexcept {
+    return kind_ == SchedulerKind::kHeap ? heap_.capacity()
+                                         : wheel_.slab_capacity();
+  }
+
   /// Engine-level profiling for the observability layer: peak event-queue
-  /// depth and wall-clock seconds spent inside run_until(), which together
-  /// with the virtual clock give wall-seconds-per-sim-second. Off by default
-  /// so the hot loop carries no clock reads (< 2 % budget, see bench_micro).
+  /// depth, wall-clock seconds spent inside run_until(), events executed in
+  /// profiled windows, and scheduler allocation counters — together with
+  /// the virtual clock these give wall-seconds-per-sim-second and
+  /// events/sec. Off by default so the hot loop carries no clock reads
+  /// (< 2 % budget, see bench_micro).
   struct Profile {
     std::uint64_t peak_queue_depth = 0;
     double wall_seconds = 0;
     /// Virtual time covered by profiled run_until() calls.
     Time sim_time = 0;
+    /// Events executed inside profiled run_until() calls.
+    std::uint64_t events = 0;
+    /// Snapshot of scheduler_allocs()/event_capacity() at the end of the
+    /// last profiled run (mode-specific; see docs/SIMULATION.md).
+    std::uint64_t scheduler_allocs = 0;
+    std::uint64_t event_capacity = 0;
 
     [[nodiscard]] double wall_per_sim_second() const noexcept {
       const double sim_s =
           static_cast<double>(sim_time) / static_cast<double>(kSecond);
       return sim_s > 0 ? wall_seconds / sim_s : 0.0;
+    }
+    [[nodiscard]] double events_per_wall_second() const noexcept {
+      return wall_seconds > 0
+                 ? static_cast<double>(events) / wall_seconds
+                 : 0.0;
     }
   };
   void set_profiling(bool on) noexcept { profiling_ = on; }
@@ -81,22 +140,39 @@ class Engine {
   }
 
  private:
-  struct Event {
+  struct HeapEvent {
     Time time;
     std::uint64_t seq;
     Callback fn;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const HeapEvent& a, const HeapEvent& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
+  /// Executes every event with time <= limit, setting now_ = max(now_, t).
+  /// Shared by run_until and run_realtime; returns the number executed.
+  std::uint64_t drain_until_(Time limit);
+  /// Earliest pending timestamp, if any (may migrate wheel overflow).
+  [[nodiscard]] std::optional<Time> peek_time_();
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SchedulerKind kind_;
+  CalendarQueue wheel_;
+  /// Bucket detached by the wheel for the instant being executed.
+  std::vector<CalendarQueue::EventIndex> bucket_;
+  /// Detached-but-unexecuted events (counted by pending()).
+  std::size_t detached_ = 0;
+  /// Bumped by clear() so an in-flight bucket knows to drop its remainder.
+  std::uint64_t clear_epoch_ = 0;
+  /// Heap mode: std::push_heap/pop_heap over an owned vector (rather than
+  /// std::priority_queue) so capacity growth is observable.
+  std::vector<HeapEvent> heap_;
+  std::uint64_t heap_allocs_ = 0;
   util::Xoshiro256 rng_;
   std::uint64_t seed_;
   bool profiling_ = false;

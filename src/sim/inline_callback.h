@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// Small-buffer-optimized, move-only callable for the discrete-event engine.
+///
+/// Every scheduled event used to carry a heap-allocated `std::function`; at
+/// simulation scale (tens of millions of events per run) those allocations
+/// dominated the scheduler's wall time. InlineCallback stores the closure
+/// inline — there is deliberately NO heap fallback: a capture that does not
+/// fit is a compile error (static_assert), which forces large state (e.g.
+/// in-flight messages) into component-owned pools where it belongs. See
+/// net::SimTransport's pending-delivery pool and docs/SIMULATION.md.
+namespace pandas::sim {
+
+class InlineCallback {
+ public:
+  /// Inline closure capacity. The issue floor is 48 bytes; 64 additionally
+  /// fits the largest in-tree captures (a std::function continuation plus a
+  /// vector, 56 bytes — dht::Kademlia's deferred local-hit completion).
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            // Don't hijack the move constructor.
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& fn) noexcept {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "callback capture exceeds InlineCallback::kInlineBytes; "
+                  "move bulky state into a component-owned pool and capture "
+                  "an index instead (see SimTransport::PendingDelivery)");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callback capture");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callback captures must be nothrow-movable (the event slab "
+                  "relocates events on growth)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+    invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+    manage_ = [](void* dst, void* src) noexcept {
+      if (src != nullptr) {  // relocate: move-construct into dst, destroy src
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      } else {  // destroy dst
+        static_cast<Fn*>(dst)->~Fn();
+      }
+    };
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept
+      : invoke_(other.invoke_), manage_(other.manage_) {
+    if (manage_ != nullptr) manage_(storage_, other.storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      if (manage_ != nullptr) manage_(storage_, other.storage_);
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  void (*invoke_)(void*) = nullptr;
+  /// Relocate (src != nullptr) or destroy (src == nullptr).
+  void (*manage_)(void*, void*) noexcept = nullptr;
+};
+
+}  // namespace pandas::sim

@@ -88,6 +88,186 @@ TEST(Engine, ClearDropsPending) {
   EXPECT_EQ(fired, 0);
 }
 
+// ------------------------------------------------- scheduler edge cases
+// Everything below runs against both schedulers: the calendar queue (the
+// default) and the binary-heap baseline. Identical observable behaviour is
+// the determinism contract (docs/SIMULATION.md).
+
+class EngineScheduler : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(EngineScheduler, ReportsItsKind) {
+  Engine engine(1, GetParam());
+  EXPECT_EQ(engine.scheduler(), GetParam());
+  EXPECT_STREQ(engine.scheduler_name(),
+               GetParam() == SchedulerKind::kHeap ? "heap" : "wheel");
+}
+
+TEST_P(EngineScheduler, SameInstantFifo10k) {
+  // 10k events at one instant plus decoys on both sides; the same-instant
+  // batch must run in exact scheduling order (monotone seq tie-break).
+  Engine engine(1, GetParam());
+  constexpr int kN = 10000;
+  std::vector<int> order;
+  order.reserve(kN);
+  engine.schedule_at(999, [] {});
+  for (int i = 0; i < kN; ++i) {
+    engine.schedule_at(1000, [&order, i] { order.push_back(i); });
+  }
+  engine.schedule_at(1001, [] {});
+  engine.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) ASSERT_EQ(order[i], i);
+}
+
+TEST_P(EngineScheduler, ClearFromInsideCallbackDropsRestOfInstant) {
+  Engine engine(1, GetParam());
+  std::vector<int> order;
+  engine.schedule_at(10, [&] { order.push_back(0); });
+  engine.schedule_at(10, [&] {
+    order.push_back(1);
+    engine.clear();  // drops the two events below, including the same-instant one
+  });
+  engine.schedule_at(10, [&] { order.push_back(2); });
+  engine.schedule_at(20, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(engine.pending(), 0u);
+  // The engine is reusable after an in-callback clear.
+  engine.schedule_at(30, [&] { order.push_back(4); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 4}));
+}
+
+TEST_P(EngineScheduler, ScheduleAtCurrentInstantFromCallback) {
+  // An event scheduled for `now` from inside a callback still runs in this
+  // drain, after every previously scheduled event of the same instant.
+  Engine engine(1, GetParam());
+  std::vector<int> order;
+  engine.schedule_at(5, [&] {
+    order.push_back(0);
+    engine.schedule_at(5, [&] { order.push_back(2); });
+  });
+  engine.schedule_at(5, [&] { order.push_back(1); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(engine.now(), 5);
+}
+
+TEST_P(EngineScheduler, FarFutureTimesCrossTheWheelSpan) {
+  // Times beyond the wheel's 2^42 µs span (~52 days) park in the overflow
+  // list and migrate in as the clock approaches; order must be unaffected.
+  Engine engine(1, GetParam());
+  constexpr Time kSpan = Time{1} << 42;
+  std::vector<int> order;
+  engine.schedule_at(3 * kSpan + 5, [&] { order.push_back(2); });
+  engine.schedule_at(10, [&] { order.push_back(0); });
+  engine.schedule_at(Time{1} << 60, [&] { order.push_back(3); });
+  engine.schedule_at(3 * kSpan, [&] { order.push_back(1); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(engine.now(), Time{1} << 60);
+}
+
+TEST_P(EngineScheduler, RunUntilLeavesFarFutureEventsPending) {
+  Engine engine(1, GetParam());
+  int fired = 0;
+  engine.schedule_at((Time{1} << 50) + 7, [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(Time{1} << 50), 0u);
+  EXPECT_EQ(engine.pending(), 1u);
+  // The clock stopped at the limit; scheduling between limit and the parked
+  // event must still be legal and ordered.
+  std::vector<int> order;
+  engine.schedule_at((Time{1} << 50) + 3, [&] { order.push_back(0); });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(order, (std::vector<int>{0}));
+}
+
+TEST_P(EngineScheduler, PendingCountsTheInstantBeingExecuted) {
+  Engine engine(1, GetParam());
+  std::vector<std::size_t> depths;
+  for (int i = 0; i < 4; ++i) {
+    engine.schedule_at(10, [&] { depths.push_back(engine.pending()); });
+  }
+  engine.run();
+  // Inside callback k, the remaining 3-k events of this instant are pending.
+  EXPECT_EQ(depths, (std::vector<std::size_t>{3, 2, 1, 0}));
+}
+
+TEST_P(EngineScheduler, SteadyStateSchedulesWithoutAllocating) {
+  // Self-rescheduling timers: once the pools are warm, neither scheduler
+  // grows a container (the zero-allocation criterion, measured for real by
+  // bench_micro's BM_Engine_SteadyState).
+  Engine engine(1, GetParam());
+  struct Timer {
+    Engine* eng;
+    std::uint64_t salt;
+    void operator()() const {
+      eng->schedule_in(1 + (eng->now() ^ salt) % 500, Timer{eng, salt});
+    }
+  };
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    engine.schedule_in(1 + i % 97, Timer{&engine, i});
+  }
+  engine.run_until(50 * kMillisecond);  // warm-up: pools reach steady size
+  const std::uint64_t allocs = engine.scheduler_allocs();
+  EXPECT_GT(engine.event_capacity(), 0u);
+  engine.run_until(500 * kMillisecond);
+  EXPECT_EQ(engine.scheduler_allocs(), allocs);
+  engine.clear();
+}
+
+TEST_P(EngineScheduler, ProfileCountsEventsAndDepth) {
+  Engine engine(1, GetParam());
+  engine.set_profiling(true);
+  for (int i = 0; i < 8; ++i) engine.schedule_at(10 + i, [] {});
+  engine.run();
+  EXPECT_EQ(engine.profile().events, 8u);
+  EXPECT_EQ(engine.profile().peak_queue_depth, 8u);
+  EXPECT_GE(engine.profile().wall_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, EngineScheduler,
+                         ::testing::Values(SchedulerKind::kWheel,
+                                           SchedulerKind::kHeap),
+                         [](const auto& info) {
+                           return info.param == SchedulerKind::kHeap ? "Heap"
+                                                                     : "Wheel";
+                         });
+
+TEST(Engine, WheelMatchesHeapOnRandomWorkload) {
+  // Property test for the determinism contract: a randomized workload of
+  // clustered timestamps, same-instant bursts, and nested rescheduling must
+  // execute in the identical order under both schedulers.
+  auto run_one = [](SchedulerKind kind) {
+    Engine engine(1, kind);
+    util::Xoshiro256 rng(99);
+    std::vector<int> order;
+    int next_id = 0;
+    for (int i = 0; i < 2000; ++i) {
+      // Coarse times force collisions; occasional far-future outliers
+      // exercise the wheel's higher levels and overflow list.
+      Time t = static_cast<Time>(rng.uniform(400));
+      if (rng.uniform(100) < 3) t += Time{1} << 44;
+      const int id = next_id++;
+      engine.schedule_at(t, [&engine, &order, &next_id, id] {
+        order.push_back(id);
+        if (id % 5 == 0) {
+          const int child = next_id++;
+          engine.schedule_in(static_cast<Time>(id % 7),
+                             [&order, child] { order.push_back(child); });
+        }
+      });
+    }
+    engine.run();
+    return order;
+  };
+  const auto wheel = run_one(SchedulerKind::kWheel);
+  const auto heap = run_one(SchedulerKind::kHeap);
+  ASSERT_EQ(wheel.size(), heap.size());
+  EXPECT_EQ(wheel, heap);
+}
+
 // ----------------------------------------------------------------- Topology
 
 TopologyConfig small_topology() {
