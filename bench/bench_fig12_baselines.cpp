@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
     cfg.net.nodes = nodes;
     cfg.net.seed = seed;
     cfg.slots = slots;
+    cfg.net.sim_threads = obs.sim_threads;
     const auto res = harness::GossipDasExperiment(cfg).run();
     const auto snap =
         harness::snapshot_of("fig12/gossip-das", cfg.net, slots, res);
@@ -93,6 +94,7 @@ int main(int argc, char** argv) {
     cfg.net.nodes = nodes;
     cfg.net.seed = seed;
     cfg.slots = slots;
+    cfg.net.sim_threads = obs.sim_threads;
     const auto res = harness::DhtDasExperiment(cfg).run();
     const auto snap =
         harness::snapshot_of("fig12/dht-das", cfg.net, slots, res);

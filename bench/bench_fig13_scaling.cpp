@@ -58,20 +58,25 @@ int main(int argc, char** argv) {
     obs.apply(cfg);
 
     harness::PandasExperiment experiment(cfg);
-    if (engine_stats) experiment.engine().set_profiling(true);
+    if (engine_stats) experiment.parallel_engine().set_profiling(true);
     const auto res = experiment.run();
     if (engine_stats) {
-      const auto& prof = experiment.engine().profile();
+      auto& peng = experiment.parallel_engine();
+      const auto prof = peng.merged_profile();
+      const auto& ws = peng.window_stats();
       std::fprintf(stderr,
-                   "engine-stats n=%u scheduler=%s events=%llu "
+                   "engine-stats n=%u scheduler=%s threads=%u events=%llu "
                    "events_per_sec=%.0f wall_per_sim_s=%.3f "
-                   "peak_queue=%llu allocs=%llu capacity=%zu\n",
-                   n, experiment.engine().scheduler_name(),
+                   "peak_queue=%llu allocs=%llu capacity=%zu "
+                   "windows=%llu lane_events=%llu\n",
+                   n, experiment.engine().scheduler_name(), peng.shards(),
                    static_cast<unsigned long long>(prof.events),
                    prof.events_per_wall_second(), prof.wall_per_sim_second(),
                    static_cast<unsigned long long>(prof.peak_queue_depth),
                    static_cast<unsigned long long>(prof.scheduler_allocs),
-                   static_cast<std::size_t>(prof.event_capacity));
+                   static_cast<std::size_t>(prof.event_capacity),
+                   static_cast<unsigned long long>(ws.windows),
+                   static_cast<unsigned long long>(ws.lane_events));
     }
     const auto snap =
         harness::snapshot_of("fig13/n" + std::to_string(n), cfg, res);

@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
       cfg.net.nodes = n;
       cfg.net.seed = seed;
       cfg.slots = slots;
+      cfg.net.sim_threads = obs.sim_threads;
       const auto res = harness::GossipDasExperiment(cfg).run();
       const auto snap = harness::snapshot_of(
           "fig14/gossip-das/n" + std::to_string(n), cfg.net, slots, res);
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
       cfg.net.nodes = n;
       cfg.net.seed = seed;
       cfg.slots = slots;
+      cfg.net.sim_threads = obs.sim_threads;
       const auto res = harness::DhtDasExperiment(cfg).run();
       const auto snap = harness::snapshot_of(
           "fig14/dht-das/n" + std::to_string(n), cfg.net, slots, res);

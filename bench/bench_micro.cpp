@@ -12,6 +12,7 @@
 #include "erasure/extended_blob.h"
 #include "erasure/kernels.h"
 #include "erasure/reed_solomon.h"
+#include "net/messages.h"
 #include "sim/engine.h"
 #include "util/prng.h"
 
@@ -214,6 +215,30 @@ void BM_AssignmentTable_Build10k(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AssignmentTable_Build10k)->Unit(benchmark::kMillisecond);
+
+// Proof-tag generation with a reused scratch buffer (the overload the
+// builder-seeding and fetcher-reply paths use) vs the allocating form.
+//   Arg 0: 0 = scratch overload, 1 = returning overload
+void BM_ProofTags(benchmark::State& state) {
+  std::vector<net::CellId> cells;
+  for (std::uint16_t r = 0; r < 8; ++r) {
+    for (std::uint16_t c = 0; c < 64; ++c) cells.push_back({r, c});
+  }
+  std::vector<std::uint64_t> scratch;
+  const bool alloc = state.range(0) == 1;
+  for (auto _ : state) {
+    if (alloc) {
+      auto tags = net::proof_tags(7, cells);
+      benchmark::DoNotOptimize(tags.data());
+    } else {
+      net::proof_tags(7, cells, scratch);
+      benchmark::DoNotOptimize(scratch.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_ProofTags)->Arg(0)->Arg(1);
 
 void BM_EventQueue_PushPop(benchmark::State& state) {
   sim::Engine engine(1);

@@ -34,12 +34,13 @@ elif [[ "${1:-}" == "--tsan" ]]; then
       -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
       -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
   # The threaded surface: ThreadPool itself, the parallel erasure encode
-  # paths that fan out over it, and the engine/topology layer that owns the
-  # deterministic seams the pool must not cross.
+  # paths that fan out over it, the engine/topology layer that owns the
+  # deterministic seams the pool must not cross, and the sharded parallel
+  # engine + cross-shard transport lanes (tests/parallel_test.cpp).
   cmake --build build-tsan -j "$(nproc)" \
-      --target util_test erasure_test kernels_test sim_test
+      --target util_test erasure_test kernels_test sim_test parallel_test
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-      -R "ThreadPool|ReedSolomon|ExtendedBlob|Kernels|Engine|Topology"
+      -R "ThreadPool|ReedSolomon|ExtendedBlob|Kernels|Engine|Topology|Parallel"
   echo "tier1 OK (build-tsan)"
   exit 0
 fi
@@ -113,6 +114,26 @@ for f in "${SMOKE_DIR}"/run1/*.jsonl "${SMOKE_DIR}"/run1/*.json; do
       || { echo "heap/wheel export differs: $(basename "$f")"; exit 1; }
 done
 echo "scheduler equivalence OK (wheel vs heap exports byte-identical)"
+
+# Parallel-equivalence job: the same run sharded over 8 engine threads must
+# export byte-identical attribution, traces, metrics, and records — clause 5
+# of the determinism contract (docs/SIMULATION.md "Parallel execution").
+for mode in serial par8; do
+  threads=1; [[ "${mode}" == "par8" ]] && threads=8
+  mkdir -p "${SMOKE_DIR}/${mode}"
+  "./${BUILD_DIR}/bench/bench_fig09_phases" "${ATTR_ARGS[@]}" \
+      --sim-threads "${threads}" \
+      --attribution-out "${SMOKE_DIR}/${mode}/attr.jsonl" \
+      --trace-out "${SMOKE_DIR}/${mode}/flow.json" \
+      --metrics-out "${SMOKE_DIR}/${mode}/m.json" \
+      --records-out "${SMOKE_DIR}/${mode}/r.jsonl" \
+      > "${SMOKE_DIR}/${mode}/stdout.txt"
+done
+for f in "${SMOKE_DIR}"/serial/*; do
+  cmp "$f" "${SMOKE_DIR}/par8/$(basename "$f")" \
+      || { echo "serial/parallel export differs: $(basename "$f")"; exit 1; }
+done
+echo "parallel equivalence OK (--sim-threads 1 vs 8 exports byte-identical)"
 
 # Portable-fallback job (default config only): build the erasure stack with
 # SIMD tiers compiled out and no AVX in the baseline ISA, so the scalar

@@ -132,7 +132,7 @@ void DhtDasNode::fetch_parcel(std::uint16_t row, std::uint16_t parcel,
                 }
                 if (incomplete && retries_left > 0) {
                   ++record_.retries_scheduled;
-                  engine_.schedule_in(
+                  engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), 
                       200 * sim::kMillisecond,
                       [this, generation, row, parcel, retries_left]() {
                         if (generation != generation_) return;
@@ -145,7 +145,7 @@ void DhtDasNode::fetch_parcel(std::uint16_t row, std::uint16_t parcel,
                 // retry (sampling races the multi-hop stores — one of the
                 // structural weaknesses of the DHT approach, §8.1).
                 ++record_.retries_scheduled;
-                engine_.schedule_in(
+                engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), 
                     500 * sim::kMillisecond,
                     [this, generation, row, parcel, retries_left]() {
                       if (generation != generation_) return;

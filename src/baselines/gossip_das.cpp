@@ -147,7 +147,7 @@ void GossipDasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
   if (!fetcher_->started() && !fallback_armed_) {
     fallback_armed_ = true;
     const std::uint64_t generation = generation_;
-    engine_.schedule_in(params_.consolidation_fallback, [this, generation]() {
+    engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), params_.consolidation_fallback, [this, generation]() {
       if (generation != generation_) return;
       if (!fetcher_->started()) start_sampling();
     });

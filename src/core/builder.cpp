@@ -23,7 +23,7 @@ Builder::SeedingReport Builder::seed(std::uint64_t slot,
     if (node < plan.cells_per_node.size()) {
       msg.cells = plan.cells_per_node[node];
     }
-    msg.tags = net::proof_tags(slot, msg.cells);
+    net::proof_tags(slot, msg.cells, msg.tags);
     if (fault_ != nullptr && fault_->corrupt) {
       // Same hash-based (never RNG-stream) corruption decision as Byzantine
       // peers, keyed off the builder's own index.

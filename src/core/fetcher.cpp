@@ -420,7 +420,7 @@ void AdaptiveFetcher::run_round() {
   }
 
   round_deadline_.push_back(engine_.now() + timeout);
-  engine_.schedule_in(next_round_in, [weak = weak_from_this()]() {
+  engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), next_round_in, [weak = weak_from_this()]() {
     if (const auto self = weak.lock()) self->run_round();
   });
 }

@@ -87,7 +87,7 @@ void PandasNode::on_seed(net::NodeIndex from, net::SeedMsg&& msg) {
               static_cast<std::int64_t>(msg.cells.size()));
   }
   if (causal_ != nullptr) {
-    const obs::HopTiming* hd = transport_.last_delivery();
+    const obs::HopTiming* hd = transport_.last_delivery(self_);
     const obs::HopTiming hop = hd != nullptr ? *hd : obs::HopTiming{};
     causal_->mark_seed(hop);
     obs::FlowRecord f;
@@ -264,7 +264,7 @@ void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
   ctx.cause = msg.cause;
   ctx.round = msg.round;
   ctx.redraw = msg.redraw;
-  if (const obs::HopTiming* hd = transport_.last_delivery(); hd != nullptr) {
+  if (const obs::HopTiming* hd = transport_.last_delivery(self_); hd != nullptr) {
     ctx.hop = *hd;
   }
 
@@ -274,10 +274,12 @@ void PandasNode::on_query(net::NodeIndex from, net::CellQueryMsg&& msg) {
     // consolidation from nothing.
     fallback_armed_ = true;
     const std::uint64_t generation = slot_generation_;
-    engine_.schedule_in(params_.consolidation_fallback, [this, generation]() {
-      if (generation != slot_generation_) return;
-      if (!fetcher_->started()) start_fetch({});
-    });
+    engine_.schedule_in_as(sim::Engine::lane_of_actor(self_),
+                           params_.consolidation_fallback,
+                           [this, generation]() {
+                             if (generation != slot_generation_) return;
+                             if (!fetcher_->started()) start_fetch({});
+                           });
   }
 
   // A mute free-rider consumes the query (and keeps fetching for itself)
@@ -339,7 +341,7 @@ void PandasNode::on_reply(net::NodeIndex from, net::CellReplyMsg&& msg) {
     f.peer = from;
     f.cause = msg.cause;
     f.parent = msg.parent;
-    if (const obs::HopTiming* hd = transport_.last_delivery(); hd != nullptr) {
+    if (const obs::HopTiming* hd = transport_.last_delivery(self_); hd != nullptr) {
       f.hop = *hd;
     }
     f.round = msg.round;
@@ -452,7 +454,7 @@ void PandasNode::send_reply(net::NodeIndex to, std::vector<net::CellId> cells,
   net::CellReplyMsg reply;
   reply.slot = slot_;
   reply.cells = std::move(cells);
-  reply.tags = net::proof_tags(slot_, reply.cells);
+  net::proof_tags(slot_, reply.cells, reply.tags);
   reply.cause = obs::CauseId{slot_, self_, cause_seq_++};
   reply.parent = ctx.cause;
   reply.round = ctx.round;

@@ -45,7 +45,7 @@ void RetrievalClient::round(const std::shared_ptr<LineState>& st,
       return;
     }
     st->asked.clear();
-    engine_.schedule_in(200 * sim::kMillisecond,
+    engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), 200 * sim::kMillisecond,
                         [weak = weak_from_this(), st, peers]() {
                           if (const auto self = weak.lock()) self->round(st, peers);
                         });
@@ -73,7 +73,7 @@ void RetrievalClient::round(const std::shared_ptr<LineState>& st,
     transport_.send(self_, peer, std::move(q));
   }
 
-  engine_.schedule_in(300 * sim::kMillisecond,
+  engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), 300 * sim::kMillisecond,
                       [weak = weak_from_this(), st, peers]() {
                         if (const auto self = weak.lock()) self->round(st, peers);
                       });

@@ -100,7 +100,7 @@ void KademliaNode::get(const crypto::NodeId& key, GetCallback done) {
   const auto it = storage_.find(key);
   if (it != storage_.end()) {
     auto cells = it->second;
-    engine_.schedule_in(0, [done = std::move(done), cells = std::move(cells)]() mutable {
+    engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), 0, [done = std::move(done), cells = std::move(cells)]() mutable {
       done(true, std::move(cells));
     });
     return;
@@ -135,7 +135,7 @@ void KademliaNode::store(const crypto::NodeId& key, std::vector<net::CellId> cel
       rpc->on_timeout = [complete]() { complete(false); };
       pending_[msg.rpc_id] = rpc;
       const std::uint64_t rpc_id = msg.rpc_id;
-      engine_.schedule_in(cfg_.rpc_timeout, [this, rpc_id]() {
+      engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), cfg_.rpc_timeout, [this, rpc_id]() {
         const auto it = pending_.find(rpc_id);
         if (it == pending_.end()) return;
         auto r = it->second;
@@ -210,7 +210,7 @@ void KademliaNode::lookup_step(const std::shared_ptr<Lookup>& lk) {
       if (lk->in_flight == 0) lookup_step(lk);
     };
     pending_[rpc_id] = rpc;
-    engine_.schedule_in(cfg_.rpc_timeout, [this, rpc_id]() {
+    engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), cfg_.rpc_timeout, [this, rpc_id]() {
       const auto it = pending_.find(rpc_id);
       if (it == pending_.end()) return;
       auto r = it->second;

@@ -120,7 +120,7 @@ void GossipSubNode::start_heartbeat() {
   // Desynchronize heartbeats across nodes.
   const sim::Time offset = static_cast<sim::Time>(
       rng_.uniform(static_cast<std::uint64_t>(cfg_.heartbeat_interval)));
-  engine_.schedule_in(offset, [this]() { heartbeat(); });
+  engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), offset, [this]() { heartbeat(); });
 }
 
 void GossipSubNode::heartbeat() {
@@ -186,7 +186,7 @@ void GossipSubNode::heartbeat() {
     history_.pop_front();
   }
 
-  engine_.schedule_in(cfg_.heartbeat_interval, [this]() { heartbeat(); });
+  engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), cfg_.heartbeat_interval, [this]() { heartbeat(); });
 }
 
 const std::set<net::NodeIndex>& GossipSubNode::mesh(std::uint64_t topic) const {

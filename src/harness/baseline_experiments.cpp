@@ -16,8 +16,10 @@ GossipDasExperiment::GossipDasExperiment(GossipDasConfig cfg)
 GossipDasExperiment::~GossipDasExperiment() = default;
 
 void GossipDasExperiment::setup() {
-  engine_ = std::make_unique<sim::Engine>(cfg_.net.seed);
+  engine_ = std::make_unique<sim::ParallelEngine>(cfg_.net.seed,
+                                                  cfg_.net.sim_threads);
   topology_ = sim::Topology::generate(cfg_.net.topology, cfg_.net.seed);
+  engine_->set_lookahead(topology_.min_owd());
   transport_ = std::make_unique<net::SimTransport>(*engine_, topology_,
                                                    cfg_.net.transport);
   const std::uint32_t n = cfg_.net.nodes;
@@ -45,7 +47,7 @@ void GossipDasExperiment::setup() {
   nodes_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     auto node = std::make_unique<baselines::GossipDasNode>(
-        *engine_, *transport_, i, cfg_.params, cfg_.gossip);
+        engine_->engine_for(i), *transport_, i, cfg_.params, cfg_.gossip);
     node->configure(assignment_.get(), &full_view_, unit_of_[i]);
     nodes_.push_back(std::move(node));
   }
@@ -154,8 +156,10 @@ DhtDasExperiment::DhtDasExperiment(DhtDasConfig cfg)
 DhtDasExperiment::~DhtDasExperiment() = default;
 
 void DhtDasExperiment::setup() {
-  engine_ = std::make_unique<sim::Engine>(cfg_.net.seed);
+  engine_ = std::make_unique<sim::ParallelEngine>(cfg_.net.seed,
+                                                  cfg_.net.sim_threads);
   topology_ = sim::Topology::generate(cfg_.net.topology, cfg_.net.seed);
+  engine_->set_lookahead(topology_.min_owd());
   transport_ = std::make_unique<net::SimTransport>(*engine_, topology_,
                                                    cfg_.net.transport);
   const std::uint32_t n = cfg_.net.nodes;
@@ -171,10 +175,12 @@ void DhtDasExperiment::setup() {
   nodes_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<baselines::DhtDasNode>(
-        *engine_, *transport_, directory_, i, cfg_.params, cfg_.dht));
+        engine_->engine_for(i), *transport_, directory_, i, cfg_.params,
+        cfg_.dht));
   }
   builder_ = std::make_unique<baselines::DhtDasBuilder>(
-      *engine_, *transport_, directory_, builder_index_, cfg_.params, cfg_.dht);
+      engine_->engine_for(builder_index_), *transport_, directory_,
+      builder_index_, cfg_.params, cfg_.dht);
 
   // Routing-table bootstrap: the steady state of a long-running network.
   const std::uint32_t total = n + 1;

@@ -47,7 +47,8 @@ class GossipDasExperiment {
   ~GossipDasExperiment();
   BaselineResults run();
 
-  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_->shard(0); }
+  [[nodiscard]] sim::ParallelEngine& parallel_engine() { return *engine_; }
   [[nodiscard]] baselines::GossipDasNode& node(net::NodeIndex i) {
     return *nodes_[i];
   }
@@ -57,7 +58,7 @@ class GossipDasExperiment {
   void run_slot(std::uint64_t slot, BaselineResults& out);
 
   GossipDasConfig cfg_;
-  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<sim::ParallelEngine> engine_;
   sim::Topology topology_;
   std::unique_ptr<net::SimTransport> transport_;
   net::Directory directory_;
@@ -86,7 +87,8 @@ class DhtDasExperiment {
   ~DhtDasExperiment();
   BaselineResults run();
 
-  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_->shard(0); }
+  [[nodiscard]] sim::ParallelEngine& parallel_engine() { return *engine_; }
   [[nodiscard]] baselines::DhtDasNode& node(net::NodeIndex i) {
     return *nodes_[i];
   }
@@ -96,7 +98,7 @@ class DhtDasExperiment {
   void run_slot(std::uint64_t slot, BaselineResults& out);
 
   DhtDasConfig cfg_;
-  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<sim::ParallelEngine> engine_;
   sim::Topology topology_;
   std::unique_ptr<net::SimTransport> transport_;
   net::Directory directory_;  // nodes + builder

@@ -23,8 +23,12 @@ PandasExperiment::PandasExperiment(PandasConfig cfg)
 PandasExperiment::~PandasExperiment() = default;
 
 void PandasExperiment::setup() {
-  engine_ = std::make_unique<sim::Engine>(cfg_.net.seed);
+  engine_ = std::make_unique<sim::ParallelEngine>(cfg_.net.seed,
+                                                  cfg_.net.sim_threads);
   topology_ = sim::Topology::generate(cfg_.net.topology, cfg_.net.seed);
+  // Safe-window length: no message crosses nodes faster than the topology's
+  // minimum one-way delay (plus >= 1 µs of serialization on top).
+  engine_->set_lookahead(topology_.min_owd());
   transport_ = std::make_unique<net::SimTransport>(*engine_, topology_,
                                                    cfg_.net.transport);
 
@@ -87,8 +91,8 @@ void PandasExperiment::setup() {
     } else {
       views_[i] = core::View::full(n);
     }
-    auto node = std::make_unique<core::PandasNode>(*engine_, *transport_, i,
-                                                   cfg_.params);
+    auto node = std::make_unique<core::PandasNode>(engine_->engine_for(i),
+                                                   *transport_, i, cfg_.params);
     node->configure_epoch(assignment_.get());
     node->set_view(&views_[i]);
     node->set_fault_profile(&fault_plan_.of(i));
@@ -99,17 +103,21 @@ void PandasExperiment::setup() {
   if (cfg_.block_gossip) {
     gossip_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
-      auto g = std::make_unique<gossip::GossipSubNode>(*engine_, *transport_, i);
+      auto g = std::make_unique<gossip::GossipSubNode>(engine_->engine_for(i),
+                                                       *transport_, i);
       // Each node knows ~24 random peers on the block topic.
       const std::uint32_t peers = std::min<std::uint32_t>(24, n - 1);
       const auto picks = harness_rng_.sample_distinct(n, peers + 1);
       for (const auto p : picks) {
         if (p != i) g->add_topic_peer(kBlockTopic, p);
       }
+      // The callback runs on node i's home shard mid-window, where only
+      // that shard's clock is current.
+      sim::Engine* eng = &engine_->engine_for(i);
       g->set_delivery_callback(
-          [this, i](net::NodeIndex, const net::GossipDataMsg& msg) {
+          [this, i, eng](net::NodeIndex, const net::GossipDataMsg& msg) {
             if (msg.topic == kBlockTopic && block_arrival_[i] < 0) {
-              block_arrival_[i] = engine_->now();
+              block_arrival_[i] = eng->now();
             }
           });
       gossip_.push_back(std::move(g));
@@ -128,8 +136,9 @@ void PandasExperiment::setup() {
     });
   }
 
-  builder_ = std::make_unique<core::Builder>(*engine_, *transport_,
-                                             builder_index_, cfg_.params);
+  builder_ = std::make_unique<core::Builder>(engine_->engine_for(builder_index_),
+                                             *transport_, builder_index_,
+                                             cfg_.params);
   builder_->set_fault(&fault_plan_.builder());
 
   // Observability wiring: per-actor sinks (nullptr when disabled or outside
@@ -190,16 +199,22 @@ core::Builder::SeedingReport PandasExperiment::run_slot(std::uint64_t slot,
   // of the plan, so the run stays a pure function of the seed).
   for (const auto c : fault_plan_.churners()) {
     const auto& profile = fault_plan_.of(c);
-    engine_->schedule_at(slot_start + profile.churn_offset, [this, c]() {
-      transport_->set_dead(c, true);
-      obs::emit(tracer_.sink(c), obs::EventType::kChurnLeave, engine_->now());
-    });
-    engine_->schedule_at(
-        slot_start + profile.churn_offset + profile.churn_downtime,
-        [this, c]() {
-          transport_->set_dead(c, false);
-          obs::emit(tracer_.sink(c), obs::EventType::kChurnJoin, engine_->now());
-        });
+    // Churn toggles touch node c's link state, so they run on c's home
+    // shard, tagged with c's ordering lane (layout-invariant key timeline).
+    sim::Engine* eng = &engine_->engine_for(c);
+    eng->schedule_as(sim::Engine::lane_of_actor(c),
+                     slot_start + profile.churn_offset, [this, c, eng]() {
+                       transport_->set_dead(c, true);
+                       obs::emit(tracer_.sink(c), obs::EventType::kChurnLeave,
+                                 eng->now());
+                     });
+    eng->schedule_as(sim::Engine::lane_of_actor(c),
+                     slot_start + profile.churn_offset + profile.churn_downtime,
+                     [this, c, eng]() {
+                       transport_->set_dead(c, false);
+                       obs::emit(tracer_.sink(c), obs::EventType::kChurnJoin,
+                                 eng->now());
+                     });
   }
 
   // The proposer (a random node) publishes the block over gossip while the
@@ -437,14 +452,14 @@ void PandasExperiment::collect_run_metrics() {
   // Gauges (idempotent set) so mid-run snapshots and the final export agree.
   registry_.gauge("engine_events_executed")
       .set(static_cast<double>(engine_->executed()));
-  const auto& prof = engine_->profile();
-  registry_.gauge("engine_peak_queue_depth")
-      .set(static_cast<double>(prof.peak_queue_depth));
   if (cfg_.obs.wall_metrics) {
-    // Wall time is not a function of the seed, and the scheduler counters
-    // below depend on which engine (wheel vs PANDAS_ENGINE=heap) is running;
-    // exporting them is an explicit opt-out of the byte-identical metrics
-    // guarantee.
+    // Wall time is not a function of the seed, and the scheduler/queue
+    // gauges below depend on which engine (wheel vs PANDAS_ENGINE=heap) is
+    // running and on the shard layout (--sim-threads); exporting them is an
+    // explicit opt-out of the byte-identical metrics guarantee.
+    const auto prof = engine_->merged_profile();
+    registry_.gauge("engine_peak_queue_depth")
+        .set(static_cast<double>(prof.peak_queue_depth));
     registry_.gauge("engine_wall_seconds").set(prof.wall_seconds);
     registry_.gauge("engine_wall_per_sim_second")
         .set(prof.wall_per_sim_second());
@@ -453,6 +468,12 @@ void PandasExperiment::collect_run_metrics() {
         .set(static_cast<double>(engine_->scheduler_allocs()));
     registry_.gauge("engine_event_capacity")
         .set(static_cast<double>(engine_->event_capacity()));
+    registry_.gauge("engine_threads")
+        .set(static_cast<double>(engine_->shards()));
+    const auto& ws = engine_->window_stats();
+    registry_.gauge("engine_windows").set(static_cast<double>(ws.windows));
+    registry_.gauge("engine_lane_events")
+        .set(static_cast<double>(ws.lane_events));
   }
   // Monotone event-loss counter (was a gauge; counters survive registry
   // merges and make "did we ever drop?" a plain >0 check). Mid-run calls

@@ -18,6 +18,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
+#include "sim/parallel_engine.h"
 #include "sim/topology.h"
 #include "util/stats.h"
 
@@ -35,6 +36,10 @@ struct NetworkConfig {
   double builder_up_bps = 10e9;          // medium cloud instance (§4.1)
   double builder_down_bps = 10e9;
   double builder_best_fraction = 0.2;    // builder vertex drawn from best 20%
+  /// Worker shards for the parallel engine (--sim-threads). 1 (default) runs
+  /// the classic serial engine; any value produces byte-identical exports
+  /// (docs/SIMULATION.md "Parallel execution").
+  std::uint32_t sim_threads = 1;
 };
 
 /// Observability switches, shared by PANDAS and baseline harnesses. All off
@@ -146,8 +151,11 @@ class PandasExperiment {
   /// Runs the configured number of slots and returns the aggregates.
   PandasResults run();
 
-  /// Access for white-box tests.
-  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  /// Access for white-box tests. engine() is shard 0 — with the default
+  /// sim_threads = 1 that is the only engine, and its clock is authoritative
+  /// between windows in any layout.
+  [[nodiscard]] sim::Engine& engine() { return engine_->shard(0); }
+  [[nodiscard]] sim::ParallelEngine& parallel_engine() { return *engine_; }
   [[nodiscard]] net::SimTransport& transport() { return *transport_; }
   [[nodiscard]] core::PandasNode& node(net::NodeIndex i) { return *nodes_[i]; }
   [[nodiscard]] net::NodeIndex builder_index() const { return builder_index_; }
@@ -201,7 +209,7 @@ class PandasExperiment {
   void collect_obs(sim::Time slot_start);
 
   PandasConfig cfg_;
-  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<sim::ParallelEngine> engine_;
   sim::Topology topology_;
   std::unique_ptr<net::SimTransport> transport_;
   net::Directory directory_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -27,6 +28,9 @@
 ///                           attribution.h); enables causal collection
 ///   --json                  machine-readable snapshot(s) on stdout instead
 ///                           of the human report
+///   --sim-threads N         engine shards for parallel execution (default 1
+///                           = serial engine; any N exports byte-identical
+///                           results, see docs/SIMULATION.md)
 ///
 /// Multi-configuration benches call finish() once per experiment with a
 /// config label: export filenames get ".<label>" inserted before the
@@ -44,6 +48,7 @@ struct ObsCli {
   bool json = false;
   bool wall = false;
   bool trace_flows = false;
+  std::uint32_t sim_threads = 1;
 
   [[nodiscard]] static ObsCli parse(const Args& args) {
     ObsCli cli;
@@ -56,6 +61,8 @@ struct ObsCli {
     cli.json = args.has("--json");
     cli.wall = args.has("--metrics-wall");
     cli.trace_flows = args.has("--trace-flows");
+    cli.sim_threads = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(1, args.get_int("--sim-threads", 1)));
     // Fail fast on unwritable export paths instead of after a full run. The
     // probe writes valid-but-empty exports: when every finish() call is
     // labeled, the unsuffixed path keeps this stub instead of garbage.
@@ -65,6 +72,7 @@ struct ObsCli {
 
   /// Turns the requested exporters into harness observability switches.
   void apply(PandasConfig& cfg) const {
+    cfg.net.sim_threads = sim_threads;
     cfg.obs.trace.enabled = !trace_out.empty();
     cfg.obs.trace.sample_rate = sample_rate;
     cfg.obs.trace.ring_capacity = ring;

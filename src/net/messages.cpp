@@ -1,6 +1,7 @@
 #include "net/messages.h"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "crypto/kzg_sim.h"
 
@@ -101,6 +102,26 @@ std::uint32_t wire_size(const Message& msg) noexcept {
   return std::visit(WireSizeVisitor{}, msg);
 }
 
+// message_class() below decodes the variant index with range comparisons, so
+// it is only correct while the alternatives keep their declared order. Pin
+// every index (and the total count) at compile time: reordering or inserting
+// an alternative fails here, next to the mapping it would silently corrupt.
+static_assert(std::variant_size_v<Message> == 14);
+static_assert(std::is_same_v<std::variant_alternative_t<0, Message>, SeedMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<1, Message>, CellQueryMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<2, Message>, CellReplyMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<3, Message>, GossipDataMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<4, Message>, GossipIHaveMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<5, Message>, GossipIWantMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<6, Message>, GossipGraftMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<7, Message>, GossipPruneMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<8, Message>, DhtFindNodeMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<9, Message>, DhtNodesMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<10, Message>, DhtStoreMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<11, Message>, DhtStoreAckMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<12, Message>, DhtFindValueMsg>);
+static_assert(std::is_same_v<std::variant_alternative_t<13, Message>, DhtValueMsg>);
+
 MsgClass message_class(const Message& msg) noexcept {
   // Variant alternatives are declared grouped by protocol, so the index
   // maps onto classes with two comparisons.
@@ -167,11 +188,17 @@ void drop_cells(Message& msg, const std::vector<std::uint32_t>& positions) {
 std::vector<std::uint64_t> proof_tags(std::uint64_t slot,
                                       const std::vector<CellId>& cells) {
   std::vector<std::uint64_t> tags;
-  tags.reserve(cells.size());
-  for (const CellId& c : cells) {
-    tags.push_back(crypto::sim_cell_tag(slot, c.row, c.col));
-  }
+  proof_tags(slot, cells, tags);
   return tags;
+}
+
+void proof_tags(std::uint64_t slot, const std::vector<CellId>& cells,
+                std::vector<std::uint64_t>& out) {
+  out.clear();
+  out.reserve(cells.size());
+  for (const CellId& c : cells) {
+    out.push_back(crypto::sim_cell_tag(slot, c.row, c.col));
+  }
 }
 
 }  // namespace pandas::net

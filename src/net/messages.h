@@ -256,4 +256,11 @@ void drop_cells(Message& msg, const std::vector<std::uint32_t>& positions);
 [[nodiscard]] std::vector<std::uint64_t> proof_tags(
     std::uint64_t slot, const std::vector<CellId>& cells);
 
+/// Scratch-buffer overload: fills `out` (cleared first) instead of
+/// allocating a fresh vector. Hot paths that tag cells repeatedly — builder
+/// seeding, fetcher replies — reuse one buffer across calls so the tag step
+/// stays allocation-free once the buffer has warmed up.
+void proof_tags(std::uint64_t slot, const std::vector<CellId>& cells,
+                std::vector<std::uint64_t>& out);
+
 }  // namespace pandas::net

@@ -1,5 +1,6 @@
 #include "net/sim_transport.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -21,10 +22,26 @@ void TypedTrafficStats::merge(const TypedTrafficStats& other) noexcept {
 
 SimTransport::SimTransport(sim::Engine& engine, const sim::Topology& topology,
                            SimTransportConfig cfg)
-    : engine_(engine),
+    : engines_{&engine}, shards_(1), topology_(topology), cfg_(cfg) {
+  pools_.resize(1);
+  lanes_.resize(1);
+}
+
+SimTransport::SimTransport(sim::ParallelEngine& engine,
+                           const sim::Topology& topology,
+                           SimTransportConfig cfg)
+    : parallel_(&engine),
+      shards_(engine.shards()),
       topology_(topology),
-      cfg_(cfg),
-      loss_rng_(engine.rng_stream(0x6c6f7373 /* "loss" */)) {}
+      cfg_(cfg) {
+  engines_.reserve(shards_);
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    engines_.push_back(&engine.shard(s));
+  }
+  pools_.resize(shards_);
+  lanes_.resize(static_cast<std::size_t>(shards_) * shards_);
+  engine.set_lane_source(this);
+}
 
 NodeIndex SimTransport::add_node(std::uint32_t vertex, double up_bps,
                                  double down_bps) {
@@ -39,6 +56,12 @@ NodeIndex SimTransport::add_node(std::uint32_t vertex, double up_bps,
   handlers_.emplace_back();
   stats_.emplace_back();
   typed_stats_.emplace_back();
+  last_hops_.emplace_back();
+  // One loss stream per sender, a pure function of (seed, node index):
+  // independent of other nodes' sends and of the shard layout.
+  const auto index = static_cast<std::uint64_t>(links_.size() - 1);
+  loss_rngs_.push_back(engines_[0]->rng_stream(
+      0x6c6f7373ULL /* "loss" */ ^ (index << 32)));
   return static_cast<NodeIndex>(links_.size() - 1);
 }
 
@@ -72,10 +95,12 @@ void SimTransport::reset_links() {
   }
 }
 
-bool SimTransport::apply_loss(Message& msg, std::uint32_t& cells_lost) {
+bool SimTransport::apply_loss(NodeIndex from, Message& msg,
+                              std::uint32_t& cells_lost) {
   cells_lost = 0;
   if (cfg_.loss_rate <= 0.0) return true;
   if (cfg_.reliable_seeding && std::holds_alternative<SeedMsg>(msg)) return true;
+  util::Xoshiro256& rng = loss_rngs_[from];
   const std::size_t cells = carried_cells(msg);
   const std::uint32_t size = wire_size(msg);
   if (cells >= 2 && size > kPacketPayloadBytes) {
@@ -85,7 +110,7 @@ bool SimTransport::apply_loss(Message& msg, std::uint32_t& cells_lost) {
         std::max<std::size_t>(1, kPacketPayloadBytes / kCellWireBytes);
     std::vector<std::uint32_t> dropped;
     for (std::size_t base = 0; base < cells; base += cells_per_packet) {
-      if (loss_rng_.bernoulli(cfg_.loss_rate)) {
+      if (rng.bernoulli(cfg_.loss_rate)) {
         const std::size_t end = std::min(cells, base + cells_per_packet);
         for (std::size_t i = base; i < end; ++i) {
           dropped.push_back(static_cast<std::uint32_t>(i));
@@ -101,7 +126,7 @@ bool SimTransport::apply_loss(Message& msg, std::uint32_t& cells_lost) {
   // spanning a few packets without cells (e.g. large boost-only seeds) we
   // still draw once per packet and lose all-or-nothing on the first packet,
   // a deliberate simplification (headers ride the first packet).
-  return !loss_rng_.bernoulli(cfg_.loss_rate);
+  return !rng.bernoulli(cfg_.loss_rate);
 }
 
 void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
@@ -125,8 +150,10 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   styped.msgs_sent += 1;
   styped.bytes_sent += total_bytes;
 
-  // Uplink serialization (store-and-forward at the sender NIC).
-  const sim::Time now = engine_.now();
+  // Uplink serialization (store-and-forward at the sender NIC). Sends run on
+  // the sender's home shard; its engine holds the authoritative clock.
+  sim::Engine& seng = engine_of_(from);
+  const sim::Time now = seng.now();
   const sim::Time tx_time = static_cast<sim::Time>(
       std::ceil(static_cast<double>(total_bytes) * 8.0 / src.up_bps *
                 static_cast<double>(sim::kSecond)));
@@ -143,7 +170,7 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   // Loss is decided at send time to keep the RNG stream independent of
   // event interleaving. A fully lost message still consumed uplink.
   std::uint32_t cells_lost = 0;
-  if (!apply_loss(msg, cells_lost)) {
+  if (!apply_loss(from, msg, cells_lost)) {
     styped.msgs_lost += 1;
     if (tracer_ != nullptr) {
       obs::emit(tracer_->sink(from), obs::EventType::kMsgDropped, now, to,
@@ -159,93 +186,189 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
     }
   }
   const sim::Time extra = src.extra_delay;
-  // Park the message and its hop timing in the pending pool: engine
-  // callbacks are size-bounded (InlineCallback) so the scheduled closures
-  // below carry only {this, slot index}.
-  const PendingIndex pi = acquire_pending_();
-  Pending& p = pending_[static_cast<std::size_t>(pi)];
-  p.msg = std::move(msg);
-  p.send_time = now;
-  p.uplink_wait = uplink_wait;
-  p.tx_time = tx_time;
-  p.total_bytes = total_bytes;
-  p.from = from;
-  p.to = to;
-  p.cls = cls;
+  // The arrival event's ordering key comes from the sender's lane, drawn at
+  // send time for EVERY surviving send (loopback, same-shard, cross-shard)
+  // so each lane's key sequence is identical under any shard layout.
+  const std::uint64_t key = seng.next_key(sim::Engine::lane_of_actor(from));
+  const std::uint32_t sshard = shard_of_(from);
 
   if (to == from) {
-    // Loopback: deliver after the serialization delay only.
+    // Loopback: deliver after the serialization delay only. Same shard by
+    // construction; tx_time >= 1 keeps departure strictly in the future.
+    const PendingIndex pi = acquire_pending_(sshard);
+    Pending& p = pools_[sshard].slots[static_cast<std::size_t>(pi)];
+    p.msg = std::move(msg);
+    p.send_time = now;
+    p.uplink_wait = uplink_wait;
+    p.tx_time = tx_time;
+    p.total_bytes = total_bytes;
+    p.from = from;
+    p.to = to;
+    p.cls = cls;
     p.propagation = extra;
     p.downlink_wait = 0;
     p.rx_time = 0;
-    engine_.schedule_at(departure, [this, pi] { deliver_(pi); });
+    seng.schedule_keyed(departure, key,
+                        [this, sshard, pi] { deliver_(sshard, pi); });
     return;
   }
 
   const sim::Time owd = topology_.owd(src.vertex, links_[to].vertex);
   const sim::Time arrival_start = departure + owd;
-  p.propagation = owd + extra;
+  const std::uint32_t dshard = shard_of_(to);
 
-  // Receiver-side downlink serialization is applied when the first byte
-  // arrives; we model it lazily by scheduling at arrival_start and computing
-  // queueing against down_busy_until then (event order at equal times is
-  // deterministic, so this stays reproducible).
-  engine_.schedule_at(arrival_start, [this, pi] {
-    Pending& pd = pending_[static_cast<std::size_t>(pi)];
-    Link& dst = links_[pd.to];
-    if (dst.dead) {  // dead nodes do not receive
-      typed_stats_[pd.from].of(pd.cls).msgs_to_dead += 1;
-      release_pending_(pi);
-      return;
-    }
-    const sim::Time rx_time = static_cast<sim::Time>(
-        std::ceil(static_cast<double>(pd.total_bytes) * 8.0 / dst.down_bps *
-                  static_cast<double>(sim::kSecond)));
-    const sim::Time downlink_wait =
-        std::max<sim::Time>(0, dst.down_busy_until - engine_.now());
-    const sim::Time delivered =
-        std::max(engine_.now(), dst.down_busy_until) + rx_time;
-    dst.down_busy_until = delivered;
-    pd.downlink_wait = downlink_wait;
-    pd.rx_time = rx_time;
-    engine_.schedule_at(delivered, [this, pi] { deliver_(pi); });
-  });
+  if (dshard != sshard && parallel_ != nullptr && parallel_->in_window()) {
+    // Cross-shard send inside a parallel window: the destination's queue and
+    // pool belong to another running thread, so buffer the fully-formed
+    // delivery in this (src, dst) lane; the barrier commits it. The
+    // lookahead contract guarantees arrival_start lands beyond the window
+    // (owd >= lookahead and tx_time >= 1).
+    LaneMsg lm;
+    lm.arrival = arrival_start;
+    lm.key = key;
+    lm.p.msg = std::move(msg);
+    lm.p.send_time = now;
+    lm.p.uplink_wait = uplink_wait;
+    lm.p.tx_time = tx_time;
+    lm.p.propagation = owd + extra;
+    lm.p.total_bytes = total_bytes;
+    lm.p.from = from;
+    lm.p.to = to;
+    lm.p.cls = cls;
+    lanes_[static_cast<std::size_t>(sshard) * shards_ + dshard]
+        .push_back(std::move(lm));
+    return;
+  }
+
+  // Same-shard send, or a driver-phase send between windows (every shard
+  // clock is synced then): file directly on the destination engine. Park the
+  // message and its hop timing in the destination pool: engine callbacks are
+  // size-bounded (InlineCallback) so the scheduled closures carry only
+  // {this, shard, slot index}.
+  const PendingIndex pi = acquire_pending_(dshard);
+  Pending& p = pools_[dshard].slots[static_cast<std::size_t>(pi)];
+  p.msg = std::move(msg);
+  p.send_time = now;
+  p.uplink_wait = uplink_wait;
+  p.tx_time = tx_time;
+  p.propagation = owd + extra;
+  p.total_bytes = total_bytes;
+  p.from = from;
+  p.to = to;
+  p.cls = cls;
+  engines_[dshard]->schedule_keyed(arrival_start, key,
+                                   [this, dshard, pi] { arrival_(dshard, pi); });
 }
 
-SimTransport::PendingIndex SimTransport::acquire_pending_() {
-  if (pending_free_ != -1) {
-    const PendingIndex i = pending_free_;
-    pending_free_ = pending_[static_cast<std::size_t>(i)].next_free;
+std::size_t SimTransport::commit_lanes(sim::Time window_end) {
+  commit_scratch_.clear();
+  for (auto& lane : lanes_) {
+    for (auto& lm : lane) commit_scratch_.push_back(std::move(lm));
+    lane.clear();  // keeps capacity: the lanes stay warm across windows
+  }
+  if (commit_scratch_.empty()) return 0;
+  // Deterministic commit order: (arrival time, sender-lane key). Keys are
+  // globally unique, so this is a total order; it also fixes the pool-slot
+  // assignment, which keeps runs bit-for-bit debuggable.
+  std::sort(commit_scratch_.begin(), commit_scratch_.end(),
+            [](const LaneMsg& a, const LaneMsg& b) noexcept {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.key < b.key;
+            });
+  for (auto& lm : commit_scratch_) {
+    if (lm.arrival <= window_end) {
+      // A cross-shard effect inside its own window means the configured
+      // lookahead overstates the minimum cross-node latency.
+      throw std::logic_error("SimTransport::commit_lanes: lookahead violated");
+    }
+    const std::uint32_t dshard = shard_of_(lm.p.to);
+    const PendingIndex pi = acquire_pending_(dshard);
+    Pending& p = pools_[dshard].slots[static_cast<std::size_t>(pi)];
+    const auto free_link = p.next_free;
+    p = std::move(lm.p);
+    p.next_free = free_link;
+    engines_[dshard]->schedule_keyed(
+        lm.arrival, lm.key, [this, dshard, pi] { arrival_(dshard, pi); });
+  }
+  const std::size_t committed = commit_scratch_.size();
+  commit_scratch_.clear();
+  return committed;
+}
+
+void SimTransport::clear_lanes() noexcept {
+  for (auto& lane : lanes_) lane.clear();
+  commit_scratch_.clear();
+}
+
+SimTransport::PendingIndex SimTransport::acquire_pending_(std::uint32_t shard) {
+  Pool& pool = pools_[shard];
+  if (pool.free_head != -1) {
+    const PendingIndex i = pool.free_head;
+    pool.free_head = pool.slots[static_cast<std::size_t>(i)].next_free;
     return i;
   }
-  pending_.emplace_back();
-  return static_cast<PendingIndex>(pending_.size() - 1);
+  pool.slots.emplace_back();
+  return static_cast<PendingIndex>(pool.slots.size() - 1);
 }
 
-void SimTransport::release_pending_(PendingIndex i) noexcept {
-  Pending& p = pending_[static_cast<std::size_t>(i)];
+void SimTransport::release_pending_(std::uint32_t shard,
+                                    PendingIndex i) noexcept {
+  Pool& pool = pools_[shard];
+  Pending& p = pool.slots[static_cast<std::size_t>(i)];
   p.msg = Message{};  // drop payload buffers; the slot itself stays pooled
-  p.next_free = pending_free_;
-  pending_free_ = i;
+  p.next_free = pool.free_head;
+  pool.free_head = i;
 }
 
-void SimTransport::deliver_(PendingIndex pi) {
-  Pending& p = pending_[static_cast<std::size_t>(pi)];
+void SimTransport::arrival_(std::uint32_t shard, PendingIndex pi) {
+  Pending& pd = pools_[shard].slots[static_cast<std::size_t>(pi)];
+  Link& dst = links_[pd.to];
+  if (dst.dead) {  // dead nodes do not receive
+    // Counted on the receiver (whose shard this event runs on); network-wide
+    // totals are unchanged.
+    typed_stats_[pd.to].of(pd.cls).msgs_to_dead += 1;
+    release_pending_(shard, pi);
+    return;
+  }
+  // Receiver-side downlink serialization is applied when the first byte
+  // arrives; we model it lazily by computing queueing against
+  // down_busy_until now (event order at equal times is deterministic, so
+  // this stays reproducible).
+  sim::Engine& eng = *engines_[shard];
+  const sim::Time rx_time = static_cast<sim::Time>(
+      std::ceil(static_cast<double>(pd.total_bytes) * 8.0 / dst.down_bps *
+                static_cast<double>(sim::kSecond)));
+  const sim::Time downlink_wait =
+      std::max<sim::Time>(0, dst.down_busy_until - eng.now());
+  const sim::Time delivered =
+      std::max(eng.now(), dst.down_busy_until) + rx_time;
+  dst.down_busy_until = delivered;
+  pd.downlink_wait = downlink_wait;
+  pd.rx_time = rx_time;
+  // The delivery event's key comes from the receiver's lane: it is drawn on
+  // the receiver's home shard, in the shard's (time, key) execution order,
+  // which is itself layout-invariant.
+  eng.schedule_as(sim::Engine::lane_of_actor(pd.to), delivered,
+                  [this, shard, pi] { deliver_(shard, pi); });
+}
+
+void SimTransport::deliver_(std::uint32_t shard, PendingIndex pi) {
+  Pending& p = pools_[shard].slots[static_cast<std::size_t>(pi)];
   if (links_[p.to].dead) {
-    typed_stats_[p.from].of(p.cls).msgs_to_dead += 1;
-    release_pending_(pi);
+    typed_stats_[p.to].of(p.cls).msgs_to_dead += 1;
+    release_pending_(shard, pi);
     return;
   }
   const NodeIndex from = p.from;
   const NodeIndex to = p.to;
   const MsgClass cls = p.cls;
-  last_hop_ = obs::HopTiming{p.send_time,   p.uplink_wait,   p.tx_time,
-                             p.propagation, p.downlink_wait, p.rx_time,
-                             engine_.now()};
+  last_hops_[to] = obs::HopTiming{p.send_time,   p.uplink_wait,   p.tx_time,
+                                  p.propagation, p.downlink_wait, p.rx_time,
+                                  engines_[shard]->now()};
   // Move the message out and free the slot before invoking the handler: the
   // handler may send (growing the pool and invalidating references).
   Message m = std::move(p.msg);
-  release_pending_(pi);
+  release_pending_(shard, pi);
   auto& rstats = stats_[to];
   rstats.msgs_received += 1;
   rstats.bytes_received += wire_size(m);

@@ -7,6 +7,7 @@
 #include "net/transport.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
+#include "sim/parallel_engine.h"
 #include "sim/topology.h"
 
 /// Simulated UDP transport over the discrete-event engine.
@@ -67,9 +68,21 @@ struct TypedTrafficStats {
   void merge(const TypedTrafficStats& other) noexcept;
 };
 
-class SimTransport final : public Transport {
+/// Sharding (docs/SIMULATION.md "Parallel execution"): when constructed over
+/// a sim::ParallelEngine, every node's events schedule and execute on its
+/// home shard, all per-node state (links, stats, hop timings, pending pools)
+/// is touched only from that shard, and cross-shard sends made inside a
+/// parallel window are buffered per (source-shard, dest-shard) lane and
+/// committed at the barrier in deterministic (arrival time, sender-lane key)
+/// order. Ordering keys are drawn from the sender's lane at send time for
+/// every send, so same-seed runs are byte-identical for any shard count.
+class SimTransport final : public Transport,
+                           public sim::ParallelEngine::LaneSource {
  public:
   SimTransport(sim::Engine& engine, const sim::Topology& topology,
+               SimTransportConfig cfg = {});
+  /// Shard-aware construction: registers itself as the engine's LaneSource.
+  SimTransport(sim::ParallelEngine& engine, const sim::Topology& topology,
                SimTransportConfig cfg = {});
 
   /// Registers a node living on `vertex` with the given link capacities.
@@ -82,13 +95,19 @@ class SimTransport final : public Transport {
   void send(NodeIndex from, NodeIndex to, Message msg) override;
   void set_handler(NodeIndex node, Handler handler) override;
 
-  /// Transit breakdown of the message whose handler is currently running
-  /// (obs/causal.h). The engine is single-threaded and the fields are
-  /// written immediately before the handler is invoked, so reading this
-  /// inside a handler is deterministic and race-free.
-  [[nodiscard]] const obs::HopTiming* last_delivery() const noexcept override {
-    return &last_hop_;
+  /// Transit breakdown of the message whose handler is currently running on
+  /// `receiver` (obs/causal.h). Per-receiver storage: deliveries to a node
+  /// happen only on its home shard, and the fields are written immediately
+  /// before the handler is invoked, so reading this inside a handler is
+  /// deterministic and race-free under any shard layout.
+  [[nodiscard]] const obs::HopTiming* last_delivery(
+      NodeIndex receiver) const noexcept override {
+    return &last_hops_[receiver];
   }
+
+  /// LaneSource: barrier commit / teardown of buffered cross-shard sends.
+  std::size_t commit_lanes(sim::Time window_end) override;
+  void clear_lanes() noexcept override;
 
   /// Marks a node dead (crash / free-rider): it neither sends nor receives.
   void set_dead(NodeIndex node, bool dead);
@@ -134,10 +153,10 @@ class SimTransport final : public Transport {
     bool dead = false;
   };
 
-  /// Applies the loss model; returns false if the whole message is lost.
-  /// `cells_lost` reports cells stripped from a degraded (but delivered)
-  /// cell-carrying message.
-  bool apply_loss(Message& msg, std::uint32_t& cells_lost);
+  /// Applies the loss model with the sender's own loss stream; returns false
+  /// if the whole message is lost. `cells_lost` reports cells stripped from
+  /// a degraded (but delivered) cell-carrying message.
+  bool apply_loss(NodeIndex from, Message& msg, std::uint32_t& cells_lost);
 
   /// In-flight delivery state. Engine callbacks are size-bounded
   /// (sim::InlineCallback has no heap fallback) and a Message variant is far
@@ -160,25 +179,57 @@ class SimTransport final : public Transport {
   };
   using PendingIndex = std::int32_t;
 
-  [[nodiscard]] PendingIndex acquire_pending_();
-  /// Drops the slot's message payload and returns it to the freelist.
-  void release_pending_(PendingIndex i) noexcept;
-  /// Final delivery stage: downlink serialization done, hand to the handler.
-  void deliver_(PendingIndex i);
+  /// One freelist-pooled Pending store per shard: a slot is acquired,
+  /// written and released only on the destination node's home shard.
+  struct Pool {
+    std::vector<Pending> slots;
+    PendingIndex free_head = -1;
+  };
 
-  sim::Engine& engine_;
+  /// A cross-shard send buffered during a parallel window, carrying its
+  /// pre-drawn sender-lane ordering key; committed at the barrier.
+  struct LaneMsg {
+    sim::Time arrival = 0;
+    std::uint64_t key = 0;
+    Pending p{};
+  };
+
+  [[nodiscard]] std::uint32_t shard_of_(NodeIndex n) const noexcept {
+    return static_cast<std::uint32_t>(n) % shards_;
+  }
+  [[nodiscard]] sim::Engine& engine_of_(NodeIndex n) noexcept {
+    return *engines_[shard_of_(n)];
+  }
+
+  [[nodiscard]] PendingIndex acquire_pending_(std::uint32_t shard);
+  /// Drops the slot's message payload and returns it to the freelist.
+  void release_pending_(std::uint32_t shard, PendingIndex i) noexcept;
+  /// First-byte arrival at the receiver: dead check + downlink queueing.
+  void arrival_(std::uint32_t shard, PendingIndex i);
+  /// Final delivery stage: downlink serialization done, hand to the handler.
+  void deliver_(std::uint32_t shard, PendingIndex i);
+
+  /// The per-shard engines (a single entry when built over a plain Engine).
+  std::vector<sim::Engine*> engines_;
+  sim::ParallelEngine* parallel_ = nullptr;
+  std::uint32_t shards_ = 1;
   const sim::Topology& topology_;
   SimTransportConfig cfg_;
   std::vector<Link> links_;
   std::vector<Handler> handlers_;
   std::vector<TrafficStats> stats_;
   std::vector<TypedTrafficStats> typed_stats_;
-  std::vector<Pending> pending_;
-  PendingIndex pending_free_ = -1;
-  util::Xoshiro256 loss_rng_;
+  std::vector<Pool> pools_;
+  /// Per-sender loss streams (derived per node at add_node), so the loss
+  /// sequence a sender draws is independent of every other node's sends —
+  /// and therefore of the shard layout.
+  std::vector<util::Xoshiro256> loss_rngs_;
+  /// Outboxes, indexed src_shard * shards_ + dst_shard.
+  std::vector<std::vector<LaneMsg>> lanes_;
+  std::vector<LaneMsg> commit_scratch_;
   obs::Tracer* tracer_ = nullptr;
-  /// Hop timing of the in-flight delivery (see last_delivery()).
-  obs::HopTiming last_hop_{};
+  /// Per-receiver hop timing of the in-flight delivery (last_delivery()).
+  std::vector<obs::HopTiming> last_hops_;
 };
 
 }  // namespace pandas::net

@@ -25,12 +25,15 @@ class Transport {
   /// Registers the receive handler for a node. One handler per node.
   virtual void set_handler(NodeIndex node, Handler handler) = 0;
 
-  /// Transit breakdown of the message currently being delivered: valid only
-  /// inside a handler invocation, for transports that model per-hop timing
-  /// (SimTransport). Returns nullptr otherwise (e.g. real sockets), so
-  /// callers degrade to zeroed hop data rather than changing the Handler
-  /// signature across every protocol component.
-  [[nodiscard]] virtual const obs::HopTiming* last_delivery() const noexcept {
+  /// Transit breakdown of the message currently being delivered to
+  /// `receiver`: valid only inside that node's handler invocation, for
+  /// transports that model per-hop timing (SimTransport). Per-receiver so
+  /// concurrent shards never share a slot. Returns nullptr otherwise (e.g.
+  /// real sockets), so callers degrade to zeroed hop data rather than
+  /// changing the Handler signature across every protocol component.
+  [[nodiscard]] virtual const obs::HopTiming* last_delivery(
+      NodeIndex receiver) const noexcept {
+    (void)receiver;
     return nullptr;
   }
 };

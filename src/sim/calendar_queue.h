@@ -20,13 +20,13 @@
 /// allocations.
 ///
 /// Ordering contract (the determinism contract, docs/SIMULATION.md): events
-/// execute in ascending (time, seq) order, exactly like the binary-heap
+/// execute in ascending (time, key) order, exactly like the binary-heap
 /// scheduler this replaces. Level-0 slots are one microsecond wide, so a
 /// popped bucket holds events of a single timestamp; sorting that bucket by
-/// the monotone seq restores global FIFO order no matter which cascade path
-/// each event took to get there. `scripts/tier1.sh` enforces the contract
-/// end-to-end by diffing exports against the heap engine
-/// (`PANDAS_ENGINE=heap`).
+/// the per-instant-unique key restores the global (time, key) order no
+/// matter which cascade path each event took to get there. `scripts/tier1.sh`
+/// enforces the contract end-to-end by diffing exports against the heap
+/// engine (`PANDAS_ENGINE=heap`).
 namespace pandas::sim {
 
 class CalendarQueue {
@@ -47,7 +47,9 @@ class CalendarQueue {
   };
 
   /// Files a new event. `t` must be >= the last popped time (the engine
-  /// enforces t >= now). `seq` must be strictly monotone across pushes.
+  /// enforces t >= now). `seq` is the 64-bit ordering key (sim/engine.h lane
+  /// keys): it must be unique per instant — bucket sorting restores the
+  /// global (time, key) order, monotonicity is not required.
   void push(Time t, std::uint64_t seq, InlineCallback fn);
 
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }

@@ -34,17 +34,31 @@ Engine::Engine(std::uint64_t seed) : Engine(seed, scheduler_from_env()) {}
 Engine::Engine(std::uint64_t seed, SchedulerKind kind)
     : kind_(kind), rng_(seed), seed_(seed) {}
 
-void Engine::schedule_at(Time t, Callback fn) {
+std::uint64_t Engine::next_key(std::uint32_t lane) {
+  if (lane >= lane_seq_.size()) lane_seq_.resize(lane + 1, 0);
+  return (static_cast<std::uint64_t>(lane) << kLaneShift) | lane_seq_[lane]++;
+}
+
+void Engine::schedule_as(std::uint32_t lane, Time t, Callback fn) {
+  std::uint64_t key = next_key(lane);
+  // Scheduling at the instant currently executing sorts after every event of
+  // that instant already queued, regardless of lane — the global-FIFO
+  // behavior of the original monotone sequence counter, and the one ordering
+  // both schedulers implement identically for mid-instant insertions.
+  if (t == now_) key |= kLateKey;
+  schedule_keyed(t, key, std::move(fn));
+}
+
+void Engine::schedule_keyed(Time t, std::uint64_t key, Callback fn) {
   if (t < now_) {
     throw std::logic_error("Engine::schedule_at: time in the past");
   }
-  const std::uint64_t seq = next_seq_++;
   if (kind_ == SchedulerKind::kHeap) {
     if (heap_.size() == heap_.capacity()) ++heap_allocs_;
-    heap_.push_back(HeapEvent{t, seq, std::move(fn)});
+    heap_.push_back(HeapEvent{t, key, std::move(fn)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   } else {
-    wheel_.push(t, seq, std::move(fn));
+    wheel_.push(t, key, std::move(fn));
   }
   if (profiling_) {
     const std::size_t depth = pending();

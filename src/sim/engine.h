@@ -11,10 +11,14 @@
 #include "util/prng.h"
 
 /// The discrete-event simulation engine: a virtual clock plus an ordered
-/// queue of callbacks. Events scheduled for the same instant execute in
-/// scheduling order (a monotone sequence number breaks ties), which makes
-/// every run bit-reproducible for a given seed — the determinism contract
-/// every component relies on is written down in docs/SIMULATION.md.
+/// queue of callbacks. Events execute in ascending (time, key) order, where
+/// the key is drawn from a per-lane counter at scheduling time — lane 0 (the
+/// driver lane, the default for schedule_at/schedule_in) reproduces plain
+/// FIFO scheduling order, while per-actor lanes give every actor an ordering
+/// timeline that is independent of how actors are interleaved. That
+/// independence is what lets sim::ParallelEngine (parallel_engine.h) shard
+/// actors across threads and still produce bit-identical runs; the full
+/// determinism contract is written down in docs/SIMULATION.md.
 ///
 /// Two interchangeable schedulers implement that contract:
 ///  - `kWheel` (default): a hierarchical calendar queue (sim/calendar_queue.h)
@@ -44,11 +48,52 @@ class Engine {
 
   [[nodiscard]] Time now() const noexcept { return now_; }
 
-  /// Schedules `fn` to run at absolute time `t` (>= now).
-  void schedule_at(Time t, Callback fn);
+  /// Ordering lanes. Every event carries a 64-bit ordering key
+  /// `(lane << kLaneShift) | counter` (plus a high "late" bit for events
+  /// scheduled at the instant currently executing, which run after every
+  /// already-queued event of that instant — exactly the old global-FIFO
+  /// behavior). Counters are per-lane, so a lane's key sequence depends only
+  /// on that lane's own scheduling history: the property ParallelEngine
+  /// relies on for layout-invariant execution order. Lane 0 is the driver
+  /// lane (harness/tests); actors use `lane_of_actor(index)`.
+  static constexpr std::uint32_t kDriverLane = 0;
+  static constexpr int kLaneShift = 40;
+  static constexpr std::uint64_t kLateKey = 1ULL << 63;
+  [[nodiscard]] static constexpr std::uint32_t lane_of_actor(
+      std::uint32_t actor) noexcept {
+    return actor + 1;
+  }
 
-  /// Schedules `fn` to run `delay` after the current time.
-  void schedule_in(Time delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+  /// Schedules `fn` to run at absolute time `t` (>= now) on the driver lane.
+  void schedule_at(Time t, Callback fn) {
+    schedule_as(kDriverLane, t, std::move(fn));
+  }
+
+  /// Schedules `fn` to run `delay` after the current time (driver lane).
+  void schedule_in(Time delay, Callback fn) {
+    schedule_as(kDriverLane, now_ + delay, std::move(fn));
+  }
+
+  /// Schedules on a specific ordering lane (per-actor timelines).
+  void schedule_as(std::uint32_t lane, Time t, Callback fn);
+  void schedule_in_as(std::uint32_t lane, Time delay, Callback fn) {
+    schedule_as(lane, now_ + delay, std::move(fn));
+  }
+
+  /// Draws the next ordering key for `lane` without scheduling. Used by the
+  /// transport for cross-shard sends: the key is consumed at send time (so
+  /// the sender's lane advances identically in every shard layout) and the
+  /// event is filed later on the destination engine with schedule_keyed().
+  [[nodiscard]] std::uint64_t next_key(std::uint32_t lane);
+
+  /// Schedules with a pre-drawn key (see next_key). `t` must be >= now; keys
+  /// must be unique per (engine, instant).
+  void schedule_keyed(Time t, std::uint64_t key, Callback fn);
+
+  /// Earliest pending timestamp, or nullopt when idle (may migrate wheel
+  /// overflow, never advances the clock). ParallelEngine uses this to pick
+  /// each safe window's base time.
+  [[nodiscard]] std::optional<Time> next_event_time() { return peek_time_(); }
 
   /// Runs events until the queue empties or the clock passes `limit`.
   /// Returns the number of events executed.
@@ -159,7 +204,8 @@ class Engine {
   [[nodiscard]] std::optional<Time> peek_time_();
 
   Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  /// Per-lane key counters, grown on first use of a lane.
+  std::vector<std::uint64_t> lane_seq_;
   std::uint64_t executed_ = 0;
   SchedulerKind kind_;
   CalendarQueue wheel_;

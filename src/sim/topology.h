@@ -57,6 +57,14 @@ class Topology {
     return from_ms(rtt_ms(u, v) * 0.5);
   }
 
+  /// Lower bound on owd() over every vertex pair: rtt_ms() clamps to
+  /// min_rtt_ms from below, so no message ever travels faster than this.
+  /// This is the lookahead the parallel engine's safe windows derive from
+  /// (docs/SIMULATION.md "Parallel execution").
+  [[nodiscard]] Time min_owd() const noexcept {
+    return from_ms(cfg_.min_rtt_ms * 0.5);
+  }
+
   /// Average RTT from `v` to a deterministic sample of other vertices.
   [[nodiscard]] double avg_rtt_ms(std::uint32_t v,
                                   std::uint32_t sample_size = 512) const;

@@ -1,9 +1,17 @@
 #include "util/thread_pool.h"
 
+#include <stdexcept>
+
 namespace pandas::util {
 
 namespace {
 thread_local bool inside_parallel_for = false;
+/// Set once per worker thread, for the dispatch guard in parallel_for.
+thread_local bool pool_worker_thread = false;
+}
+
+bool ThreadPool::current_thread_is_worker() noexcept {
+  return pool_worker_thread;
 }
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -44,6 +52,7 @@ void ThreadPool::worker_loop() {
   // A job may itself call parallel_for; from a worker that must run inline,
   // or the worker would republish the shared job state it is executing and
   // then wait for active_ == 0 while holding active_ > 0.
+  pool_worker_thread = true;
   inside_parallel_for = true;
   std::uint64_t seen = 0;
   for (;;) {
@@ -72,6 +81,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (threads_.empty() || end - begin == 1 || inside_parallel_for) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
+  }
+  if (pool_worker_thread) {
+    // Unreachable while the inline fallback above stands (workers run with
+    // inside_parallel_for permanently set). Guarded anyway: blocking
+    // dispatch from a worker deadlocks on done_cv_, so fail loudly instead.
+    throw std::logic_error(
+        "ThreadPool::parallel_for: blocking dispatch from a pool worker");
   }
   inside_parallel_for = true;
   {

@@ -41,8 +41,17 @@ class ThreadPool {
   /// the workers plus the calling thread; returns when all are done.
   /// `fn` must not throw. Nested parallel_for calls — from the caller or
   /// from inside a job on a worker — run inline on the issuing thread.
+  /// Blocking dispatch from a pool worker (of any pool) would deadlock (the
+  /// class of bug TSan caught in the nested-encode path); the inline
+  /// fallback makes that unreachable, and an explicit guard on the dispatch
+  /// path throws std::logic_error if a refactor ever re-opens it.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is a worker owned by any ThreadPool.
+  /// Exposed for the dispatch guard above and for tests/assertions in code
+  /// that must only run on a coordinating thread.
+  [[nodiscard]] static bool current_thread_is_worker() noexcept;
 
   /// Process-wide shared pool, sized for the machine. First use spawns the
   /// workers; intended for one-off heavyweight jobs like blob encodes.

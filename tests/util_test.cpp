@@ -464,6 +464,38 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   EXPECT_EQ(inner_total.load(), 32);
 }
 
+TEST(ThreadPool, CurrentThreadIsWorkerSeesWorkersOnly) {
+  EXPECT_FALSE(ThreadPool::current_thread_is_worker());
+  ThreadPool pool(2);
+  std::atomic<int> on_worker{0};
+  std::atomic<int> total{0};
+  // With 2 workers plus the caller racing over 256 items, workers claim
+  // some of them (the caller alone can't observe a true flag).
+  pool.parallel_for(0, 256, [&](std::size_t) {
+    ++total;
+    if (ThreadPool::current_thread_is_worker()) ++on_worker;
+  });
+  EXPECT_EQ(total.load(), 256);
+  EXPECT_FALSE(ThreadPool::current_thread_is_worker());  // caller unchanged
+}
+
+TEST(ThreadPool, NestedDispatchIntoAnotherPoolRunsInline) {
+  // A worker of pool A entering pool B's parallel_for must not block-dispatch
+  // (that can deadlock); the inline fallback handles it, and the iterations
+  // all run on the issuing thread.
+  ThreadPool a(2);
+  ThreadPool b(2);
+  std::atomic<int> inner{0};
+  a.parallel_for(0, 4, [&](std::size_t) {
+    const auto id = std::this_thread::get_id();
+    b.parallel_for(0, 8, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), id);
+      ++inner;
+    });
+  });
+  EXPECT_EQ(inner.load(), 32);
+}
+
 TEST(ThreadPool, SharedPoolSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
   std::atomic<int> calls{0};
