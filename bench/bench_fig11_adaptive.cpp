@@ -3,14 +3,22 @@
 // constant strategy (t = 400 ms, k = 1 in every round), with the redundant
 // seeding policy.
 //
+// With --hedged a third configuration is appended: the adaptive schedule
+// plus RTO-driven hedged duplicate queries (core/rtt.h). The fault-injection
+// flags (harness/fault_cli.h) apply to every mode, so
+//   bench_fig11_adaptive --hedged --partition 0.05 --loss-burst 0.1 --churn 0.1
+// compares fixed vs adaptive vs hedged under identical link chaos. Without
+// those flags the two paper modes are untouched.
+//
 //   ./build/bench/bench_fig11_adaptive [--nodes 1000] [--slots 10] [--quick]
-//                                      [--json] [--trace-out F]
+//                                      [--hedged] [--json] [--trace-out F]
 //                                      [--metrics-out F] [--records-out F]
 
 #include <cstdio>
 
 #include "harness/args.h"
 #include "harness/experiment.h"
+#include "harness/fault_cli.h"
 #include "harness/obs_cli.h"
 #include "harness/report.h"
 
@@ -19,6 +27,7 @@ int main(int argc, char** argv) {
   harness::Args args(argc, argv);
   const bool quick = args.has("--quick");
   const auto obs = harness::ObsCli::parse(args);
+  const auto fault_cli = harness::FaultCli::parse(args);
   const auto nodes =
       static_cast<std::uint32_t>(args.get_int("--nodes", quick ? 300 : 500));
   const auto slots =
@@ -28,26 +37,36 @@ int main(int argc, char** argv) {
     harness::print_header("Fig 11 — adaptive vs constant fetching (" +
                           std::to_string(nodes) + " nodes)");
   }
-  for (const bool adaptive : {true, false}) {
+  enum class Mode { kAdaptive, kConstant, kHedged };
+  std::vector<Mode> modes = {Mode::kAdaptive, Mode::kConstant};
+  if (fault_cli.hedging) modes.push_back(Mode::kHedged);
+  for (const Mode mode : modes) {
     harness::PandasConfig cfg;
     cfg.net.nodes = nodes;
     cfg.net.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
     cfg.slots = slots;
     cfg.policy = core::SeedingPolicy::redundant(8);
-    cfg.params.adaptive = adaptive;
     cfg.block_gossip = false;
+    fault_cli.apply(cfg);
+    cfg.params.adaptive = mode != Mode::kConstant;
+    cfg.params.hedging = mode == Mode::kHedged;
     obs.apply(cfg);
 
+    const char* label = mode == Mode::kAdaptive   ? "adaptive"
+                        : mode == Mode::kConstant ? "constant"
+                                                  : "hedged";
     harness::PandasExperiment experiment(cfg);
     const auto res = experiment.run();
-    const auto snap = harness::snapshot_of(
-        adaptive ? "fig11/adaptive" : "fig11/constant", cfg, res);
+    const auto snap =
+        harness::snapshot_of(std::string("fig11/") + label, cfg, res);
 
     if (obs.json) {
       harness::ObsCli::emit_json(snap);
     } else {
       std::printf("\n  %s strategy:\n",
-                  adaptive ? "adaptive" : "constant (t=400ms, k=1)");
+                  mode == Mode::kAdaptive   ? "adaptive"
+                  : mode == Mode::kConstant ? "constant (t=400ms, k=1)"
+                                            : "hedged (adaptive + RTO hedges)");
       harness::print_summary("(a) time to sampling",
                              snap.series_named("sampling_ms").summary, "ms");
       harness::print_summary("(b) messages in+out",
@@ -55,8 +74,9 @@ int main(int argc, char** argv) {
       std::printf("    sampling misses: %llu   met 4 s deadline: %.2f%%\n",
                   static_cast<unsigned long long>(snap.sampling_misses),
                   100.0 * snap.deadline_fraction);
+      harness::print_hardening(snap);
     }
-    obs.finish(experiment, adaptive ? "adaptive" : "constant");
+    obs.finish(experiment, label);
   }
   return 0;
 }

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Chaos-soak driver: sweeps seeds x chaos mixes through bench_soak.
+
+Each seed runs the bench's full mix battery (partitions, Gilbert-Elliott
+bursts, flapping, bandwidth collapse, combined storm); the bench asserts the
+robustness invariants per run (zero corrupt cells accepted, attribution sums
+exact, serial-vs-sharded byte-identity, allocation steady state) and exits
+non-zero on any violation.
+
+  python3 scripts/soak.py                 # 5 seeds, full battery
+  python3 scripts/soak.py --quick         # 2 seeds, quick runs (CI smoke)
+  python3 scripts/soak.py --seeds 20 --threads 8
+  python3 scripts/soak.py --mix storm     # one mix only
+
+Exit status is non-zero as soon as one seed fails.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default=str(REPO / "build" / "bench" / "bench_soak"),
+                    help="bench_soak binary (default: build/bench/bench_soak)")
+    ap.add_argument("--seeds", type=int, default=5,
+                    help="number of seeds to sweep (default 5)")
+    ap.add_argument("--seed0", type=int, default=42,
+                    help="first seed (default 42)")
+    ap.add_argument("--threads", type=int, default=4,
+                    help="shard count for the serial-vs-sharded check")
+    ap.add_argument("--mix", default="",
+                    help="run a single named mix (see bench_soak --list)")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke: quick bench runs, at most 2 seeds")
+    args = ap.parse_args()
+
+    bench = pathlib.Path(args.bench)
+    if not bench.exists():
+        print(f"soak: bench not found: {bench} (build the repo first)",
+              file=sys.stderr)
+        return 2
+
+    seeds = min(args.seeds, 2) if args.quick else args.seeds
+    failures = 0
+    for i in range(seeds):
+        seed = args.seed0 + i
+        cmd = [str(bench), "--seed", str(seed), "--threads", str(args.threads)]
+        if args.quick:
+            cmd.append("--quick")
+        if args.mix:
+            cmd += ["--mix", args.mix]
+        print(f"== soak seed {seed} ==", flush=True)
+        proc = subprocess.run(cmd, cwd=REPO)
+        if proc.returncode != 0:
+            print(f"soak: seed {seed} FAILED (exit {proc.returncode})",
+                  file=sys.stderr)
+            failures += 1
+            break  # fail fast: one broken seed is enough to block
+    if failures:
+        return 1
+    print(f"soak: {seeds} seed(s) passed all invariants")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,12 +35,14 @@ elif [[ "${1:-}" == "--tsan" ]]; then
       -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
   # The threaded surface: ThreadPool itself, the parallel erasure encode
   # paths that fan out over it, the engine/topology layer that owns the
-  # deterministic seams the pool must not cross, and the sharded parallel
-  # engine + cross-shard transport lanes (tests/parallel_test.cpp).
+  # deterministic seams the pool must not cross, the sharded parallel
+  # engine + cross-shard transport lanes (tests/parallel_test.cpp), and the
+  # fault/hedging suites whose chaotic runs shard over the pool too.
   cmake --build build-tsan -j "$(nproc)" \
-      --target util_test erasure_test kernels_test sim_test parallel_test
+      --target util_test erasure_test kernels_test sim_test parallel_test \
+               fault_test fetcher_test rtt_test
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-      -R "ThreadPool|ReedSolomon|ExtendedBlob|Kernels|Engine|Topology|Parallel"
+      -R "ThreadPool|ReedSolomon|ExtendedBlob|Kernels|Engine|Topology|Parallel|Fault|Fetcher|Rtt|PeerRtt"
   echo "tier1 OK (build-tsan)"
   exit 0
 fi
@@ -134,6 +136,15 @@ for f in "${SMOKE_DIR}"/serial/*; do
       || { echo "serial/parallel export differs: $(basename "$f")"; exit 1; }
 done
 echo "parallel equivalence OK (--sim-threads 1 vs 8 exports byte-identical)"
+
+# Chaos-soak smoke job: one quick seed through the full chaos-mix battery
+# (partitions, Gilbert–Elliott bursts, flapping, bandwidth collapse, storm),
+# asserting the robustness invariants — zero corrupt cells accepted, exact
+# attribution sums, serial-vs-sharded byte-identity, allocation steady
+# state (docs/FAULTS.md "Network chaos").
+python3 scripts/soak.py --quick --seeds 1 \
+    --bench "./${BUILD_DIR}/bench/bench_soak"
+echo "soak smoke OK"
 
 # Portable-fallback job (default config only): build the erasure stack with
 # SIMD tiers compiled out and no AVX in the baseline ISA, so the scalar

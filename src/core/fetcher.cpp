@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/reputation.h"
+#include "core/rtt.h"
 
 namespace pandas::core {
 
@@ -71,6 +72,7 @@ void AdaptiveFetcher::start(std::span<const net::CellId> needed,
                             net::BoostMap boost, SendQueryFn send) {
   if (started_) return;
   started_ = true;
+  fetch_deadline_ = engine_.now() + params_.deadline;
   send_ = std::move(send);
   boost_ = std::move(boost);
   add_needed(needed);
@@ -101,9 +103,29 @@ FetchRoundStats& AdaptiveFetcher::stats_for_round(std::uint32_t round) {
 
 void AdaptiveFetcher::on_reply(net::NodeIndex from, std::uint32_t new_cells,
                                std::uint32_t duplicates,
-                               std::uint32_t reconstructed) {
+                               std::uint32_t reconstructed, bool buffered) {
   const auto it = query_round_.find(from);
   if (it == query_round_.end()) return;  // unsolicited
+  // RTT sample for the estimator — first reply to a non-retransmitted query
+  // only (Karn's rule), and never from the buffered-reply path (that
+  // measures the peer's consolidation wait, not the network).
+  if (rtt_ != nullptr && !buffered && replied_.count(from) == 0 &&
+      retransmitted_.count(from) == 0) {
+    const auto sit = query_sent_at_.find(from);
+    if (sit != query_sent_at_.end()) {
+      rtt_->sample(from, engine_.now() - sit->second);
+    }
+  }
+  // A reply from a hedge target that beats the slow peer is a hedge win.
+  const auto hit = hedge_of_.find(from);
+  if (hit != hedge_of_.end()) {
+    if (new_cells > 0 && replied_.count(hit->second) == 0) {
+      ++hedge_wins_;
+      obs::emit(trace_, obs::EventType::kHedgeWin, engine_.now(), from,
+                new_cells, hit->second);
+    }
+    hedge_of_.erase(hit);
+  }
   replied_.insert(from);
   if (reputation_ != nullptr && new_cells > 0) reputation_->record_success(from);
   const std::uint32_t round = it->second;
@@ -165,12 +187,137 @@ void AdaptiveFetcher::on_corrupt_reply(net::NodeIndex from,
     }
     if (query_cells.empty()) continue;
     for (const auto cell : query_cells) ++coverage_[cell.packed()];
+    note_query_sent(cand.node, query_cells);
     query_round_[cand.node] = round_;
     replied_.erase(cand.node);
     st.messages_sent += 1;
     st.cells_requested += static_cast<std::uint32_t>(query_cells.size());
+    if (round_ <= round_deadline_.size()) {
+      arm_rto(cand.node, round_, round_deadline_[round_ - 1]);
+    }
     send_(cand.node, std::move(query_cells), round_, /*redraw=*/true);
   }
+}
+
+void AdaptiveFetcher::note_query_sent(net::NodeIndex node,
+                                      const std::vector<net::CellId>& cells) {
+  if (rtt_ == nullptr) return;
+  if (query_sent_at_.count(node) != 0 && replied_.count(node) == 0) {
+    // Karn's rule: re-querying a peer whose prior query is still unanswered
+    // makes the next reply ambiguous — it must never feed the estimator.
+    retransmitted_.insert(node);
+  } else {
+    retransmitted_.erase(node);
+  }
+  query_sent_at_[node] = engine_.now();
+  if (params_.hedging) query_cells_[node] = cells;
+}
+
+void AdaptiveFetcher::arm_rto(net::NodeIndex peer, std::uint32_t round,
+                              sim::Time round_end) {
+  if (!params_.hedging || rtt_ == nullptr) return;
+  const sim::Time rto = rtt_->rto(peer);
+  const sim::Time fire = engine_.now() + rto;
+  // Hedge only when the RTO verdict lands inside the round budget (otherwise
+  // the round deadline is the verdict) and the slot deadline still has room
+  // for the duplicate to pay off.
+  if (fire >= round_end || fire >= fetch_deadline_) return;
+  engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), rto,
+                         [weak = weak_from_this(), peer, round]() {
+                           if (const auto self = weak.lock()) {
+                             self->on_rto(peer, round);
+                           }
+                         });
+}
+
+void AdaptiveFetcher::on_rto(net::NodeIndex peer, std::uint32_t round) {
+  if (!rounds_active_ || !params_.hedging || rtt_ == nullptr) return;
+  const auto it = query_round_.find(peer);
+  if (it == query_round_.end() || it->second != round) return;  // stale timer
+  if (replied_.count(peer) != 0) return;  // the reply beat the timer
+  ++rto_expirations_;
+  // Exponential backoff for this peer's future timers (Karn). Reputation is
+  // deliberately NOT charged here: only the round deadline charges, once.
+  rtt_->timeout(peer);
+  obs::emit(trace_, obs::EventType::kRtoExpired, engine_.now(), peer, round,
+            static_cast<std::int64_t>(rtt_->rto(peer)));
+
+  auto& hedges = hedges_for_[peer];
+  if (hedges >= params_.hedge_max_per_query) return;
+  if (engine_.now() >= fetch_deadline_) return;
+
+  // Cells the slow peer was asked for that are still missing.
+  std::vector<net::CellId> need;
+  const auto cit = query_cells_.find(peer);
+  if (cit != query_cells_.end()) {
+    for (const auto cell : cit->second) {
+      if (is_outstanding(cell)) need.push_back(cell);
+    }
+  }
+  if (need.empty()) return;
+
+  // Degradation ladder, rungs 1+2: the normal candidate machinery — boost
+  // recipients are gathered first and outscore plain custodians via
+  // cb_boost, so "scored direct peers → consolidation-boost peers" falls
+  // out of the existing ranking.
+  std::vector<net::NodeIndex> pool;
+  gather_candidates(1, pool);
+  std::vector<Candidate> candidates;
+  score_candidates(pool, candidates);
+  const std::uint64_t salt = rng_();
+  std::sort(candidates.begin(), candidates.end(),
+            [salt](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return util::mix64(a.node ^ salt) < util::mix64(b.node ^ salt);
+            });
+
+  net::NodeIndex target = net::kInvalidNode;
+  std::vector<net::CellId> hedge_cells;
+  for (auto& cand : candidates) {
+    if (cand.interest.empty()) materialize_interest(cand);
+    std::vector<net::CellId> overlap;
+    for (const auto cell : cand.interest) {
+      if (std::find(need.begin(), need.end(), cell) != need.end()) {
+        overlap.push_back(cell);
+      }
+    }
+    if (overlap.empty()) continue;
+    target = cand.node;
+    hedge_cells = std::move(overlap);
+    break;
+  }
+  // Rung 3: last-resort custodians (e.g. DHT-discovered). Deliberately not
+  // view-filtered — reaching holders outside the view is their purpose.
+  if (target == net::kInvalidNode && last_resort_) {
+    for (const auto n : last_resort_()) {
+      if (n == self_ || query_round_.count(n) != 0) continue;
+      if (reputation_ != nullptr &&
+          reputation_->greylisted(n, engine_.now())) {
+        continue;
+      }
+      target = n;
+      hedge_cells = need;
+      break;
+    }
+  }
+  if (target == net::kInvalidNode) return;
+
+  ++hedges;
+  ++hedges_sent_;
+  for (const auto cell : hedge_cells) ++coverage_[cell.packed()];
+  auto& st = stats_for_round(round_);
+  st.messages_sent += 1;
+  st.cells_requested += static_cast<std::uint32_t>(hedge_cells.size());
+  note_query_sent(target, hedge_cells);
+  query_round_[target] = round_;
+  replied_.erase(target);
+  hedge_of_[target] = peer;
+  obs::emit(trace_, obs::EventType::kHedgeSent, engine_.now(), target,
+            static_cast<std::int64_t>(hedge_cells.size()), peer);
+  if (round_ <= round_deadline_.size()) {
+    arm_rto(target, round_, round_deadline_[round_ - 1]);
+  }
+  send_(target, std::move(hedge_cells), round_, /*redraw=*/true);
 }
 
 void AdaptiveFetcher::gather_candidates(std::uint32_t k,
@@ -340,6 +487,7 @@ void AdaptiveFetcher::run_round() {
   const std::uint32_t cycle_round = round_ - cycle_start_round_;
   const std::uint32_t k = params_.redundancy_for_round(cycle_round);
   const sim::Time timeout = params_.timeout_for_round(cycle_round);
+  const sim::Time round_end = engine_.now() + timeout;
 
   std::vector<net::NodeIndex> pool;
   gather_candidates(k, pool);
@@ -392,10 +540,12 @@ void AdaptiveFetcher::run_round() {
       const auto c = ++coverage_[cell.packed()];
       if (c == k) --under;
     }
+    note_query_sent(cand.node, query_cells);
     query_round_[cand.node] = round_;
     replied_.erase(cand.node);  // a fresh query must be answered anew
     st.messages_sent += 1;
     st.cells_requested += static_cast<std::uint32_t>(query_cells.size());
+    arm_rto(cand.node, round_, round_end);
     send_(cand.node, std::move(query_cells), round_, /*redraw=*/false);
   }
 
@@ -413,13 +563,14 @@ void AdaptiveFetcher::run_round() {
     }
     query_round_.clear();
     coverage_.clear();
+    hedges_for_.clear();  // a fresh cycle earns a fresh hedge budget
     cycle_start_round_ = round_;
     // Back off before the re-invocation: peers need time to consolidate
     // before re-querying them is useful.
     next_round_in = params_.first_round_timeout;
   }
 
-  round_deadline_.push_back(engine_.now() + timeout);
+  round_deadline_.push_back(round_end);
   engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), next_round_in, [weak = weak_from_this()]() {
     if (const auto self = weak.lock()) self->run_round();
   });

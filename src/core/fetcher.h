@@ -37,9 +37,22 @@
 /// history: scores are multiplied by the peer's reputation weight, greylisted
 /// peers are skipped outright, and a queried peer that stays silent past its
 /// round deadline is reported as a timeout (late replies then redeem it).
+///
+/// With `params.hedging` on (off by default — the paper's schedule exactly),
+/// every query also arms a per-peer RTO timer from the shared estimator
+/// (core/rtt.h). An RTO expiring inside the round budget sends a hedged
+/// duplicate query for the peer's still-missing cells to the next-best
+/// candidate, walking a degradation ladder: scored direct peers →
+/// consolidation-boost recipients (both via the normal candidate machinery,
+/// which ranks boost holders first) → a last-resort provider hook
+/// (DHT-discovered custodians). Hedges are capped by the remaining slot
+/// deadline and by hedge_max_per_query, back off exponentially (Karn), and
+/// never double-charge reputation: the RTO expiry itself charges nothing —
+/// only the round deadline does, once, and a late reply redeems it once.
 namespace pandas::core {
 
 class PeerReputation;
+class PeerRtt;
 
 /// Per-round telemetry matching the rows of the paper's Table 1.
 struct FetchRoundStats {
@@ -103,6 +116,18 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
   /// Observability sink (nullptr = off); rounds emit round-start events.
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Shared per-peer RTO estimator (core/rtt.h), owned by the node so it
+  /// outlives slots. When set, query→reply times feed it (Karn's rule:
+  /// buffered replies and re-queried peers are never sampled); when
+  /// `params.hedging` is also on, RTO timers arm per query. nullptr = off.
+  void set_rtt(PeerRtt* rtt) { rtt_ = rtt; }
+
+  /// Last rung of the hedging degradation ladder: extra candidate nodes
+  /// (e.g. DHT-discovered custodians) consulted only when scored peers and
+  /// boost recipients are exhausted.
+  using LastResortFn = std::function<std::vector<net::NodeIndex>()>;
+  void set_last_resort(LastResortFn fn) { last_resort_ = std::move(fn); }
+
   /// Number of cells of `line` currently in F.
   [[nodiscard]] std::uint32_t outstanding_in_line(net::LineRef line,
                                                   std::uint32_t n) const;
@@ -111,9 +136,12 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
 
   /// Attribution hook for Table 1: a reply from `from` delivered `new_cells`
   /// fresh cells, `duplicates` already-held ones, and triggered
-  /// `reconstructed` recoveries.
+  /// `reconstructed` recoveries. `buffered` marks replies served from the
+  /// peer's buffered-query path — they measure consolidation wait, not
+  /// network RTT, so they never feed the estimator.
   void on_reply(net::NodeIndex from, std::uint32_t new_cells,
-                std::uint32_t duplicates, std::uint32_t reconstructed);
+                std::uint32_t duplicates, std::uint32_t reconstructed,
+                bool buffered = false);
 
   /// A reply from `from` carried cells whose proofs failed verification.
   /// Unlike silence, a forged reply is a positive signal: the coverage those
@@ -136,6 +164,16 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
   }
   [[nodiscard]] bool was_queried(net::NodeIndex n) const {
     return query_round_.count(n) != 0;
+  }
+  /// Hedging counters (0 unless params.hedging).
+  [[nodiscard]] std::uint32_t rto_expirations() const noexcept {
+    return rto_expirations_;
+  }
+  [[nodiscard]] std::uint32_t hedges_sent() const noexcept {
+    return hedges_sent_;
+  }
+  [[nodiscard]] std::uint32_t hedge_wins() const noexcept {
+    return hedge_wins_;
   }
 
  private:
@@ -168,6 +206,15 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
 
   /// Charges round timeouts for peers queried in `round` that never replied.
   void record_round_timeouts(std::uint32_t round);
+
+  /// Bookkeeping common to every outgoing query: Karn retransmit marking
+  /// and the send timestamp the RTT sample derives from (rtt_ set only).
+  void note_query_sent(net::NodeIndex node,
+                       const std::vector<net::CellId>& cells);
+  /// Arms a hedging RTO timer for `peer`, provided the RTO lands inside
+  /// both the round budget (`round_end`) and the slot deadline.
+  void arm_rto(net::NodeIndex peer, std::uint32_t round, sim::Time round_end);
+  void on_rto(net::NodeIndex peer, std::uint32_t round);
 
   sim::Engine& engine_;
   const ProtocolParams& params_;
@@ -203,6 +250,25 @@ class AdaptiveFetcher : public std::enable_shared_from_this<AdaptiveFetcher> {
   /// k_i total outstanding queries.
   std::unordered_map<std::uint32_t, std::uint32_t> coverage_;
   std::vector<FetchRoundStats> stats_;
+
+  /// ---- RTT / hedging state (inert when rtt_ == nullptr) ----
+  PeerRtt* rtt_ = nullptr;
+  LastResortFn last_resort_;
+  sim::Time fetch_deadline_ = 0;  ///< start() time + params.deadline
+  /// Send time of each peer's outstanding query (RTT sample base).
+  std::unordered_map<net::NodeIndex, sim::Time> query_sent_at_;
+  /// Cells each peer's outstanding query asked for (hedge work list).
+  std::unordered_map<net::NodeIndex, std::vector<net::CellId>> query_cells_;
+  /// Karn's rule: peers re-queried while a prior query was unanswered —
+  /// their next reply is ambiguous and never sampled.
+  std::unordered_set<net::NodeIndex> retransmitted_;
+  /// Hedge target -> the slow peer it hedges (for hedge_wins accounting).
+  std::unordered_map<net::NodeIndex, net::NodeIndex> hedge_of_;
+  /// Slow peer -> hedges already sent for it this cycle.
+  std::unordered_map<net::NodeIndex, std::uint32_t> hedges_for_;
+  std::uint32_t rto_expirations_ = 0;
+  std::uint32_t hedges_sent_ = 0;
+  std::uint32_t hedge_wins_ = 0;
 };
 
 }  // namespace pandas::core

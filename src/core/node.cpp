@@ -15,7 +15,8 @@ PandasNode::PandasNode(sim::Engine& engine, net::Transport& transport,
       params_(params),
       sample_rng_(engine.rng_stream(0x73616d70ULL ^
                                     (static_cast<std::uint64_t>(self) << 24))),
-      reputation_(params_) {}
+      reputation_(params_),
+      rtt_(params_.rto) {}
 
 void PandasNode::begin_slot(std::uint64_t slot) {
   slot_ = slot;
@@ -51,6 +52,8 @@ void PandasNode::begin_slot(std::uint64_t slot) {
       engine_.rng_stream(0x66657463ULL ^
                          (static_cast<std::uint64_t>(self_) << 20) ^ slot),
       params_.reputation ? &reputation_ : nullptr);
+  fetcher_->set_rtt(&rtt_);
+  if (last_resort_) fetcher_->set_last_resort(last_resort_);
   if (trace_ != nullptr) {
     trace_->set_slot(slot);
     fetcher_->set_trace(trace_);
@@ -352,7 +355,7 @@ void PandasNode::on_reply(net::NodeIndex from, net::CellReplyMsg&& msg) {
   const auto stripped = verify_received(from, msg.cells, msg.tags);
   const auto result = ingest(msg.cells);
   fetcher_->on_reply(from, result.new_cells, result.duplicates,
-                     result.reconstructed);
+                     result.reconstructed, msg.buffered);
   if (!stripped.empty()) fetcher_->on_corrupt_reply(from, stripped);
 }
 

@@ -9,6 +9,7 @@
 #include "core/fetcher.h"
 #include "core/params.h"
 #include "core/reputation.h"
+#include "core/rtt.h"
 #include "core/view.h"
 #include "fault/fault.h"
 #include "net/transport.h"
@@ -102,6 +103,19 @@ class PandasNode {
   [[nodiscard]] const PeerReputation& reputation() const noexcept {
     return reputation_;
   }
+  /// Cross-slot per-peer RTO estimator (core/rtt.h); fed by fetch replies,
+  /// consumed by the fetcher's hedging when params.hedging is on.
+  [[nodiscard]] const PeerRtt& peer_rtt() const noexcept { return rtt_; }
+  /// Topology RTT prior handed to fresh peer estimators. Must be a pure
+  /// function of the peer index (callable from any engine shard).
+  void set_rtt_prior(std::function<double(net::NodeIndex)> prior_ms) {
+    rtt_.set_prior(std::move(prior_ms));
+  }
+  /// Last-resort hedge candidates (degradation ladder rung 3, e.g.
+  /// DHT-discovered custodians); forwarded to each slot's fetcher.
+  void set_last_resort(AdaptiveFetcher::LastResortFn fn) {
+    last_resort_ = std::move(fn);
+  }
 
  private:
   /// Causal context of the query a reply answers, echoed into the reply so
@@ -155,6 +169,8 @@ class PandasNode {
   const fault::NodeProfile* profile_ = nullptr;
   util::Xoshiro256 sample_rng_;
   PeerReputation reputation_;
+  PeerRtt rtt_;
+  AdaptiveFetcher::LastResortFn last_resort_;
 
   std::uint64_t slot_ = 0;
   bool slot_active_ = false;

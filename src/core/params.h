@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/rtt.h"
 #include "sim/time.h"
 
 /// Protocol parameters for PANDAS, defaulting to the Danksharding targets
@@ -64,6 +65,24 @@ struct ProtocolParams {
   /// Constant-strategy override used by the Fig 11 ablation: fixed timeout
   /// and redundancy for every round when set.
   bool adaptive = true;
+
+  /// ---- Deadline-aware hedging (off = the paper's §7 schedule exactly) ----
+
+  /// When true, every fetch query also arms a per-peer RTO timer (Jacobson/
+  /// Karels estimator, src/core/rtt.h, seeded from a topology prior). An RTO
+  /// expiring inside the round budget sends a hedged duplicate query for the
+  /// still-missing cells to the next-best candidate instead of waiting out
+  /// the round; the silent peer is NOT charged reputation at RTO expiry (the
+  /// round deadline still does that, and a late reply still redeems it). Off
+  /// by default so Fig 11 / Table 1 runs are byte-identical to the fixed
+  /// schedule.
+  bool hedging = false;
+  /// Estimator gains and RTO clamps shared by the fetcher, the retrieval
+  /// client, and (via KademliaConfig) the DHT baseline.
+  RtoParams rto = {};
+  /// Hedged duplicates per original query: after this many RTO expirations
+  /// for the same slow peer within a cycle, further expiry only backs off.
+  std::uint32_t hedge_max_per_query = 2;
 
   /// ---- Defensive hardening (§4.1's Byzantine peers) ----
 

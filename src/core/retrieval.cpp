@@ -66,6 +66,7 @@ void RetrievalClient::round(const std::shared_ptr<LineState>& st,
   }
   for (const auto peer : fresh) {
     st->asked.insert(peer);
+    note_sent(peer);
     net::CellQueryMsg q;
     q.slot = st->slot;
     q.cells = wanted;
@@ -73,10 +74,25 @@ void RetrievalClient::round(const std::shared_ptr<LineState>& st,
     transport_.send(self_, peer, std::move(q));
   }
 
-  engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), 300 * sim::kMillisecond,
+  // Re-round pacing: fixed 300 ms classic, or — with an estimator — the
+  // worst per-peer RTO among the peers just asked, never slower than the
+  // classic pace (so the default behaviour is the upper bound).
+  sim::Time wait = 300 * sim::kMillisecond;
+  if (rtt_ != nullptr) {
+    sim::Time worst = 0;
+    for (const auto peer : fresh) worst = std::max(worst, rtt_->rto(peer));
+    if (worst > 0) wait = std::min(wait, worst);
+  }
+  engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), wait,
                       [weak = weak_from_this(), st, peers]() {
                         if (const auto self = weak.lock()) self->round(st, peers);
                       });
+}
+
+void RetrievalClient::note_sent(net::NodeIndex peer) {
+  if (rtt_ == nullptr) return;
+  const auto [it, inserted] = query_sent_at_.try_emplace(peer, engine_.now());
+  if (!inserted) it->second = -1;  // re-ask while outstanding: ambiguous
 }
 
 void RetrievalClient::finish(const std::shared_ptr<LineState>& st, bool success) {
@@ -85,9 +101,15 @@ void RetrievalClient::finish(const std::shared_ptr<LineState>& st, bool success)
   if (st->done) st->done(st->line, success);
 }
 
-bool RetrievalClient::handle_message(net::NodeIndex /*from*/, net::Message& msg) {
+bool RetrievalClient::handle_message(net::NodeIndex from, net::Message& msg) {
   auto* reply = std::get_if<net::CellReplyMsg>(&msg);
   if (reply == nullptr) return false;
+  if (rtt_ != nullptr) {
+    if (const auto it = query_sent_at_.find(from); it != query_sent_at_.end()) {
+      if (it->second >= 0) rtt_->sample(from, engine_.now() - it->second);
+      query_sent_at_.erase(it);
+    }
+  }
   for (auto& st : lines_) {
     if (st->slot != reply->slot) continue;
     for (const auto cell : reply->cells) {

@@ -8,6 +8,7 @@
 
 #include "core/assignment.h"
 #include "core/params.h"
+#include "core/rtt.h"
 #include "core/view.h"
 #include "net/transport.h"
 #include "sim/engine.h"
@@ -57,6 +58,12 @@ class RetrievalClient : public std::enable_shared_from_this<RetrievalClient> {
     return collected(line) >= params_.matrix_k;
   }
 
+  /// Optional shared per-peer RTO estimator (core/rtt.h; must outlive the
+  /// client). When set, reply times feed it and the re-round pacing tightens
+  /// from the fixed 300 ms down to the asked peers' worst RTO; when unset the
+  /// classic fixed pacing is untouched.
+  void set_rtt(PeerRtt* rtt) { rtt_ = rtt; }
+
  private:
   struct LineState {
     net::LineRef line;
@@ -70,6 +77,8 @@ class RetrievalClient : public std::enable_shared_from_this<RetrievalClient> {
 
   void round(const std::shared_ptr<LineState>& st, std::uint32_t peers);
   void finish(const std::shared_ptr<LineState>& st, bool success);
+  /// RTT bookkeeping for one outgoing query (no-op without an estimator).
+  void note_sent(net::NodeIndex peer);
 
   sim::Engine& engine_;
   net::Transport& transport_;
@@ -81,6 +90,10 @@ class RetrievalClient : public std::enable_shared_from_this<RetrievalClient> {
   std::vector<std::shared_ptr<LineState>> lines_;
   /// CauseId sequence for the queries this client originates (obs/causal.h).
   std::uint32_t cause_seq_ = 0;
+  PeerRtt* rtt_ = nullptr;
+  /// Send instant per peer with a query outstanding; -1 marks a re-ask whose
+  /// reply would be ambiguous (Karn's rule: never sampled).
+  std::unordered_map<net::NodeIndex, sim::Time> query_sent_at_;
 };
 
 }  // namespace pandas::core

@@ -7,7 +7,18 @@ namespace pandas::dht {
 
 namespace {
 constexpr std::uint32_t kNodesPerReply = 16;
+
+/// The estimator's clamp range mirrors the config: never slower than the
+/// classic fixed rpc_timeout, never tighter than min_rpc_timeout.
+core::RtoParams rto_params_of(const KademliaConfig& cfg) {
+  core::RtoParams p;
+  p.initial_rto = cfg.rpc_timeout;
+  p.max_rto = cfg.rpc_timeout;
+  p.min_rto = cfg.min_rpc_timeout;
+  return p;
 }
+
+}  // namespace
 
 struct KademliaNode::Lookup {
   crypto::NodeId target;
@@ -32,7 +43,8 @@ KademliaNode::KademliaNode(sim::Engine& engine, net::Transport& transport,
       directory_(directory),
       self_(self),
       cfg_(cfg),
-      table_(directory, self, cfg.bucket_size) {}
+      table_(directory, self, cfg.bucket_size),
+      rtt_(rto_params_of(cfg)) {}
 
 void KademliaNode::bootstrap(const std::vector<net::NodeIndex>& contacts) {
   for (const auto c : contacts) table_.observe(c);
@@ -85,10 +97,34 @@ bool KademliaNode::handle(net::NodeIndex from, net::Message& msg) {
     pending_.erase(it);
     if (!rpc->done) {
       rpc->done = true;
+      // Every rpc_id is sent exactly once, so there is no Karn ambiguity:
+      // every first reply is a valid RTT sample.
+      if (cfg_.adaptive_timeout && rpc->target != net::kInvalidNode) {
+        rtt_.sample(rpc->target, engine_.now() - rpc->sent_at);
+      }
       if (rpc->on_reply) rpc->on_reply(from, msg);
     }
   }
   return true;
+}
+
+void KademliaNode::arm_rpc_timeout(std::uint64_t rpc_id, net::NodeIndex target) {
+  const sim::Time timeout =
+      cfg_.adaptive_timeout ? rtt_.rto(target) : cfg_.rpc_timeout;
+  engine_.schedule_in_as(
+      sim::Engine::lane_of_actor(self_), timeout, [this, rpc_id]() {
+        const auto it = pending_.find(rpc_id);
+        if (it == pending_.end()) return;
+        auto r = it->second;
+        pending_.erase(it);
+        if (!r->done) {
+          r->done = true;
+          if (cfg_.adaptive_timeout && r->target != net::kInvalidNode) {
+            rtt_.timeout(r->target);  // exponential backoff (Karn's rule)
+          }
+          if (r->on_timeout) r->on_timeout();
+        }
+      });
 }
 
 void KademliaNode::lookup(const crypto::NodeId& target, LookupCallback done) {
@@ -133,18 +169,10 @@ void KademliaNode::store(const crypto::NodeId& key, std::vector<net::CellId> cel
       };
       rpc->on_reply = [complete](net::NodeIndex, net::Message&) { complete(true); };
       rpc->on_timeout = [complete]() { complete(false); };
+      rpc->target = target;
+      rpc->sent_at = engine_.now();
       pending_[msg.rpc_id] = rpc;
-      const std::uint64_t rpc_id = msg.rpc_id;
-      engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), cfg_.rpc_timeout, [this, rpc_id]() {
-        const auto it = pending_.find(rpc_id);
-        if (it == pending_.end()) return;
-        auto r = it->second;
-        pending_.erase(it);
-        if (!r->done) {
-          r->done = true;
-          if (r->on_timeout) r->on_timeout();
-        }
-      });
+      arm_rpc_timeout(msg.rpc_id, target);
       transport_.send(self_, target, std::move(msg));
     }
   });
@@ -209,17 +237,10 @@ void KademliaNode::lookup_step(const std::shared_ptr<Lookup>& lk) {
       --lk->in_flight;
       if (lk->in_flight == 0) lookup_step(lk);
     };
+    rpc->target = candidate;
+    rpc->sent_at = engine_.now();
     pending_[rpc_id] = rpc;
-    engine_.schedule_in_as(sim::Engine::lane_of_actor(self_), cfg_.rpc_timeout, [this, rpc_id]() {
-      const auto it = pending_.find(rpc_id);
-      if (it == pending_.end()) return;
-      auto r = it->second;
-      pending_.erase(it);
-      if (!r->done) {
-        r->done = true;
-        if (r->on_timeout) r->on_timeout();
-      }
-    });
+    arm_rpc_timeout(rpc_id, candidate);
 
     if (lk->want_value) {
       net::DhtFindValueMsg msg;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/rtt.h"
 #include "dht/routing_table.h"
 #include "net/directory.h"
 #include "net/transport.h"
@@ -27,6 +28,13 @@ struct KademliaConfig {
   std::uint32_t replication = 8;    ///< STORE copies (paper baseline: 8)
   sim::Time rpc_timeout = 400 * sim::kMillisecond;
   std::uint32_t max_rounds = 24;    ///< iterative lookup round cap
+  /// Per-peer adaptive RPC timeouts via the shared Jacobson/Karels RTO
+  /// estimator (core/rtt.h): observed reply times tighten each target's
+  /// timeout between min_rpc_timeout and rpc_timeout (which stays the
+  /// fallback for never-sampled peers). Off by default so the paper's
+  /// DHT baseline numbers are untouched.
+  bool adaptive_timeout = false;
+  sim::Time min_rpc_timeout = 25 * sim::kMillisecond;
 };
 
 class KademliaNode {
@@ -72,6 +80,14 @@ class KademliaNode {
     return storage_;
   }
 
+  /// Per-target RTO estimators (meaningful with cfg.adaptive_timeout).
+  [[nodiscard]] const core::PeerRtt& peer_rtt() const noexcept { return rtt_; }
+  /// Topology RTT prior for fresh estimators; must be a pure function of
+  /// the peer index (core/rtt.h).
+  void set_rtt_prior(std::function<double(net::NodeIndex)> prior_ms) {
+    rtt_.set_prior(std::move(prior_ms));
+  }
+
  private:
   struct Lookup;
 
@@ -93,14 +109,21 @@ class KademliaNode {
 
   std::map<crypto::NodeId, std::vector<net::CellId>> storage_;
 
+  /// Arms the RPC timeout for `rpc_id` aimed at `target`: the shared RTO
+  /// when adaptive, the fixed cfg_.rpc_timeout otherwise.
+  void arm_rpc_timeout(std::uint64_t rpc_id, net::NodeIndex target);
+
   // rpc_id -> continuation invoked on matching reply (or dropped on timeout)
   struct PendingRpc {
     std::function<void(net::NodeIndex from, net::Message& reply)> on_reply;
     std::function<void()> on_timeout;
+    net::NodeIndex target = net::kInvalidNode;
+    sim::Time sent_at = 0;
     bool done = false;
   };
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingRpc>> pending_;
   std::uint64_t rpc_counter_ = 1;
+  core::PeerRtt rtt_;
 };
 
 }  // namespace pandas::dht

@@ -26,9 +26,52 @@ FaultPlan FaultPlan::generate(const FaultConfig& cfg, std::uint32_t nodes,
   plan.profiles_.assign(nodes, NodeProfile{});
   plan.builder_ = cfg.builder;
   plan.counts_[static_cast<std::size_t>(Behavior::kCorrect)] = nodes;
-  if (nodes == 0 || !cfg.any_node_fault()) return plan;
+  if (nodes == 0 || (!cfg.any_node_fault() && !cfg.any_link_fault())) {
+    return plan;
+  }
 
   const std::uint64_t seed = cfg.seed != 0 ? cfg.seed : fallback_seed;
+
+  const auto chunk = [&](double fraction) {
+    return static_cast<std::uint32_t>(fraction * static_cast<double>(nodes));
+  };
+
+  if (cfg.any_link_fault()) {
+    // Link-state membership uses its own RNG stream and independent shuffles
+    // per axis: the sets are orthogonal to the behavior draw below (which
+    // stays bit-identical whether or not link chaos is on) and may overlap
+    // each other and any node behavior.
+    util::Xoshiro256 lrng(util::mix64(seed ^ 0x6c696e6bULL /* "link" */));
+    plan.links_.assign(nodes, LinkProfile{});
+    plan.any_link_fault_ = true;
+    std::vector<net::NodeIndex> lorder(nodes);
+    const auto draw_axis = [&](double fraction, auto&& apply) {
+      const std::uint32_t count = chunk(fraction);
+      if (count == 0) return;
+      std::iota(lorder.begin(), lorder.end(), 0u);
+      lrng.shuffle(lorder);
+      for (std::uint32_t i = 0; i < count && i < nodes; ++i) {
+        apply(plan.links_[lorder[i]]);
+      }
+    };
+    draw_axis(cfg.partition_fraction,
+              [](LinkProfile& l) { l.partitioned = true; });
+    draw_axis(cfg.flap_fraction, [&](LinkProfile& l) {
+      l.flap = true;
+      l.flap_phase = cfg.flap_period > 0
+                         ? static_cast<sim::Time>(lrng.uniform(
+                               static_cast<std::uint64_t>(cfg.flap_period)))
+                         : 0;
+    });
+    draw_axis(cfg.burst_fraction, [](LinkProfile& l) { l.burst = true; });
+    draw_axis(cfg.bw_collapse_fraction,
+              [](LinkProfile& l) { l.bw_collapse = true; });
+    for (net::NodeIndex i = 0; i < nodes; ++i) {
+      if (plan.links_[i].partitioned) plan.partitioned_.push_back(i);
+    }
+  }
+
+  if (!cfg.any_node_fault()) return plan;
   util::Xoshiro256 rng(util::mix64(seed ^ 0x6661756c74ULL /* "fault" */));
 
   // One shuffled order; the fault sets are consecutive disjoint chunks, so a
@@ -38,9 +81,6 @@ FaultPlan FaultPlan::generate(const FaultConfig& cfg, std::uint32_t nodes,
   std::iota(order.begin(), order.end(), 0u);
   rng.shuffle(order);
 
-  const auto chunk = [&](double fraction) {
-    return static_cast<std::uint32_t>(fraction * static_cast<double>(nodes));
-  };
   struct Draw {
     Behavior behavior;
     std::uint32_t count;

@@ -75,6 +75,26 @@ struct BuilderProfile {
   }
 };
 
+/// Per-node link-state profile, drawn orthogonally to the behavior profile:
+/// a node can churn AND sit in the partitioned group. The axes map onto
+/// net::LinkChaos at the transport (docs/FAULTS.md "Network chaos").
+struct LinkProfile {
+  /// Member of the split-off partition group (group 1) during each slot's
+  /// partition window.
+  bool partitioned = false;
+  /// Link flaps with the config's period/down-time at this phase offset.
+  bool flap = false;
+  sim::Time flap_phase = 0;
+  /// Sends suffer Gilbert–Elliott burst loss.
+  bool burst = false;
+  /// Up/down link rates collapse during each slot's bw window.
+  bool bw_collapse = false;
+
+  [[nodiscard]] bool any() const noexcept {
+    return partitioned || flap || burst || bw_collapse;
+  }
+};
+
 /// Fault axes, as independent node fractions. Fractions are drawn from a
 /// disjoint shuffle: a node gets at most one behavior, so the fractions must
 /// sum to <= 1 (generate() clamps overflow to correct).
@@ -96,6 +116,31 @@ struct FaultConfig {
 
   BuilderProfile builder{};
 
+  /// ---- Link-state chaos fractions (orthogonal to the behaviors above;
+  /// sets are drawn from independent shuffles and may overlap each other
+  /// and any node behavior) ----
+
+  /// Nodes split from the rest of the network each slot...
+  double partition_fraction = 0.0;
+  /// ...from slot_start + partition_offset, healing partition_heal later.
+  sim::Time partition_offset = 0;
+  sim::Time partition_heal = 1 * sim::kSecond;
+  /// Nodes whose link flaps (square wave, per-node random phase).
+  double flap_fraction = 0.0;
+  sim::Time flap_period = 500 * sim::kMillisecond;
+  sim::Time flap_down = 100 * sim::kMillisecond;
+  /// Nodes whose sends suffer Gilbert–Elliott burst loss.
+  double burst_fraction = 0.0;
+  double ge_p_enter = 0.05;  ///< P(good -> bad) per packet
+  double ge_p_exit = 0.25;   ///< P(bad -> good) per packet
+  double ge_loss_bad = 0.5;  ///< per-packet loss in the bad state
+  /// Nodes whose up/down link rates collapse by bw_factor each slot during
+  /// [slot_start + bw_offset, + bw_offset + bw_duration).
+  double bw_collapse_fraction = 0.0;
+  double bw_factor = 0.1;
+  sim::Time bw_offset = 0;
+  sim::Time bw_duration = 2 * sim::kSecond;
+
   /// Seed for the profile draw; 0 inherits the experiment seed, keeping the
   /// adversary a pure function of the run seed.
   std::uint64_t seed = 0;
@@ -104,6 +149,10 @@ struct FaultConfig {
     return dead_fraction > 0 || byzantine_fraction > 0 ||
            withhold_fraction > 0 || freerider_fraction > 0 ||
            straggler_fraction > 0 || churn_fraction > 0;
+  }
+  [[nodiscard]] bool any_link_fault() const noexcept {
+    return partition_fraction > 0 || flap_fraction > 0 || burst_fraction > 0 ||
+           bw_collapse_fraction > 0;
   }
 };
 
@@ -149,11 +198,28 @@ class FaultPlan {
     return churners_;
   }
 
+  /// Link-state profile of one node (all-clear default outside the range).
+  [[nodiscard]] const LinkProfile& link_of(net::NodeIndex node) const noexcept {
+    static const LinkProfile kClearLink{};
+    return node < links_.size() ? links_[node] : kClearLink;
+  }
+  [[nodiscard]] bool any_link_fault() const noexcept {
+    return any_link_fault_;
+  }
+  /// Nodes in the split-off partition group (ascending index order).
+  [[nodiscard]] const std::vector<net::NodeIndex>& partitioned()
+      const noexcept {
+    return partitioned_;
+  }
+
  private:
   std::vector<NodeProfile> profiles_;
   BuilderProfile builder_{};
   std::vector<net::NodeIndex> churners_;
   std::array<std::uint32_t, kBehaviorCount> counts_{};
+  std::vector<LinkProfile> links_;
+  std::vector<net::NodeIndex> partitioned_;
+  bool any_link_fault_ = false;
 };
 
 }  // namespace pandas::fault

@@ -82,6 +82,30 @@ void PandasExperiment::setup() {
     }
   }
 
+  // Link-state chaos: translate the plan's orthogonal link profiles into
+  // transport LinkChaos entries. The builder (index n) stays clear, so a
+  // partition never cuts the seed path at the source. Windows (partition,
+  // bandwidth collapse) are armed per slot in run_slot().
+  if (fault_plan_.any_link_fault()) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto& l = fault_plan_.link_of(i);
+      if (!l.any()) continue;
+      net::LinkChaos c;
+      c.partition_group = l.partitioned ? 1 : 0;
+      c.flap = l.flap;
+      c.flap_period = faults.flap_period;
+      c.flap_down = faults.flap_down;
+      c.flap_phase = l.flap_phase;
+      c.burst = l.burst;
+      c.ge_p_enter = faults.ge_p_enter;
+      c.ge_p_exit = faults.ge_p_exit;
+      c.ge_loss_bad = faults.ge_loss_bad;
+      c.bw_collapse = l.bw_collapse;
+      c.bw_factor = faults.bw_factor;
+      transport_->set_link_chaos(i, c);
+    }
+  }
+
   nodes_.reserve(n);
   block_arrival_.assign(n, -1);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -96,6 +120,15 @@ void PandasExperiment::setup() {
     node->configure_epoch(assignment_.get());
     node->set_view(&views_[i]);
     node->set_fault_profile(&fault_plan_.of(i));
+    // Topology RTT prior for the per-peer RTO estimators (core/rtt.h): a
+    // pure function of (self vertex, peer vertex), so it is callable from
+    // any shard. All add_node() calls precede this loop, so vertex_of is
+    // stable for the node's lifetime.
+    node->set_rtt_prior(
+        [tp = transport_.get(), topo = &topology_,
+         self_vertex = transport_->vertex_of(i)](net::NodeIndex peer) {
+          return topo->rtt_ms(self_vertex, tp->vertex_of(peer));
+        });
     nodes_.push_back(std::move(node));
   }
 
@@ -217,6 +250,39 @@ core::Builder::SeedingReport PandasExperiment::run_slot(std::uint64_t slot,
                      });
   }
 
+  // Link-state chaos windows (driver phase only: every shard clock is
+  // synced here, so window mutation is layout-invariant). One partition
+  // split + heal and one bandwidth-collapse dip per slot.
+  if (fault_plan_.any_link_fault()) {
+    const auto& lf = cfg_.faults;
+    if (lf.partition_fraction > 0 && !fault_plan_.partitioned().empty()) {
+      const sim::Time pstart = slot_start + lf.partition_offset;
+      const sim::Time pend = pstart + lf.partition_heal;
+      transport_->set_partition_window(pstart, pend);
+      partition_heals_ += 1;
+      out.partition_heals += 1;
+      if (tracer_.enabled()) {
+        // Heal marker per partitioned node, on its own shard + ordering lane
+        // (same pattern as the churn toggles above).
+        for (const auto p : fault_plan_.partitioned()) {
+          sim::Engine* eng = &engine_->engine_for(p);
+          eng->schedule_as(sim::Engine::lane_of_actor(p), pend,
+                           [this, p, eng, heal = lf.partition_heal]() {
+                             obs::emit(tracer_.sink(p),
+                                       obs::EventType::kPartitionHeal,
+                                       eng->now(), obs::kNoPeer,
+                                       static_cast<std::int64_t>(
+                                           sim::to_ms(heal)));
+                           });
+        }
+      }
+    }
+    if (lf.bw_collapse_fraction > 0) {
+      transport_->set_bw_window(slot_start + lf.bw_offset,
+                                slot_start + lf.bw_offset + lf.bw_duration);
+    }
+  }
+
   // The proposer (a random node) publishes the block over gossip while the
   // builder concurrently seeds blob cells (Fig 4/5).
   if (cfg_.block_gossip) {
@@ -284,6 +350,11 @@ core::Builder::SeedingReport PandasExperiment::run_slot(std::uint64_t slot,
 
     // Per-round fetch telemetry (Table 1).
     const auto* fetcher = nodes_[i]->fetcher();
+    if (fetcher != nullptr) {
+      out.rto_expirations += fetcher->rto_expirations();
+      out.hedges_sent += fetcher->hedges_sent();
+      out.hedge_wins += fetcher->hedge_wins();
+    }
     if (fetcher != nullptr && fetcher->initial_outstanding() > 0) {
       const auto& rounds = fetcher->round_stats();
       const auto baseline = static_cast<double>(fetcher->initial_outstanding());
@@ -337,6 +408,7 @@ void PandasExperiment::collect_obs(sim::Time slot_start) {
   std::uint64_t seed_cells = 0, fetch_messages = 0, fetch_bytes = 0;
   std::uint64_t cons_misses = 0, samp_misses = 0, n_records = 0;
   std::uint64_t corrupt_rejected = 0, corrupt_accepted = 0;
+  std::uint64_t rto_exp = 0, hedges = 0, hwins = 0;
 
   util::Histogram& h_seed =
       registry_.histogram("phase_ms", obs::label("phase", "seeding"));
@@ -384,6 +456,9 @@ void PandasExperiment::collect_obs(sim::Time slot_start) {
       if (fetcher != nullptr) {
         r.initial_outstanding = fetcher->initial_outstanding();
         r.rounds = fetcher->round_stats();
+        r.rto_expirations = fetcher->rto_expirations();
+        r.hedges_sent = fetcher->hedges_sent();
+        r.hedge_wins = fetcher->hedge_wins();
       }
       records_.push_back(std::move(r));
     }
@@ -406,6 +481,11 @@ void PandasExperiment::collect_obs(sim::Time slot_start) {
       fetch_bytes += rec.fetch_bytes;
       corrupt_rejected += rec.cells_corrupt_rejected;
       corrupt_accepted += rec.cells_corrupt_accepted;
+      if (fetcher != nullptr) {
+        rto_exp += fetcher->rto_expirations();
+        hedges += fetcher->hedges_sent();
+        hwins += fetcher->hedge_wins();
+      }
       if (fetcher != nullptr) {
         const auto& rounds = fetcher->round_stats();
         if (sums.size() < rounds.size()) sums.resize(rounds.size());
@@ -433,6 +513,13 @@ void PandasExperiment::collect_obs(sim::Time slot_start) {
     registry_.counter("fetch_traffic_bytes").inc(fetch_bytes);
     registry_.counter("cells_corrupt_rejected").inc(corrupt_rejected);
     registry_.counter("cells_corrupt_accepted").inc(corrupt_accepted);
+    // Registered only with hedging on, so the metrics dump of a
+    // hedging-off run stays byte-identical to pre-hedging builds.
+    if (cfg_.params.hedging) {
+      registry_.counter("fetch_rto_expirations").inc(rto_exp);
+      registry_.counter("fetch_hedges_sent").inc(hedges);
+      registry_.counter("fetch_hedge_wins").inc(hwins);
+    }
     for (std::size_t r = 0; r < sums.size(); ++r) {
       const auto lbl = obs::label("round", static_cast<std::uint64_t>(r + 1));
       registry_.counter("fetch_messages", lbl).inc(sums[r].messages);
@@ -494,6 +581,10 @@ void PandasExperiment::collect_run_metrics() {
   registry_.gauge("peers_greylisted").set(static_cast<double>(greylists));
   registry_.gauge("fetch_peer_timeouts").set(static_cast<double>(timeouts));
   registry_.gauge("fetch_corrupt_replies").set(static_cast<double>(corrupt_peers));
+  if (fault_plan_.any_link_fault()) {
+    registry_.gauge("partition_heals")
+        .set(static_cast<double>(partition_heals_));
+  }
 
   const auto totals = transport_->typed_totals();
   for (std::size_t c = 0; c < net::kMsgClassCount; ++c) {
@@ -539,6 +630,11 @@ void PandasExperiment::write_records_jsonl(std::FILE* out) const {
     if (r.rec.cells_corrupt_accepted > 0) {
       w.kv("cells_corrupt_accepted", r.rec.cells_corrupt_accepted);
     }
+    // Hedging fields appear only when non-zero: a hedging-off run's record
+    // stream is byte-identical to pre-hedging builds.
+    if (r.rto_expirations > 0) w.kv("rto_expirations", r.rto_expirations);
+    if (r.hedges_sent > 0) w.kv("hedges_sent", r.hedges_sent);
+    if (r.hedge_wins > 0) w.kv("hedge_wins", r.hedge_wins);
     w.kv("initial_outstanding", r.initial_outstanding);
     w.key("rounds");
     w.begin_array();

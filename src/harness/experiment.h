@@ -96,6 +96,11 @@ struct NodeSlotRecord {
   core::PandasNode::SlotRecord rec{};
   std::uint64_t initial_outstanding = 0;
   std::vector<core::FetchRoundStats> rounds;
+  /// Hedging telemetry (zero unless params.hedging; exported only when > 0
+  /// so hedging-off record streams stay byte-identical).
+  std::uint32_t rto_expirations = 0;
+  std::uint32_t hedges_sent = 0;
+  std::uint32_t hedge_wins = 0;
 };
 
 /// Aggregates over all (correct node, slot) pairs.
@@ -120,6 +125,13 @@ struct PandasResults {
   /// Reputation outcomes summed over correct nodes (whole run).
   std::uint64_t peers_greylisted = 0;
   std::uint64_t fetch_peer_timeouts = 0;
+  /// Hedging telemetry over correct node-slots (core/rtt.h; zero with
+  /// params.hedging off) and link-chaos heal count (one per slot whose
+  /// partition window closed; zero without --partition).
+  std::uint64_t rto_expirations = 0;
+  std::uint64_t hedges_sent = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t partition_heals = 0;
 
   /// Per-fetch-round aggregation (Table 1): sample sets over nodes.
   struct RoundAgg {
@@ -236,6 +248,8 @@ class PandasExperiment {
   /// Drops already folded into the trace_events_dropped counter, so mid-run
   /// collect_run_metrics() calls increment by the delta only.
   std::uint64_t trace_dropped_counted_ = 0;
+  /// Partition windows closed so far (one per slot with --partition on).
+  std::uint64_t partition_heals_ = 0;
 
   /// Rebuilds the assignment table when `slot` crosses an epoch boundary
   /// (F is short-lived, §5) and points every node at the new table.

@@ -20,13 +20,31 @@
 ///   --no-reputation         disable peer reputation / greylisting
 ///   --fault-seed N          dedicated adversary seed (0 = experiment seed)
 ///
-/// Fractions draw disjoint node sets, so they must sum to <= 1.
+/// Link-state chaos (orthogonal sets; may overlap the behaviors above):
+///   --partition F           fraction split off each slot (group split)
+///   --partition-heal-ms N   partition window length (heal time)
+///   --partition-offset-ms N window start relative to slot start
+///   --flap F                fraction whose link flaps (square wave)
+///   --flap-period-ms N      flap period
+///   --flap-down-ms N        down-time per period
+///   --loss-burst F          fraction with Gilbert–Elliott burst loss
+///   --ge-p-enter P          P(good -> bad) per packet
+///   --ge-p-exit P           P(bad -> good) per packet
+///   --ge-loss-bad P         per-packet loss while in the bad state
+///   --bw-collapse F         fraction whose link rates collapse each slot
+///   --bw-factor R           rate multiplier during the collapse window
+///   --bw-offset-ms N        collapse window start relative to slot start
+///   --bw-duration-ms N      collapse window length
+///   --hedged                enable RTO-driven hedged duplicate queries
+///
+/// Behavior fractions draw disjoint node sets, so they must sum to <= 1.
 namespace pandas::harness {
 
 struct FaultCli {
   fault::FaultConfig faults;
   bool verify_cells = true;
   bool reputation = true;
+  bool hedging = false;
 
   [[nodiscard]] static FaultCli parse(const Args& args) {
     FaultCli cli;
@@ -49,9 +67,36 @@ struct FaultCli {
                        sim::kMillisecond;
     f.builder.corrupt = args.has("--builder-corrupt");
     f.builder.withhold_threshold = args.has("--builder-withhold");
+    f.partition_fraction = args.get_double("--partition", 0.0);
+    f.partition_heal = args.get_int("--partition-heal-ms",
+                                    f.partition_heal / sim::kMillisecond) *
+                       sim::kMillisecond;
+    f.partition_offset = args.get_int("--partition-offset-ms",
+                                      f.partition_offset / sim::kMillisecond) *
+                         sim::kMillisecond;
+    f.flap_fraction = args.get_double("--flap", 0.0);
+    f.flap_period = args.get_int("--flap-period-ms",
+                                 f.flap_period / sim::kMillisecond) *
+                    sim::kMillisecond;
+    f.flap_down =
+        args.get_int("--flap-down-ms", f.flap_down / sim::kMillisecond) *
+        sim::kMillisecond;
+    f.burst_fraction = args.get_double("--loss-burst", 0.0);
+    f.ge_p_enter = args.get_double("--ge-p-enter", f.ge_p_enter);
+    f.ge_p_exit = args.get_double("--ge-p-exit", f.ge_p_exit);
+    f.ge_loss_bad = args.get_double("--ge-loss-bad", f.ge_loss_bad);
+    f.bw_collapse_fraction = args.get_double("--bw-collapse", 0.0);
+    f.bw_factor = args.get_double("--bw-factor", f.bw_factor);
+    f.bw_offset =
+        args.get_int("--bw-offset-ms", f.bw_offset / sim::kMillisecond) *
+        sim::kMillisecond;
+    f.bw_duration =
+        args.get_int("--bw-duration-ms", f.bw_duration / sim::kMillisecond) *
+        sim::kMillisecond;
     f.seed = static_cast<std::uint64_t>(args.get_int("--fault-seed", 0));
     cli.verify_cells = !args.has("--no-verify");
     cli.reputation = !args.has("--no-reputation");
+    cli.hedging = args.has("--hedged");
     return cli;
   }
 
@@ -60,10 +105,12 @@ struct FaultCli {
     cfg.faults = faults;
     cfg.params.verify_cells = verify_cells;
     cfg.params.reputation = reputation;
+    cfg.params.hedging = hedging;
   }
 
   [[nodiscard]] bool any() const {
-    return faults.any_node_fault() || faults.builder.faulty();
+    return faults.any_node_fault() || faults.any_link_fault() ||
+           faults.builder.faulty();
   }
 };
 

@@ -71,6 +71,32 @@ inline void print_header(const std::string& title) {
   std::printf("================================================================\n");
 }
 
+/// Defensive-hardening / hedging counters in one human-readable block:
+/// corrupt-cell outcomes, reputation outcomes (greylists + the round-deadline
+/// `fetch_peer_timeouts` the reputation layer charged), and — when hedging or
+/// link chaos is active — the RTO/hedge/heal counters. Prints nothing when
+/// every counter is zero, so benign bench output is unchanged.
+inline void print_hardening(const ResultsSnapshot& s) {
+  const bool any = s.cells_corrupt_rejected > 0 || s.cells_corrupt_accepted > 0 ||
+                   s.peers_greylisted > 0 || s.fetch_peer_timeouts > 0 ||
+                   s.any_hedging();
+  if (!any) return;
+  std::printf("  Hardening counters:\n");
+  const auto row = [](const char* name, std::uint64_t v) {
+    std::printf("    %-24s %12llu\n", name, static_cast<unsigned long long>(v));
+  };
+  row("corrupt cells rejected", s.cells_corrupt_rejected);
+  row("corrupt cells accepted", s.cells_corrupt_accepted);
+  row("peers greylisted", s.peers_greylisted);
+  row("fetch peer timeouts", s.fetch_peer_timeouts);
+  if (s.any_hedging()) {
+    row("rto expirations", s.rto_expirations);
+    row("hedges sent", s.hedges_sent);
+    row("hedge wins", s.hedge_wins);
+    row("partition heals", s.partition_heals);
+  }
+}
+
 /// "Top deadline contributors" table: per-category mean milliseconds on the
 /// critical path (over all correct node-slots), sorted by total contribution,
 /// plus how often each category dominated a completed / missed slot.

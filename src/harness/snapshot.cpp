@@ -54,6 +54,10 @@ ResultsSnapshot snapshot_of(const std::string& label, const PandasConfig& cfg,
   out.cells_corrupt_accepted = res.cells_corrupt_accepted;
   out.peers_greylisted = res.peers_greylisted;
   out.fetch_peer_timeouts = res.fetch_peer_timeouts;
+  out.rto_expirations = res.rto_expirations;
+  out.hedges_sent = res.hedges_sent;
+  out.hedge_wins = res.hedge_wins;
+  out.partition_heals = res.partition_heals;
 
   out.series.push_back(series_of("seed_ms", "ms", res.seed_ms, cdf_points));
   out.series.push_back(series_of("consolidation_from_seed_ms", "ms",
@@ -130,6 +134,15 @@ void ResultsSnapshot::write_json(std::FILE* out) const {
   w.kv("peers_greylisted", peers_greylisted);
   w.kv("fetch_peer_timeouts", fetch_peer_timeouts);
   w.end_object();
+  if (any_hedging()) {
+    w.key("hedging");
+    w.begin_object();
+    w.kv("rto_expirations", rto_expirations);
+    w.kv("hedges_sent", hedges_sent);
+    w.kv("hedge_wins", hedge_wins);
+    w.kv("partition_heals", partition_heals);
+    w.end_object();
+  }
   w.key("builder");
   w.begin_object();
   w.kv("bytes_per_slot", builder_bytes_per_slot);

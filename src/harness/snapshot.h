@@ -55,6 +55,18 @@ struct ResultsSnapshot {
   std::uint64_t cells_corrupt_accepted = 0;
   std::uint64_t peers_greylisted = 0;
   std::uint64_t fetch_peer_timeouts = 0;
+  /// Hedging / link-chaos counters (core/rtt.h, docs/FAULTS.md "Network
+  /// chaos"). All zero — and omitted from the JSON dump — with hedging and
+  /// chaos off, so benign exports stay byte-identical.
+  std::uint64_t rto_expirations = 0;
+  std::uint64_t hedges_sent = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t partition_heals = 0;
+
+  [[nodiscard]] bool any_hedging() const noexcept {
+    return rto_expirations > 0 || hedges_sent > 0 || hedge_wins > 0 ||
+           partition_heals > 0;
+  }
   std::vector<SeriesSnapshot> series;
   std::vector<RoundRowSnapshot> table1;
 

@@ -83,6 +83,43 @@ void SimTransport::set_extra_delay(NodeIndex node, sim::Time delay) {
   links_.at(node).extra_delay = delay;
 }
 
+void SimTransport::set_link_chaos(NodeIndex node, const LinkChaos& chaos) {
+  if (node >= links_.size()) {
+    throw std::out_of_range("SimTransport::set_link_chaos: unknown node");
+  }
+  if (chaos_.empty()) chaos_.resize(links_.size());
+  chaos_[node] = chaos;
+}
+
+bool SimTransport::chaos_drops_(NodeIndex from, NodeIndex to,
+                                sim::Time now) const {
+  const LinkChaos& src = chaos_[from];
+  if (now >= partition_start_ && now < partition_end_ &&
+      src.partition_group != chaos_[to].partition_group) {
+    return true;
+  }
+  return flapped_down_(src, now);
+}
+
+double SimTransport::packet_loss_rate_(NodeIndex from) {
+  LinkChaos& c = chaos_[from];
+  // One Gilbert–Elliott chain step per packet, drawn from the sender's own
+  // loss stream (layout-invariant under sharding).
+  if (c.ge_bad) {
+    if (loss_rngs_[from].bernoulli(c.ge_p_exit)) c.ge_bad = false;
+  } else {
+    if (loss_rngs_[from].bernoulli(c.ge_p_enter)) c.ge_bad = true;
+  }
+  return c.ge_bad ? c.ge_loss_bad : cfg_.loss_rate;
+}
+
+double SimTransport::effective_bps_(NodeIndex node, double bps,
+                                    sim::Time now) const {
+  if (chaos_.empty() || !chaos_[node].bw_collapse) return bps;
+  if (now < bw_start_ || now >= bw_end_) return bps;
+  return bps * chaos_[node].bw_factor;
+}
+
 void SimTransport::reset_stats() {
   for (auto& s : stats_) s.reset();
   for (auto& s : typed_stats_) s.reset();
@@ -98,7 +135,11 @@ void SimTransport::reset_links() {
 bool SimTransport::apply_loss(NodeIndex from, Message& msg,
                               std::uint32_t& cells_lost) {
   cells_lost = 0;
-  if (cfg_.loss_rate <= 0.0) return true;
+  // Burst-marked senders draw through the Gilbert–Elliott chain even when
+  // the base loss rate is zero; everyone else keeps the i.i.d. model with
+  // the exact draw sequence chaos-off runs make.
+  const bool bursty = !chaos_.empty() && chaos_[from].burst;
+  if (cfg_.loss_rate <= 0.0 && !bursty) return true;
   if (cfg_.reliable_seeding && std::holds_alternative<SeedMsg>(msg)) return true;
   util::Xoshiro256& rng = loss_rngs_[from];
   const std::size_t cells = carried_cells(msg);
@@ -110,7 +151,8 @@ bool SimTransport::apply_loss(NodeIndex from, Message& msg,
         std::max<std::size_t>(1, kPacketPayloadBytes / kCellWireBytes);
     std::vector<std::uint32_t> dropped;
     for (std::size_t base = 0; base < cells; base += cells_per_packet) {
-      if (rng.bernoulli(cfg_.loss_rate)) {
+      const double p = bursty ? packet_loss_rate_(from) : cfg_.loss_rate;
+      if (rng.bernoulli(p)) {
         const std::size_t end = std::min(cells, base + cells_per_packet);
         for (std::size_t i = base; i < end; ++i) {
           dropped.push_back(static_cast<std::uint32_t>(i));
@@ -126,7 +168,8 @@ bool SimTransport::apply_loss(NodeIndex from, Message& msg,
   // spanning a few packets without cells (e.g. large boost-only seeds) we
   // still draw once per packet and lose all-or-nothing on the first packet,
   // a deliberate simplification (headers ride the first packet).
-  return !rng.bernoulli(cfg_.loss_rate);
+  const double p = bursty ? packet_loss_rate_(from) : cfg_.loss_rate;
+  return !rng.bernoulli(p);
 }
 
 void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
@@ -155,7 +198,8 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   sim::Engine& seng = engine_of_(from);
   const sim::Time now = seng.now();
   const sim::Time tx_time = static_cast<sim::Time>(
-      std::ceil(static_cast<double>(total_bytes) * 8.0 / src.up_bps *
+      std::ceil(static_cast<double>(total_bytes) * 8.0 /
+                effective_bps_(from, src.up_bps, now) *
                 static_cast<double>(sim::kSecond)));
   // Each per-hop segment the NIC model derives here is also kept for the
   // causal layer (obs::HopTiming via last_delivery()); the straggler service
@@ -166,6 +210,18 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   const sim::Time departure =
       std::max(now, src.up_busy_until) + tx_time + src.extra_delay;
   src.up_busy_until = std::max(now, src.up_busy_until) + tx_time;
+
+  // Link chaos (partition split, flapped-down sender link): the packet left
+  // the NIC and died in the network. Pure function of (now, per-node
+  // config) — no randomness, so chaos-off draw sequences are untouched.
+  if (!chaos_.empty() && chaos_drops_(from, to, now)) {
+    styped.msgs_lost += 1;
+    if (tracer_ != nullptr) {
+      obs::emit(tracer_->sink(from), obs::EventType::kMsgDropped, now, to,
+                static_cast<std::int64_t>(cls));
+    }
+    return;
+  }
 
   // Loss is decided at send time to keep the RNG stream independent of
   // event interleaving. A fully lost message still consumed uplink.
@@ -323,9 +379,12 @@ void SimTransport::release_pending_(std::uint32_t shard,
 void SimTransport::arrival_(std::uint32_t shard, PendingIndex pi) {
   Pending& pd = pools_[shard].slots[static_cast<std::size_t>(pi)];
   Link& dst = links_[pd.to];
-  if (dst.dead) {  // dead nodes do not receive
-    // Counted on the receiver (whose shard this event runs on); network-wide
-    // totals are unchanged.
+  sim::Engine& eng = *engines_[shard];
+  if (dst.dead ||
+      (!chaos_.empty() && flapped_down_(chaos_[pd.to], eng.now()))) {
+    // Dead nodes do not receive; a flapped-down receiver link is a transient
+    // equivalent. Counted on the receiver (whose shard this event runs on);
+    // network-wide totals are unchanged.
     typed_stats_[pd.to].of(pd.cls).msgs_to_dead += 1;
     release_pending_(shard, pi);
     return;
@@ -334,9 +393,9 @@ void SimTransport::arrival_(std::uint32_t shard, PendingIndex pi) {
   // arrives; we model it lazily by computing queueing against
   // down_busy_until now (event order at equal times is deterministic, so
   // this stays reproducible).
-  sim::Engine& eng = *engines_[shard];
   const sim::Time rx_time = static_cast<sim::Time>(
-      std::ceil(static_cast<double>(pd.total_bytes) * 8.0 / dst.down_bps *
+      std::ceil(static_cast<double>(pd.total_bytes) * 8.0 /
+                effective_bps_(pd.to, dst.down_bps, eng.now()) *
                 static_cast<double>(sim::kSecond)));
   const sim::Time downlink_wait =
       std::max<sim::Time>(0, dst.down_busy_until - eng.now());

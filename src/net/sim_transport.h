@@ -38,6 +38,35 @@ struct SimTransportConfig {
   bool reliable_seeding = true;
 };
 
+/// Per-node link-state chaos profile (fault injection orthogonal to node
+/// behaviors; docs/FAULTS.md "Network chaos"). Every field is static for the
+/// run except the Gilbert–Elliott burst state, which advances only on the
+/// node's own sends (with its own loss stream), so chaos decisions are pure
+/// functions of (time, per-node config) plus per-sender randomness — the
+/// determinism contract of docs/SIMULATION.md holds under any --sim-threads.
+struct LinkChaos {
+  /// Partition membership: messages between different groups are dropped at
+  /// send time while the per-slot partition window is open.
+  std::uint8_t partition_group = 0;
+  /// Link flapping (square wave): the link is down whenever
+  /// ((now + flap_phase) mod flap_period) < flap_down.
+  bool flap = false;
+  sim::Time flap_period = 0;
+  sim::Time flap_down = 0;
+  sim::Time flap_phase = 0;
+  /// Gilbert–Elliott two-state burst loss on this node's sends, one chain
+  /// step per packet; the good state uses the config's base loss rate.
+  bool burst = false;
+  double ge_p_enter = 0.0;   ///< P(good -> bad) per packet
+  double ge_p_exit = 0.0;    ///< P(bad -> good) per packet
+  double ge_loss_bad = 0.0;  ///< per-packet loss in the bad state
+  bool ge_bad = false;       ///< current chain state (evolves at send)
+  /// Bandwidth collapse: up/down link rates multiplied by bw_factor while
+  /// the per-slot collapse window is open.
+  bool bw_collapse = false;
+  double bw_factor = 1.0;
+};
+
 /// Per-node, per-message-class traffic and loss counters. The class axis is
 /// what lets Fig 10's traffic decomposition (seed vs query vs response vs
 /// gossip vs DHT bytes) come from the transport itself instead of being
@@ -121,6 +150,26 @@ class SimTransport final : public Transport,
     return links_[node].extra_delay;
   }
 
+  /// Installs a link-state chaos profile for `node` (setup / driver phase
+  /// only). With no profiles installed the chaos path costs one emptiness
+  /// test per send and draws no randomness — chaos-off runs are
+  /// byte-identical to a build without this feature.
+  void set_link_chaos(NodeIndex node, const LinkChaos& chaos);
+  [[nodiscard]] const LinkChaos* link_chaos(NodeIndex node) const noexcept {
+    return chaos_.empty() ? nullptr : &chaos_[node];
+  }
+  /// Opens the partition / bandwidth-collapse windows (absolute sim times;
+  /// start == end = closed). Must be called from the driver phase between
+  /// parallel windows, when every shard clock is synced.
+  void set_partition_window(sim::Time start, sim::Time end) {
+    partition_start_ = start;
+    partition_end_ = end;
+  }
+  void set_bw_window(sim::Time start, sim::Time end) {
+    bw_start_ = start;
+    bw_end_ = end;
+  }
+
   [[nodiscard]] std::size_t node_count() const noexcept { return links_.size(); }
   [[nodiscard]] const TrafficStats& stats(NodeIndex node) const {
     return stats_[node];
@@ -157,6 +206,21 @@ class SimTransport final : public Transport,
   /// if the whole message is lost. `cells_lost` reports cells stripped from
   /// a degraded (but delivered) cell-carrying message.
   bool apply_loss(NodeIndex from, Message& msg, std::uint32_t& cells_lost);
+
+  /// Per-packet loss probability for `from`'s next packet, advancing its
+  /// Gilbert–Elliott chain one step when the sender is burst-marked.
+  double packet_loss_rate_(NodeIndex from);
+  /// Link-level chaos verdict at send time: partition split or a flapped-down
+  /// sender link eats the message.
+  [[nodiscard]] bool chaos_drops_(NodeIndex from, NodeIndex to,
+                                  sim::Time now) const;
+  [[nodiscard]] static bool flapped_down_(const LinkChaos& c, sim::Time now) {
+    if (!c.flap || c.flap_period <= 0) return false;
+    return (now + c.flap_phase) % c.flap_period < c.flap_down;
+  }
+  /// Effective link rate under a bandwidth-collapse window.
+  [[nodiscard]] double effective_bps_(NodeIndex node, double bps,
+                                      sim::Time now) const;
 
   /// In-flight delivery state. Engine callbacks are size-bounded
   /// (sim::InlineCallback has no heap fallback) and a Message variant is far
@@ -230,6 +294,10 @@ class SimTransport final : public Transport,
   obs::Tracer* tracer_ = nullptr;
   /// Per-receiver hop timing of the in-flight delivery (last_delivery()).
   std::vector<obs::HopTiming> last_hops_;
+  /// Link chaos profiles (empty = chaos off, the common case).
+  std::vector<LinkChaos> chaos_;
+  sim::Time partition_start_ = 0, partition_end_ = 0;
+  sim::Time bw_start_ = 0, bw_end_ = 0;
 };
 
 }  // namespace pandas::net

@@ -63,6 +63,14 @@ enum class EventType : std::uint8_t {
   kPeerGreylisted,       ///< peer's penalty crossed the greylist bar (peer)
   kChurnLeave,           ///< churning node goes dark mid-slot
   kChurnJoin,            ///< churning node comes back
+  // Deadline-aware hedging + link chaos (core/rtt.h, docs/FAULTS.md).
+  kRtoExpired,           ///< per-query RTO fired before the peer replied
+                         ///< (peer=slow peer, a=round, b=rto in us)
+  kHedgeSent,            ///< hedged duplicate query out (peer=hedge target,
+                         ///< a=cells, b=slow peer)
+  kHedgeWin,             ///< hedge target delivered first (peer=hedge target,
+                         ///< a=new cells, b=slow peer)
+  kPartitionHeal,        ///< a partitioned node's links heal (a=heal sim-ms)
   kCount_,               ///< sentinel — keep last (exhaustiveness guard)
 };
 inline constexpr std::size_t kEventTypeCount =
@@ -96,6 +104,10 @@ inline constexpr std::size_t kEventTypeCount =
     case EventType::kPeerGreylisted: return "peer_greylisted";
     case EventType::kChurnLeave: return "churn_leave";
     case EventType::kChurnJoin: return "churn_join";
+    case EventType::kRtoExpired: return "rto_expired";
+    case EventType::kHedgeSent: return "hedge_sent";
+    case EventType::kHedgeWin: return "hedge_win";
+    case EventType::kPartitionHeal: return "partition_heal";
     case EventType::kCount_: break;
   }
   return nullptr;

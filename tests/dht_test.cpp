@@ -178,6 +178,57 @@ TEST(Kademlia, SurvivesPacketLoss) {
   EXPECT_TRUE(found);
 }
 
+TEST(Kademlia, AdaptiveTimeoutLearnsRttAndStaysWithinBounds) {
+  KademliaConfig cfg;
+  cfg.adaptive_timeout = true;
+  DhtNet net(50, 0.0, cfg);
+  const auto key = crypto::NodeId::from_label(2024);
+  bool stored = false;
+  net.nodes[0]->store(key, {{5, 5}}, [&](bool ok, std::uint32_t) { stored = ok; });
+  net.engine.run_until(30 * sim::kSecond);
+  EXPECT_TRUE(stored);
+
+  // The store's RPC round trips fed the estimator...
+  EXPECT_GT(net.nodes[0]->peer_rtt().tracked(), 0u);
+  // ...and every derived timeout stays inside [min_rpc_timeout, rpc_timeout]:
+  // the fixed timeout is the never-exceeded fallback, not a third regime.
+  core::PeerRtt rtt = net.nodes[0]->peer_rtt();  // copy: rto() materializes
+  for (net::NodeIndex i = 1; i < 50; ++i) {
+    const auto t = rtt.rto(i);
+    EXPECT_GE(t, cfg.min_rpc_timeout) << "peer " << i;
+    EXPECT_LE(t, cfg.rpc_timeout) << "peer " << i;
+  }
+}
+
+TEST(Kademlia, AdaptiveTimeoutSurvivesPacketLoss) {
+  // Shrunken per-peer timeouts must not break liveness: lost RPCs time out
+  // (with Karn backoff), lookups continue over other contacts, and the
+  // store/get pair still completes.
+  KademliaConfig cfg;
+  cfg.adaptive_timeout = true;
+  DhtNet net(50, 0.1, cfg);
+  const auto key = crypto::NodeId::from_label(31338);
+  bool stored = false;
+  net.nodes[2]->store(key, {{2, 2}}, [&](bool ok, std::uint32_t) { stored = ok; });
+  net.engine.run_until(60 * sim::kSecond);
+  EXPECT_TRUE(stored);
+
+  bool found = false;
+  net.nodes[30]->get(key, [&](bool ok, std::vector<net::CellId>) { found = ok; });
+  net.engine.run_until(net.engine.now() + 60 * sim::kSecond);
+  EXPECT_TRUE(found);
+}
+
+TEST(Kademlia, RttPriorSeedsTimeoutsBeforeAnyTraffic) {
+  KademliaConfig cfg;
+  cfg.adaptive_timeout = true;
+  DhtNet net(20, 0.0, cfg);
+  net.nodes[0]->set_rtt_prior([](net::NodeIndex) { return 5.0; });
+  // 5 + 4*2.5 = 15 ms undershoots the floor: clamped to min_rpc_timeout.
+  core::PeerRtt rtt = net.nodes[0]->peer_rtt();  // prior copies with it
+  EXPECT_EQ(rtt.rto(7), cfg.min_rpc_timeout);
+}
+
 TEST(Kademlia, LookupTerminatesWhenAllTimeout) {
   // A lone node whose contacts are all dead: the lookup must finish (with
   // whatever it has) rather than hang.

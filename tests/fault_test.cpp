@@ -109,6 +109,67 @@ TEST(FaultPlan, DefaultPlanIsAllCorrect) {
   EXPECT_EQ(generated.faulty_count(), 0u);
 }
 
+TEST(FaultPlan, LinkChaosDrawIsDeterministicAndExact) {
+  fault::FaultConfig cfg;
+  cfg.partition_fraction = 0.1;
+  cfg.flap_fraction = 0.1;
+  cfg.burst_fraction = 0.1;
+  cfg.bw_collapse_fraction = 0.1;
+  const auto a = fault::FaultPlan::generate(cfg, 400, 42);
+  const auto b = fault::FaultPlan::generate(cfg, 400, 42);
+  ASSERT_TRUE(a.any_link_fault());
+  std::uint32_t partitioned = 0, flapping = 0, bursty = 0, collapsed = 0;
+  for (net::NodeIndex i = 0; i < 400; ++i) {
+    const auto& la = a.link_of(i);
+    const auto& lb = b.link_of(i);
+    EXPECT_EQ(la.partitioned, lb.partitioned) << "node " << i;
+    EXPECT_EQ(la.flap, lb.flap);
+    EXPECT_EQ(la.flap_phase, lb.flap_phase);
+    EXPECT_EQ(la.burst, lb.burst);
+    EXPECT_EQ(la.bw_collapse, lb.bw_collapse);
+    partitioned += la.partitioned;
+    flapping += la.flap;
+    bursty += la.burst;
+    collapsed += la.bw_collapse;
+    if (la.flap) {
+      EXPECT_GE(la.flap_phase, 0);
+      EXPECT_LT(la.flap_phase, cfg.flap_period);
+    }
+  }
+  // Each axis draws its exact chunk, independently of the others.
+  EXPECT_EQ(partitioned, 40u);
+  EXPECT_EQ(flapping, 40u);
+  EXPECT_EQ(bursty, 40u);
+  EXPECT_EQ(collapsed, 40u);
+  EXPECT_EQ(a.partitioned(), b.partitioned());
+  ASSERT_EQ(a.partitioned().size(), 40u);
+  for (const auto p : a.partitioned()) EXPECT_TRUE(a.link_of(p).partitioned);
+  // Link chaos is not a node behavior: the measured population is untouched.
+  EXPECT_EQ(a.faulty_count(), 0u);
+}
+
+TEST(FaultPlan, LinkAxesDoNotPerturbBehaviorDraw) {
+  // The link draw runs on its own RNG stream: switching chaos on must leave
+  // the behavior assignment bit-identical (the soak harness and the fig
+  // exports rely on this orthogonality).
+  fault::FaultConfig plain;
+  plain.byzantine_fraction = 0.2;
+  plain.churn_fraction = 0.1;
+  fault::FaultConfig chaotic = plain;
+  chaotic.partition_fraction = 0.1;
+  chaotic.burst_fraction = 0.2;
+  const auto a = fault::FaultPlan::generate(plain, 300, 11);
+  const auto b = fault::FaultPlan::generate(chaotic, 300, 11);
+  for (net::NodeIndex i = 0; i < 300; ++i) {
+    EXPECT_EQ(a.of(i).behavior, b.of(i).behavior) << "node " << i;
+    EXPECT_EQ(a.of(i).churn_offset, b.of(i).churn_offset);
+  }
+  EXPECT_FALSE(a.any_link_fault());
+  EXPECT_TRUE(b.any_link_fault());
+  // Orthogonal draws may overlap: a node can churn AND sit partitioned.
+  EXPECT_EQ(b.count(fault::Behavior::kChurn), 30u);
+}
+
 // ----------------------------------------------------------- PeerReputation
 
 TEST(PeerReputation, CorruptReplyGreylistsOutright) {
@@ -247,6 +308,59 @@ TEST(FaultInjection, FaultRunsStayDeterministic) {
   EXPECT_DOUBLE_EQ(a.sampling_ms.mean(), b.sampling_ms.mean());
   EXPECT_EQ(a.cells_corrupt_rejected, b.cells_corrupt_rejected);
   EXPECT_EQ(a.peers_greylisted, b.peers_greylisted);
+}
+
+TEST(FaultInjection, PartitionHealsAndHedgedSamplingStillCompletes) {
+  auto cfg = small_config();
+  cfg.faults.partition_fraction = 0.1;
+  cfg.faults.partition_heal = 1 * sim::kSecond;
+  cfg.params.hedging = true;
+  harness::PandasExperiment exp(cfg);
+  const auto res = exp.run();
+  // The partition window opened and healed once (one slot)...
+  EXPECT_EQ(res.partition_heals, 1u);
+  // ...silent partitioned peers tripped RTO timers and hedged duplicates...
+  EXPECT_GT(res.rto_expirations, 0u);
+  EXPECT_GT(res.hedges_sent, 0u);
+  // ...and with the heal at 1 s, sampling still overwhelmingly completes
+  // inside the 4 s deadline (at this reduced scale the partitioned tenth
+  // itself is the worst case).
+  EXPECT_GE(res.deadline_fraction(), 0.9);
+  EXPECT_EQ(res.cells_corrupt_accepted, 0u);
+}
+
+TEST(FaultInjection, GilbertElliottBurstsDegradeButDoNotBreak) {
+  auto cfg = small_config();
+  cfg.faults.burst_fraction = 0.3;
+  cfg.faults.ge_loss_bad = 0.5;
+  cfg.params.hedging = true;
+  harness::PandasExperiment exp(cfg);
+  const auto res = exp.run();
+  EXPECT_EQ(res.records, 120u);  // link chaos excludes nobody
+  EXPECT_GT(res.deadline_fraction(), 0.8);
+  EXPECT_EQ(res.cells_corrupt_accepted, 0u);
+}
+
+TEST(FaultInjection, LinkChaosRunsStayDeterministicAcrossShardCounts) {
+  // The chaos windows mutate transport state only in the synchronized
+  // driver phase and the GE chains hang off per-sender streams, so a
+  // chaotic, hedged run must not depend on the shard layout.
+  auto cfg = small_config();
+  cfg.faults.partition_fraction = 0.1;
+  cfg.faults.burst_fraction = 0.2;
+  cfg.faults.churn_fraction = 0.1;
+  cfg.params.hedging = true;
+  cfg.net.sim_threads = 1;
+  const auto a = harness::PandasExperiment(cfg).run();
+  cfg.net.sim_threads = 2;
+  const auto b = harness::PandasExperiment(cfg).run();
+  ASSERT_EQ(a.sampling_ms.count(), b.sampling_ms.count());
+  EXPECT_DOUBLE_EQ(a.sampling_ms.mean(), b.sampling_ms.mean());
+  EXPECT_EQ(a.sampling_misses, b.sampling_misses);
+  EXPECT_EQ(a.rto_expirations, b.rto_expirations);
+  EXPECT_EQ(a.hedges_sent, b.hedges_sent);
+  EXPECT_EQ(a.hedge_wins, b.hedge_wins);
+  EXPECT_EQ(a.partition_heals, b.partition_heals);
 }
 
 // ------------------------------------------------------ property invariants

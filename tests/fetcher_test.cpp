@@ -3,6 +3,8 @@
 #include <map>
 
 #include "core/fetcher.h"
+#include "core/reputation.h"
+#include "core/rtt.h"
 
 namespace pandas::core {
 namespace {
@@ -251,6 +253,197 @@ TEST(Fetcher, MaxRoundsBoundsEffort) {
   w.engine.run_until(30 * sim::kSecond);
   EXPECT_LE(f->rounds_used(), 3u);
   EXPECT_FALSE(f->complete());
+}
+
+// ------------------------------------------------------------ hedging / RTO
+//
+// A PeerRtt seeded with a 25 ms prior yields RTO = 25 + 4*12.5 = 75 ms —
+// well inside the 400 ms round-1 window, so the hedge machinery fires
+// deterministically in these tests.
+
+TEST(FetcherHedging, RtoExpiryHedgesToSecondCustodian) {
+  World w;
+  w.params.hedging = true;
+  PeerRtt rtt;
+  rtt.set_prior([](std::uint32_t) { return 25.0; });
+  auto f = w.make_fetcher(0);
+  f->set_rtt(&rtt);
+  // Cell (1,5): exactly two custodians, nodes 2 and 3. Round 1 (k=1)
+  // queries one; the RTO at 75 ms hedges to the other.
+  const std::vector<net::CellId> needed{{1, 5}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  ASSERT_EQ(q.size(), 1u);
+  w.engine.run_until(200 * sim::kMillisecond);  // before round 2 at 400 ms
+  EXPECT_EQ(f->hedges_sent(), 1u);
+  EXPECT_EQ(q.size(), 2u) << "hedge must reach the second custodian";
+  EXPECT_TRUE(f->was_queried(2));
+  EXPECT_TRUE(f->was_queried(3));
+  // The hedge target's own RTO also expires (nobody replies), but with both
+  // custodians queried there is no third candidate to hedge to.
+  EXPECT_EQ(f->rto_expirations(), 2u);
+  EXPECT_EQ(f->hedge_wins(), 0u);
+}
+
+TEST(FetcherHedging, ReplyBeforeRtoSuppressesHedge) {
+  World w;
+  w.params.hedging = true;
+  PeerRtt rtt;
+  rtt.set_prior([](std::uint32_t) { return 25.0; });
+  auto f = w.make_fetcher(0);
+  f->set_rtt(&rtt);
+  const std::vector<net::CellId> needed{{1, 5}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  ASSERT_EQ(q.size(), 1u);
+  const auto target = q.begin()->first;
+  // The queried peer answers at 50 ms, beating the 75 ms RTO.
+  w.engine.schedule_at(50 * sim::kMillisecond, [&, target] {
+    const std::vector<net::CellId> got{{1, 5}};
+    f->on_cells_obtained(got);
+    f->on_reply(target, 1, 0, 0);
+  });
+  w.engine.run_until(sim::kSecond);
+  EXPECT_TRUE(f->complete());
+  EXPECT_EQ(f->rto_expirations(), 0u);
+  EXPECT_EQ(f->hedges_sent(), 0u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(FetcherHedging, HedgeWinCountedWhenHedgeBeatsSlowPeer) {
+  World w;
+  w.params.hedging = true;
+  PeerRtt rtt;
+  rtt.set_prior([](std::uint32_t) { return 25.0; });
+  auto f = w.make_fetcher(0);
+  f->set_rtt(&rtt);
+  const std::vector<net::CellId> needed{{1, 5}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  ASSERT_EQ(q.size(), 1u);
+  const auto slow = q.begin()->first;
+  // Run past the RTO so the hedge goes out, then answer from the hedge
+  // target while the slow peer is still silent.
+  w.engine.run_until(100 * sim::kMillisecond);
+  ASSERT_EQ(f->hedges_sent(), 1u);
+  ASSERT_EQ(q.size(), 2u);
+  net::NodeIndex hedge_target = net::kInvalidNode;
+  for (const auto& [node, cells] : q) {
+    if (node != slow) hedge_target = node;
+  }
+  ASSERT_NE(hedge_target, net::kInvalidNode);
+  const std::vector<net::CellId> got{{1, 5}};
+  f->on_cells_obtained(got);
+  f->on_reply(hedge_target, 1, 0, 0);
+  EXPECT_EQ(f->hedge_wins(), 1u);
+  EXPECT_TRUE(f->complete());
+  // The slow peer's eventual reply is not a second win.
+  f->on_reply(slow, 0, 1, 0);
+  EXPECT_EQ(f->hedge_wins(), 1u);
+}
+
+TEST(FetcherHedging, LastResortLadderReachesExtraCustodians) {
+  World w;
+  w.params.hedging = true;
+  PeerRtt rtt;
+  rtt.set_prior([](std::uint32_t) { return 25.0; });
+  auto f = w.make_fetcher(0);
+  f->set_rtt(&rtt);
+  f->set_last_resort([] { return std::vector<net::NodeIndex>{5}; });
+  // Cell (2,2): node 4 is the only assigned custodian. Once it is queried
+  // the scored rungs are empty, so the hedge falls through to the
+  // last-resort hook (e.g. DHT-discovered holders).
+  const std::vector<net::CellId> needed{{2, 2}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  ASSERT_EQ(q.size(), 1u);
+  ASSERT_EQ(q.begin()->first, 4u);
+  w.engine.run_until(200 * sim::kMillisecond);
+  EXPECT_EQ(f->hedges_sent(), 1u);
+  EXPECT_TRUE(f->was_queried(5));
+}
+
+TEST(FetcherHedging, OffByDefaultKeepsCountersZeroAndQueriesIdentical) {
+  // With params.hedging false (the default), attaching an estimator must
+  // not change the query stream at all: same targets, same cells, and all
+  // hedging counters pinned at zero.
+  World plain;
+  auto f_plain = plain.make_fetcher(0);
+  Queries q_plain;
+  const std::vector<net::CellId> needed{{1, 5}, {2, 2}};
+  f_plain->start(needed, {}, collect(q_plain));
+  plain.engine.run_until(sim::kSecond);
+
+  World timed;
+  PeerRtt rtt;
+  rtt.set_prior([](std::uint32_t) { return 25.0; });
+  auto f_timed = timed.make_fetcher(0);
+  f_timed->set_rtt(&rtt);
+  Queries q_timed;
+  f_timed->start(needed, {}, collect(q_timed));
+  timed.engine.run_until(sim::kSecond);
+
+  EXPECT_EQ(q_plain, q_timed);
+  EXPECT_EQ(f_timed->rto_expirations(), 0u);
+  EXPECT_EQ(f_timed->hedges_sent(), 0u);
+  EXPECT_EQ(f_timed->hedge_wins(), 0u);
+}
+
+TEST(FetcherHedging, HedgedPairChargesAndRedeemsSlowPeerExactlyOnce) {
+  // The reputation contract under hedging: the RTO expiry itself charges
+  // nothing; only the round deadline charges the silent peer, once; and the
+  // peer's late reply redeems that single charge, once — replayed replies
+  // must not redeem further.
+  World w;
+  w.params.hedging = true;
+  PeerReputation rep(w.params);
+  PeerRtt rtt;
+  rtt.set_prior([](std::uint32_t) { return 25.0; });
+  auto f = std::make_shared<AdaptiveFetcher>(w.engine, w.params, *w.table,
+                                             &w.view, 0,
+                                             w.engine.rng_stream(0), &rep);
+  f->set_rtt(&rtt);
+  const std::vector<net::CellId> needed{{1, 5}};
+  Queries q;
+  f->start(needed, {}, collect(q));
+  ASSERT_EQ(q.size(), 1u);
+  const auto slow = q.begin()->first;
+
+  // The hedge target answers at 100 ms (after the 75 ms RTO fired).
+  w.engine.schedule_at(100 * sim::kMillisecond, [&] {
+    for (const auto& [node, cells] : q) {
+      if (node == slow) continue;
+      const std::vector<net::CellId> got{{1, 5}};
+      f->on_cells_obtained(got);
+      f->on_reply(node, 1, 0, 0);
+    }
+  });
+
+  // Past the RTO but before the 400 ms round deadline: the expiry alone
+  // must not have charged the slow peer.
+  w.engine.run_until(300 * sim::kMillisecond);
+  EXPECT_GE(f->rto_expirations(), 1u);
+  EXPECT_EQ(f->hedge_wins(), 1u);
+  EXPECT_EQ(rep.timeout_events(), 0u);
+  EXPECT_DOUBLE_EQ(rep.penalty(slow), 0.0);
+
+  // The round deadline passes: exactly one timeout charged, to the slow
+  // peer only (the hedge target replied in time).
+  w.engine.run_until(500 * sim::kMillisecond);
+  EXPECT_EQ(rep.timeout_events(), 1u);
+  EXPECT_DOUBLE_EQ(rep.penalty(slow), w.params.rep_timeout_penalty);
+
+  // The slow peer finally replies (late, duplicate data): the one charge is
+  // redeemed...
+  f->on_reply(slow, 0, 1, 0);
+  EXPECT_DOUBLE_EQ(rep.penalty(slow), 0.0);
+  EXPECT_EQ(rep.timeout_events(), 1u);
+  // ...and a replayed late reply finds nothing left to redeem: the penalty
+  // stays floored at zero instead of going negative (redemption is capped
+  // by what was actually charged — exactly once per charged timeout).
+  f->on_reply(slow, 0, 1, 0);
+  EXPECT_DOUBLE_EQ(rep.penalty(slow), 0.0);
+  EXPECT_EQ(rep.timeout_events(), 1u) << "replay must not charge either";
 }
 
 TEST(Fetcher, UnsolicitedReplyIgnored) {

@@ -4,6 +4,7 @@
 #include "core/node.h"
 #include "core/retrieval.h"
 #include "core/seeding.h"
+#include "fault/fault.h"
 #include "net/sim_transport.h"
 
 namespace pandas::core {
@@ -112,6 +113,78 @@ TEST(Retrieval, FailsCleanlyWhenDataWithheld) {
   net.engine.run_until(net.engine.now() + 13 * sim::kSecond);
   EXPECT_TRUE(called);
   EXPECT_FALSE(ok);
+}
+
+TEST(Retrieval, SucceedsOverFreshCustodiansUnderFaultPlan) {
+  // Custodians crash and churn per a FaultPlan AFTER the slot seeded them:
+  // the client's retry rounds must walk past the silent ones onto fresh
+  // custodians (and revived churners) and still finish before the deadline.
+  RetrievalNet net;
+  net.run_slot(4);
+
+  fault::FaultConfig fcfg;
+  fcfg.dead_fraction = 0.15;
+  fcfg.churn_fraction = 0.15;
+  const auto plan = fault::FaultPlan::generate(fcfg, 120, 21);
+  for (std::uint32_t i = 0; i < 120; ++i) {
+    const auto behavior = plan.of(i).behavior;
+    if (behavior == fault::Behavior::kFailSilent) {
+      net.transport->set_dead(i, true);
+    } else if (behavior == fault::Behavior::kChurn) {
+      net.transport->set_dead(i, true);
+      net.engine.schedule_at(net.engine.now() + sim::kSecond, [&net, i] {
+        net.transport->set_dead(i, false);
+      });
+    }
+  }
+
+  // The shared estimator also drives the retry pacing here (never slower
+  // than the classic 300 ms).
+  core::PeerRtt rtt;
+  net.client->set_rtt(&rtt);
+
+  bool called = false, ok = false;
+  sim::Time done_at = 0;
+  const sim::Time start = net.engine.now();
+  net.client->retrieve_line(4, net::LineRef::row(7),
+                            [&](net::LineRef, bool success) {
+                              called = true;
+                              ok = success;
+                              done_at = net.engine.now();
+                            });
+  net.engine.run_until(net.engine.now() + 5 * sim::kSecond);
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(ok);
+  EXPECT_LT(done_at - start, 4 * sim::kSecond) << "must beat the deadline";
+  EXPECT_GT(rtt.tracked(), 0u) << "replies must feed the estimator";
+}
+
+TEST(Retrieval, FailsCleanlyWhenEveryCustodianIsDead) {
+  RetrievalNet net;
+  net.run_slot(5);
+  // Kill the entire custodial pool of the requested row: retries have
+  // nobody left, so the client must report failure at the deadline — once,
+  // cleanly — rather than hang or spin.
+  const auto pool = net.table->assigned_to(net::LineRef::row(7));
+  ASSERT_GE(pool.size(), 1u);
+  for (const auto n : pool) net.transport->set_dead(n, true);
+
+  int calls = 0;
+  bool ok = true;
+  sim::Time done_at = 0;
+  const sim::Time start = net.engine.now();
+  net.client->retrieve_line(5, net::LineRef::row(7),
+                            [&](net::LineRef, bool success) {
+                              ++calls;
+                              ok = success;
+                              done_at = net.engine.now();
+                            },
+                            /*peers_per_round=*/4,
+                            /*deadline=*/2 * sim::kSecond);
+  net.engine.run_until(net.engine.now() + 10 * sim::kSecond);
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(ok);
+  EXPECT_GE(done_at - start, 2 * sim::kSecond);
 }
 
 TEST(Retrieval, MultipleLinesConcurrently) {

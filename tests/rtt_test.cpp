@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "core/rtt.h"
+
+namespace pandas::core {
+namespace {
+
+/// Jacobson/Karels RTO estimator (core/rtt.h): prior seeding, EWMA updates,
+/// Karn backoff, and the clamp envelope every consumer relies on.
+
+RtoParams wide_params() {
+  RtoParams p;
+  p.min_rto = 10 * sim::kMillisecond;
+  p.max_rto = 800 * sim::kMillisecond;
+  p.initial_rto = 100 * sim::kMillisecond;
+  return p;
+}
+
+TEST(RttEstimator, EmptyUsesInitialRto) {
+  const RtoParams p = wide_params();
+  RttEstimator e;
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.rto(p), p.initial_rto);
+}
+
+TEST(RttEstimator, EmptyTimeoutDoublesInitialRtoUpToMax) {
+  const RtoParams p = wide_params();
+  RttEstimator e;
+  e.on_timeout(p);
+  EXPECT_EQ(e.rto(p), 200 * sim::kMillisecond);
+  e.on_timeout(p);
+  EXPECT_EQ(e.rto(p), 400 * sim::kMillisecond);
+  e.on_timeout(p);
+  EXPECT_EQ(e.rto(p), 800 * sim::kMillisecond);
+  e.on_timeout(p);  // 1600 would exceed max_rto: clamped
+  EXPECT_EQ(e.rto(p), p.max_rto);
+}
+
+TEST(RttEstimator, PriorSeedsRfc6298Initials) {
+  const RtoParams p = wide_params();
+  RttEstimator e;
+  e.seed_prior(50.0);
+  EXPECT_DOUBLE_EQ(e.srtt_ms(), 50.0);
+  EXPECT_DOUBLE_EQ(e.rttvar_ms(), 25.0);
+  // RTO = SRTT + k * RTTVAR = 50 + 4*25 = 150 ms.
+  EXPECT_EQ(e.rto(p), sim::from_ms(150.0));
+  EXPECT_FALSE(e.has_sample()) << "a prior is not a sample";
+}
+
+TEST(RttEstimator, FirstSampleReplacesPrior) {
+  const RtoParams p = wide_params();
+  RttEstimator e;
+  e.seed_prior(300.0);
+  // The first measured RTT resets SRTT/RTTVAR outright (the prior was a
+  // guess, the sample is ground truth).
+  e.add_sample(100.0, p);
+  EXPECT_TRUE(e.has_sample());
+  EXPECT_DOUBLE_EQ(e.srtt_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(e.rttvar_ms(), 50.0);
+  // And a prior arriving after a sample is ignored.
+  e.seed_prior(5.0);
+  EXPECT_DOUBLE_EQ(e.srtt_ms(), 100.0);
+}
+
+TEST(RttEstimator, EwmaConvergesAndClampsAtMinRto) {
+  const RtoParams p = wide_params();
+  RttEstimator e;
+  for (int i = 0; i < 200; ++i) e.add_sample(2.0, p);
+  EXPECT_NEAR(e.srtt_ms(), 2.0, 1e-6);
+  EXPECT_NEAR(e.rttvar_ms(), 0.0, 1e-6);
+  // 2 + 4*0 = 2 ms would undershoot the floor.
+  EXPECT_EQ(e.rto(p), p.min_rto);
+}
+
+TEST(RttEstimator, EwmaGainsMatchJacobsonKarels) {
+  const RtoParams p = wide_params();
+  RttEstimator e;
+  e.add_sample(100.0, p);  // SRTT=100, RTTVAR=50
+  e.add_sample(200.0, p);
+  // RTTVAR <- 0.75*50 + 0.25*|100-200| = 62.5; SRTT <- 0.875*100 + 0.125*200.
+  EXPECT_DOUBLE_EQ(e.rttvar_ms(), 62.5);
+  EXPECT_DOUBLE_EQ(e.srtt_ms(), 112.5);
+}
+
+TEST(RttEstimator, KarnBackoffDoublesAndSampleCollapsesIt) {
+  const RtoParams p = wide_params();
+  RttEstimator e;
+  e.add_sample(40.0, p);  // RTO = 40 + 4*20 = 120 ms
+  const auto base = e.rto(p);
+  EXPECT_EQ(base, sim::from_ms(120.0));
+  e.on_timeout(p);
+  EXPECT_EQ(e.backoff(), 1u);
+  EXPECT_EQ(e.rto(p), 2 * base);
+  e.on_timeout(p);
+  EXPECT_EQ(e.rto(p), std::min<sim::Time>(4 * base, p.max_rto));
+  // Any valid sample collapses the backoff (and tightens RTTVAR via the
+  // EWMA: 0.75*20 + 0.25*0 = 15 -> RTO = 40 + 4*15 = 100 ms).
+  e.add_sample(40.0, p);
+  EXPECT_EQ(e.backoff(), 0u);
+  EXPECT_EQ(e.rto(p), sim::from_ms(100.0));
+}
+
+TEST(RttEstimator, BackoffCappedAtMaxBackoff) {
+  const RtoParams p = wide_params();
+  RttEstimator e;
+  for (int i = 0; i < 20; ++i) e.on_timeout(p);
+  EXPECT_EQ(e.backoff(), p.max_backoff);
+}
+
+TEST(PeerRtt, PriorConsultedOncePerPeerOnInsert) {
+  PeerRtt rtt(wide_params());
+  int prior_calls = 0;
+  rtt.set_prior([&prior_calls](std::uint32_t peer) {
+    ++prior_calls;
+    return static_cast<double>(10 * (peer + 1));
+  });
+  // Peer 1: prior 20 ms -> RTO = 20 + 4*10 = 60 ms.
+  EXPECT_EQ(rtt.rto(1), sim::from_ms(60.0));
+  EXPECT_EQ(rtt.rto(1), sim::from_ms(60.0));
+  EXPECT_EQ(prior_calls, 1) << "prior must be consulted once, at insert";
+  EXPECT_EQ(rtt.tracked(), 1u);
+  // A different peer gets its own estimator and its own prior.
+  EXPECT_EQ(rtt.rto(4), sim::from_ms(150.0));
+  EXPECT_EQ(prior_calls, 2);
+  EXPECT_EQ(rtt.tracked(), 2u);
+}
+
+TEST(PeerRtt, SampleAndTimeoutRoundTrip) {
+  PeerRtt rtt(wide_params());
+  rtt.sample(7, sim::from_ms(30.0));  // SRTT=30, RTTVAR=15 -> RTO 90 ms
+  EXPECT_EQ(rtt.rto(7), sim::from_ms(90.0));
+  rtt.timeout(7);
+  EXPECT_EQ(rtt.rto(7), sim::from_ms(180.0));
+  // A fresh sample collapses the backoff; the repeated 30 ms sample tightens
+  // RTTVAR to 11.25 -> RTO = 30 + 45 = 75 ms.
+  rtt.sample(7, sim::from_ms(30.0));
+  EXPECT_EQ(rtt.rto(7), sim::from_ms(75.0));
+  // Peers never touched stay untracked.
+  EXPECT_EQ(rtt.tracked(), 1u);
+}
+
+TEST(PeerRtt, NoPriorFallsBackToInitialRto) {
+  PeerRtt rtt(wide_params());
+  EXPECT_EQ(rtt.rto(3), wide_params().initial_rto);
+}
+
+}  // namespace
+}  // namespace pandas::core
