@@ -146,6 +146,15 @@ python3 scripts/soak.py --quick --seeds 1 \
     --bench "./${BUILD_DIR}/bench/bench_soak"
 echo "soak smoke OK"
 
+# Live-backend parity smoke job: one PANDAS slot over real loopback UDP
+# sockets must reach full sampling with zero silent drops (no send/EMSGSIZE/
+# decode failures) and match the lossless SimTransport twin within the
+# tolerances of docs/UDP.md "Sim-vs-live parity". Small n keeps it a few
+# seconds; the binary exits non-zero on any parity or drop-accounting
+# violation, and it runs for the ASan tree too.
+"./${BUILD_DIR}/examples/live_loopback" --nodes 64 --run-ms 2000 --parity
+echo "live-backend parity smoke OK"
+
 # Portable-fallback job (default config only): build the erasure stack with
 # SIMD tiers compiled out and no AVX in the baseline ISA, so the scalar
 # kernel path stays tested even though CI hosts all have AVX2. A separate

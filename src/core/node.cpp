@@ -85,10 +85,14 @@ void PandasNode::on_seed(net::NodeIndex from, net::SeedMsg&& msg) {
   if (!seed_received_) {
     seed_received_ = true;
     record_.seed_time = engine_.now() - record_.slot_start;
-    record_.seed_cells = static_cast<std::uint32_t>(msg.cells.size());
     obs::emit(trace_, obs::EventType::kSeedReceived, engine_.now(), obs::kNoPeer,
               static_cast<std::int64_t>(msg.cells.size()));
   }
+  // Accumulate rather than snapshot the first message: a real transport
+  // (UdpTransport) fragments one logical seed into several datagrams, each
+  // arriving as its own SeedMsg. The simulator delivers exactly one seed
+  // per node-slot, so this is behavior-neutral there.
+  record_.seed_cells += static_cast<std::uint32_t>(msg.cells.size());
   if (causal_ != nullptr) {
     const obs::HopTiming* hd = transport_.last_delivery(self_);
     const obs::HopTiming hop = hd != nullptr ? *hd : obs::HopTiming{};

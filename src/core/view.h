@@ -43,7 +43,9 @@ class View {
         ++v.size_;
       }
     }
-    if (always_include != net::kInvalidNode && !v.member_[always_include]) {
+    // An always_include outside the universe (including kInvalidNode) is
+    // ignored rather than indexing member_ out of bounds.
+    if (always_include < n && !v.member_[always_include]) {
       v.member_[always_include] = true;
       ++v.size_;
     }

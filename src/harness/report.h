@@ -97,6 +97,36 @@ inline void print_hardening(const ResultsSnapshot& s) {
   }
 }
 
+/// Live-backend transport section: per-class traffic decomposition (the same
+/// rows a sim run derives from TypedTrafficStats) plus the failure counters
+/// that make silent datagram loss impossible. Prints nothing for simulator
+/// snapshots (transport.live == false), keeping sim output unchanged.
+inline void print_transport(const ResultsSnapshot& s) {
+  const auto& t = s.transport;
+  if (!t.live) return;
+  std::printf("  Live transport (udp, %llu endpoints):\n",
+              static_cast<unsigned long long>(t.endpoints));
+  std::printf("    %-10s %12s %12s %14s %14s %12s %12s\n", "class",
+              "msgs sent", "msgs recv", "bytes sent", "bytes recv",
+              "cells sent", "cells recv");
+  for (const auto& c : t.by_class) {
+    if (c.msgs_sent == 0 && c.msgs_received == 0) continue;
+    std::printf("    %-10s %12llu %12llu %14llu %14llu %12llu %12llu\n",
+                c.name.c_str(), static_cast<unsigned long long>(c.msgs_sent),
+                static_cast<unsigned long long>(c.msgs_received),
+                static_cast<unsigned long long>(c.bytes_sent),
+                static_cast<unsigned long long>(c.bytes_received),
+                static_cast<unsigned long long>(c.cells_sent),
+                static_cast<unsigned long long>(c.cells_received));
+  }
+  std::printf("    send failures %llu (EMSGSIZE %llu), oversize fragments "
+              "%llu, decode failures %llu\n",
+              static_cast<unsigned long long>(t.send_failures),
+              static_cast<unsigned long long>(t.emsgsize_failures),
+              static_cast<unsigned long long>(t.oversize_fragments),
+              static_cast<unsigned long long>(t.decode_failures));
+}
+
 /// "Top deadline contributors" table: per-category mean milliseconds on the
 /// critical path (over all correct node-slots), sorted by total contribution,
 /// plus how often each category dominated a completed / missed slot.

@@ -15,6 +15,10 @@
 /// console report and every machine-readable export. Benches build one
 /// snapshot from their results and then either render it (report.h) or dump
 /// it as JSON (`--json`), so the two can never disagree about a number.
+namespace pandas::net {
+class UdpTransport;
+}
+
 namespace pandas::harness {
 
 /// One named distribution (a figure series): summary row + CDF points.
@@ -38,6 +42,36 @@ struct RoundRowSnapshot {
   TableCell messages, requested, replies_in, replies_after, cells_in,
       cells_after, duplicates, reconstructed, coverage_pct;
 };
+
+/// Per-message-class transport counters of a live (real-socket) run, summed
+/// over every endpoint. Mirrors net::TypedTrafficStats::Class.
+struct TransportClassSnapshot {
+  std::string name;  ///< "seed", "query", "response", "gossip", "dht"
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t cells_sent = 0;
+  std::uint64_t cells_received = 0;
+};
+
+/// Live-backend transport block: traffic decomposition plus the drop /
+/// failure counters that make silent loss impossible (docs/UDP.md). `live`
+/// gates both the JSON block and the console section, so simulator exports
+/// stay byte-identical to builds without the live backend.
+struct TransportSnapshot {
+  bool live = false;
+  std::uint64_t endpoints = 0;
+  std::uint64_t send_failures = 0;      ///< sendto() rejected by the kernel
+  std::uint64_t emsgsize_failures = 0;  ///< the EMSGSIZE subset
+  std::uint64_t oversize_fragments = 0; ///< encoded > 65,507 B (budget abuse)
+  std::uint64_t decode_failures = 0;    ///< datagrams failing strict decode
+  std::vector<TransportClassSnapshot> by_class;
+};
+
+/// Builds the transport block from a live UDP transport (all endpoints).
+[[nodiscard]] TransportSnapshot transport_snapshot_of(
+    const net::UdpTransport& transport);
 
 struct ResultsSnapshot {
   std::string experiment;  ///< label, e.g. "pandas/redundant-8"
@@ -69,6 +103,9 @@ struct ResultsSnapshot {
   }
   std::vector<SeriesSnapshot> series;
   std::vector<RoundRowSnapshot> table1;
+  /// Live-backend transport counters; default-constructed (live = false,
+  /// omitted everywhere) for simulator runs.
+  TransportSnapshot transport;
 
   /// Series lookup by name; an empty placeholder when absent, so renderers
   /// can print unconditional rows.

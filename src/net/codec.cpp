@@ -1,6 +1,8 @@
 #include "net/codec.h"
 
+#include <algorithm>
 #include <cstring>
+#include <type_traits>
 
 namespace pandas::net {
 
@@ -29,6 +31,9 @@ enum class Tag : std::uint8_t {
 /// datagrams (a real datagram cannot carry more than ~16 M entries anyway).
 constexpr std::uint32_t kMaxSeq = 1u << 24;
 
+/// Byte-producing writer. SizeWriter below implements the same interface;
+/// the one EncodeVisitor drives both, so encoded_size() can never drift
+/// from encode().
 class Writer {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
@@ -61,6 +66,23 @@ class Writer {
 
  private:
   std::vector<std::uint8_t> buf_;
+};
+
+/// Counting twin of Writer: tallies the bytes encode() would produce.
+class SizeWriter {
+ public:
+  void u8(std::uint8_t) { size_ += 1; }
+  void u16(std::uint16_t) { size_ += 2; }
+  void u32(std::uint32_t) { size_ += 4; }
+  void u64(std::uint64_t) { size_ += 8; }
+  void bytes(std::span<const std::uint8_t> b) { size_ += b.size(); }
+  void cells(const std::vector<CellId>& v) { size_ += 4 + v.size() * 4; }
+  void ids(const std::vector<std::uint64_t>& v) { size_ += 4 + v.size() * 8; }
+  void nodes(const std::vector<NodeIndex>& v) { size_ += 4 + v.size() * 4; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::size_t size_ = 0;
 };
 
 class Reader {
@@ -143,14 +165,16 @@ bool tags_well_formed(const std::vector<std::uint64_t>& tags,
   return tags.empty() || tags.size() == cells.size();
 }
 
-void put_node_id(Writer& w, const crypto::NodeId& id) { w.bytes(id.bytes); }
+template <typename W>
+void put_node_id(W& w, const crypto::NodeId& id) { w.bytes(id.bytes); }
 
 bool get_node_id(Reader& r, crypto::NodeId& id) { return r.bytes(id.bytes); }
 
 /// Causal metadata (obs/causal.h). The CauseId's slot is the message's own
 /// slot, so only (origin, seq) ride the wire; hop times are sim::Time
 /// microseconds encoded as two's-complement u64.
-void put_cause(Writer& w, const obs::CauseId& c) {
+template <typename W>
+void put_cause(W& w, const obs::CauseId& c) {
   w.u32(c.origin);
   w.u32(c.seq);
 }
@@ -161,7 +185,8 @@ void get_cause(Reader& r, obs::CauseId& c, std::uint64_t slot) {
   c.slot = slot;
 }
 
-void put_hop(Writer& w, const obs::HopTiming& h) {
+template <typename W>
+void put_hop(W& w, const obs::HopTiming& h) {
   w.u64(static_cast<std::uint64_t>(h.sent));
   w.u64(static_cast<std::uint64_t>(h.uplink_wait));
   w.u64(static_cast<std::uint64_t>(h.uplink_tx));
@@ -181,7 +206,8 @@ void get_hop(Reader& r, obs::HopTiming& h) {
   h.delivered = static_cast<sim::Time>(r.u64());
 }
 
-void put_boost(Writer& w, const BoostMap& boost) {
+template <typename W>
+void put_boost(W& w, const BoostMap& boost) {
   std::uint32_t lines = 0;
   for (const auto& lb : boost) {
     if (lb) ++lines;
@@ -222,8 +248,9 @@ bool get_boost(Reader& r, BoostMap& boost) {
   return r.ok();
 }
 
+template <typename W>
 struct EncodeVisitor {
-  Writer& w;
+  W& w;
 
   void operator()(const SeedMsg& m) {
     w.u8(static_cast<std::uint8_t>(Tag::kSeed));
@@ -313,12 +340,131 @@ struct EncodeVisitor {
   }
 };
 
+/// encoded_size() for a concrete alternative (no variant re-wrap needed).
+template <typename T>
+std::size_t sized(const T& m) {
+  SizeWriter w;
+  EncodeVisitor<SizeWriter>{w}(m);
+  return w.size();
+}
+
+template <typename T>
+inline constexpr bool kFragmentable =
+    std::is_same_v<T, SeedMsg> || std::is_same_v<T, CellReplyMsg> ||
+    std::is_same_v<T, GossipDataMsg> || std::is_same_v<T, DhtStoreMsg> ||
+    std::is_same_v<T, DhtValueMsg>;
+
+template <typename T>
+inline constexpr bool kTagged =
+    std::is_same_v<T, SeedMsg> || std::is_same_v<T, CellReplyMsg>;
+
+/// Splits one cell-carrying message (see header contract). `m` is consumed.
+template <typename T>
+void fragment_cells(T&& m, const DatagramBudget& budget,
+                    std::vector<Message>& out) {
+  // Tags are sliced alongside their cells only when the vectors pair up;
+  // a malformed (mismatched) tag vector is dropped, as decode() would
+  // reject it anyway.
+  const bool slice_tags = [&] {
+    if constexpr (kTagged<T>) {
+      return !m.tags.empty() && m.tags.size() == m.cells.size();
+    } else {
+      return false;
+    }
+  }();
+  const std::size_t per_cell_encoded = 4 + (slice_tags ? 8 : 0);
+  // Charge at least the actual encoded bytes, so every fragment's encode()
+  // provably fits max_bytes whenever its fixed header does.
+  const std::size_t charged = std::max(per_cell_encoded, budget.cell_cost);
+
+  const std::size_t total = sized(m);
+  const std::size_t fixed = total - m.cells.size() * 4 -
+                            [&]() -> std::size_t {
+                              if constexpr (kTagged<T>) return m.tags.size() * 8;
+                              return 0;
+                            }();
+  if (m.cells.size() <= budget.max_cells &&
+      fixed + m.cells.size() * charged <= budget.max_bytes) {
+    out.emplace_back(std::move(m));
+    return;
+  }
+
+  const auto all = std::move(m.cells);
+  std::vector<std::uint64_t> all_tags;
+  if constexpr (kTagged<T>) {
+    all_tags = std::move(m.tags);
+    m.tags.clear();
+  }
+  m.cells.clear();
+
+  std::size_t base = 0;
+  bool first = true;
+  while (first || base < all.size()) {
+    T part = m;  // header fields; boost only until the first emission
+    if constexpr (std::is_same_v<T, SeedMsg>) {
+      if (!first) part.boost.clear();
+    }
+    const std::size_t overhead = sized(part);
+    std::size_t cap =
+        overhead < budget.max_bytes ? (budget.max_bytes - overhead) / charged : 0;
+    cap = std::min(cap, budget.max_cells);
+    if (cap == 0) {
+      if constexpr (std::is_same_v<T, SeedMsg>) {
+        // A boost map so large it fills the whole datagram: emit it alone
+        // and let the cells follow in boost-free fragments. (Unreachable at
+        // realistic parameters; the transport still accounts for any
+        // fragment that ends up over the wire limit.)
+        if (first && !part.boost.empty() && base < all.size()) {
+          out.emplace_back(std::move(part));
+          first = false;
+          continue;
+        }
+      }
+      cap = 1;  // forward progress under pathological budgets
+    }
+    const std::size_t take = std::min(all.size() - base, cap);
+    part.cells.assign(all.begin() + static_cast<std::ptrdiff_t>(base),
+                      all.begin() + static_cast<std::ptrdiff_t>(base + take));
+    if constexpr (kTagged<T>) {
+      if (slice_tags) {
+        part.tags.assign(all_tags.begin() + static_cast<std::ptrdiff_t>(base),
+                         all_tags.begin() + static_cast<std::ptrdiff_t>(base + take));
+      }
+    }
+    out.emplace_back(std::move(part));
+    base += take;
+    first = false;
+  }
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode(const Message& msg) {
   Writer w;
-  std::visit(EncodeVisitor{w}, msg);
+  std::visit(EncodeVisitor<Writer>{w}, msg);
   return w.take();
+}
+
+std::size_t encoded_size(const Message& msg) {
+  SizeWriter w;
+  std::visit(EncodeVisitor<SizeWriter>{w}, msg);
+  return w.size();
+}
+
+std::vector<Message> fragment_to_budget(Message msg,
+                                        const DatagramBudget& budget) {
+  std::vector<Message> out;
+  std::visit(
+      [&](auto& m) {
+        using T = std::remove_cvref_t<decltype(m)>;
+        if constexpr (kFragmentable<T>) {
+          fragment_cells(std::move(m), budget, out);
+        } else {
+          out.emplace_back(std::move(m));
+        }
+      },
+      msg);
+  return out;
 }
 
 std::optional<Message> decode(std::span<const std::uint8_t> data) {

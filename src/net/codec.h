@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
@@ -19,13 +20,65 @@
 /// Cell payload bytes are not part of the control structure: a deployment
 /// attaches them from the custody store keyed by the encoded CellIds (the
 /// simulator and the loopback demo exchange presence information, exactly
-/// like the paper's PeerSim model).
+/// like the paper's PeerSim model). The datagram budget below nevertheless
+/// charges every carried cell its full deployment wire cost
+/// (BlobConfig::cell_bytes + crypto::kProofSize = kCellWireBytes), so a
+/// fragment stays a legal UDP datagram even once payloads ride along.
 namespace pandas::net {
 
 /// Serializes a message. Never fails.
 [[nodiscard]] std::vector<std::uint8_t> encode(const Message& msg);
 
+/// Exact byte count of encode(msg) without allocating the buffer. The same
+/// visitor drives both paths, so the two can never drift (pinned by
+/// codec_test's EncodedSizeMatchesEncode).
+[[nodiscard]] std::size_t encoded_size(const Message& msg);
+
 /// Parses a datagram produced by encode(). Strict; nullopt on any anomaly.
 [[nodiscard]] std::optional<Message> decode(std::span<const std::uint8_t> data);
+
+/// Largest UDP payload a single IPv4 datagram can carry
+/// (65,535 - 20 IP - 8 UDP). A sendto() beyond this fails with EMSGSIZE.
+inline constexpr std::size_t kMaxUdpPayloadBytes = 65'507;
+
+/// Per-datagram fragmentation budget. Cell-carrying messages are split so
+/// that every fragment's encoded form provably fits `max_bytes`, charging
+/// each cell max(actual encoded bytes, `cell_cost`). The default
+/// `cell_cost` is the full deployment wire cost of a cell — 512 B payload
+/// plus the 48 B KZG proof (kCellWireBytes) — so the packing leaves room
+/// for real payload bytes even though the presence-level codec only writes
+/// 12 B (CellId + proof tag) per cell.
+struct DatagramBudget {
+  /// Hard byte ceiling per fragment. Fragmentation guarantees the encoded
+  /// output of every cell-carrying fragment stays at or below this.
+  std::size_t max_bytes = kMaxUdpPayloadBytes;
+  /// Bytes budgeted per carried cell (>= the encoded cost is not required:
+  /// the packer always charges at least the actual encoded bytes).
+  std::size_t cell_cost = kCellWireBytes;
+  /// Optional hard cap on cells per fragment (tests, pacing experiments).
+  std::size_t max_cells = std::numeric_limits<std::size_t>::max();
+
+  /// Budget for a deployment with `cell_bytes`-byte cells (+48 B proof).
+  [[nodiscard]] static DatagramBudget for_cell_bytes(
+      std::uint32_t cell_bytes) noexcept {
+    DatagramBudget b;
+    b.cell_cost = cell_bytes + kCellProofBytes;
+    return b;
+  }
+};
+
+/// Splits a cell-carrying message into fragments that each fit the budget:
+/// for every returned fragment, encoded_size(fragment) <= budget.max_bytes
+/// (provided the message's fixed header itself fits, which holds for every
+/// PANDAS message at realistic parameters — see docs/UDP.md for the bound).
+/// Semantics preserved across fragments:
+///  - proof tags travel with their cells (identical slicing),
+///  - a SeedMsg's consolidation-boost map rides only on the first fragment
+///    (receivers install exactly one boost map per slot),
+///  - header fields (slot, cause, round flags, ...) are copied verbatim.
+/// Non-cell messages pass through unchanged; the transport accounts for any
+/// that exceed the budget instead of silently losing them.
+[[nodiscard]] std::vector<Message> fragment_to_budget(
+    Message msg, const DatagramBudget& budget);
 
 }  // namespace pandas::net

@@ -14,6 +14,8 @@ void TypedTrafficStats::merge(const TypedTrafficStats& other) noexcept {
     dst.msgs_received += src.msgs_received;
     dst.bytes_sent += src.bytes_sent;
     dst.bytes_received += src.bytes_received;
+    dst.cells_sent += src.cells_sent;
+    dst.cells_received += src.cells_received;
     dst.msgs_lost += src.msgs_lost;
     dst.cells_lost += src.cells_lost;
     dst.msgs_to_dead += src.msgs_to_dead;
@@ -192,6 +194,7 @@ void SimTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   auto& styped = typed_stats_[from].of(cls);
   styped.msgs_sent += 1;
   styped.bytes_sent += total_bytes;
+  styped.cells_sent += carried_cells(msg);
 
   // Uplink serialization (store-and-forward at the sender NIC). Sends run on
   // the sender's home shard; its engine holds the authoritative clock.
@@ -434,6 +437,7 @@ void SimTransport::deliver_(std::uint32_t shard, PendingIndex pi) {
   auto& rtyped = typed_stats_[to].of(cls);
   rtyped.msgs_received += 1;
   rtyped.bytes_received += wire_size(m);
+  rtyped.cells_received += carried_cells(m);
   if (handlers_[to]) handlers_[to](from, std::move(m));
 }
 

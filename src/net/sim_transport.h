@@ -77,6 +77,12 @@ struct TypedTrafficStats {
     std::uint64_t msgs_received = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
+    /// Cells carried by sent / delivered messages of this class. Updated by
+    /// both transports, so "delivered-cell count" is directly comparable
+    /// between a SimTransport run and a live UdpTransport run (the sim-vs-
+    /// live parity check in harness/live_run.h keys off these).
+    std::uint64_t cells_sent = 0;
+    std::uint64_t cells_received = 0;
     /// Whole messages eaten by the loss model on this node's sends.
     std::uint64_t msgs_lost = 0;
     /// Cells stripped from degraded (partially lost) cell messages.

@@ -39,11 +39,16 @@ class Transport {
 };
 
 /// Per-node traffic counters (drives Fig 10 / Fig 13 style statistics).
+/// `msgs_sent`/`bytes_sent` count only datagrams the transport actually
+/// accepted for transmission; sends the kernel rejected (e.g. EMSGSIZE on a
+/// real socket) land in `msgs_send_failed` instead of inflating the sent
+/// totals.
 struct TrafficStats {
   std::uint64_t msgs_sent = 0;
   std::uint64_t msgs_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  std::uint64_t msgs_send_failed = 0;
 
   void reset() { *this = TrafficStats{}; }
 };

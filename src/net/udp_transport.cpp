@@ -3,76 +3,31 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cassert>
 #include <cerrno>
 #include <cstring>
 #include <system_error>
 
-#include "net/codec.h"
-
 namespace pandas::net {
 
-namespace {
-
-/// Splits a cell-carrying message into datagram-sized chunks. Non-cell
-/// messages pass through unchanged.
-std::vector<Message> fragment(Message msg, std::size_t max_cells) {
-  std::vector<Message> out;
-  const std::size_t cells = carried_cells(msg);
-  if (cells <= max_cells) {
-    out.push_back(std::move(msg));
-    return out;
-  }
-  // Only reply/seed/store-style messages get big; split their cell vector.
-  std::visit(
-      [&](auto& m) {
-        using T = std::remove_cvref_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, SeedMsg> ||
-                      std::is_same_v<T, CellReplyMsg> ||
-                      std::is_same_v<T, GossipDataMsg> ||
-                      std::is_same_v<T, DhtStoreMsg> ||
-                      std::is_same_v<T, DhtValueMsg>) {
-          const auto all = std::move(m.cells);
-          for (std::size_t base = 0; base < all.size(); base += max_cells) {
-            T part = m;  // copies the header fields (boost only on first)
-            const std::size_t end = std::min(all.size(), base + max_cells);
-            part.cells.assign(all.begin() + static_cast<std::ptrdiff_t>(base),
-                              all.begin() + static_cast<std::ptrdiff_t>(end));
-            if constexpr (std::is_same_v<T, SeedMsg> ||
-                          std::is_same_v<T, CellReplyMsg>) {
-              // Proof tags travel with their cells: same slice per fragment.
-              if (m.tags.size() == all.size()) {
-                part.tags.assign(m.tags.begin() + static_cast<std::ptrdiff_t>(base),
-                                 m.tags.begin() + static_cast<std::ptrdiff_t>(end));
-              } else {
-                part.tags.clear();
-              }
-            }
-            if constexpr (std::is_same_v<T, SeedMsg>) {
-              if (base != 0) part.boost.clear();
-            }
-            out.emplace_back(std::move(part));
-          }
-        } else {
-          out.emplace_back(std::move(m));
-        }
-      },
-      msg);
-  return out;
-}
-
-}  // namespace
-
 UdpTransport::UdpTransport(sim::Engine& engine)
-    : engine_(engine), port_to_node_(65536, kInvalidNode) {}
+    : engine_(engine), port_to_node_(65536, kInvalidNode) {
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "epoll_create1");
+  }
+}
 
 UdpTransport::~UdpTransport() {
   for (const int fd : sockets_) {
     if (fd >= 0) ::close(fd);
   }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
 NodeIndex UdpTransport::add_endpoint() {
@@ -99,16 +54,35 @@ NodeIndex UdpTransport::add_endpoint() {
   ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
 
   const auto node = static_cast<NodeIndex>(sockets_.size());
+  // Level-triggered registration, once per socket for the transport's
+  // lifetime; the event datum carries the endpoint index so poll() never
+  // searches for the owning node.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = node;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    throw std::system_error(errno, std::generic_category(), "epoll_ctl");
+  }
+
   sockets_.push_back(fd);
   ports_.push_back(ntohs(addr.sin_port));
   handlers_.emplace_back();
   stats_.emplace_back();
+  typed_stats_.emplace_back();
+  decode_failures_by_node_.push_back(0);
   port_to_node_[ports_.back()] = node;
   return node;
 }
 
 void UdpTransport::set_handler(NodeIndex node, Handler handler) {
   handlers_.at(node) = std::move(handler);
+}
+
+TypedTrafficStats UdpTransport::typed_totals() const {
+  TypedTrafficStats total;
+  for (const auto& s : typed_stats_) total.merge(s);
+  return total;
 }
 
 void UdpTransport::send(NodeIndex from, NodeIndex to, Message msg) {
@@ -120,14 +94,37 @@ void UdpTransport::send(NodeIndex from, NodeIndex to, Message msg) {
   dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   dst.sin_port = htons(ports_[to]);
 
-  for (auto& part : fragment(std::move(msg), max_cells_per_datagram)) {
+  for (auto& part : fragment_to_budget(std::move(msg), budget)) {
     const auto bytes = encode(part);
+    const MsgClass cls = message_class(part);
+    const std::size_t cells = carried_cells(part);
+    // fragment_to_budget()'s postcondition: a cell-carrying fragment's
+    // encoded form fits the budget (the header contract requires the fixed
+    // header itself to fit, which every PANDAS message satisfies at any
+    // budget >= ~1 KB — see docs/UDP.md for the bound).
+    assert(cells == 0 || bytes.size() <= budget.max_bytes);
+    if (bytes.size() > kMaxUdpPayloadBytes) ++oversize_fragments_;
+
+    const auto n = ::sendto(sockets_[from], bytes.data(), bytes.size(), 0,
+                            reinterpret_cast<const sockaddr*>(&dst),
+                            sizeof(dst));
     auto& st = stats_[from];
+    auto& typed = typed_stats_[from].of(cls);
+    if (n < 0) {
+      // The kernel rejected the datagram: it never reached the wire, so it
+      // must not inflate the sent totals. (A full receiver buffer, by
+      // contrast, drops AFTER a successful send — genuine UDP loss, visible
+      // as sent > received.)
+      st.msgs_send_failed += 1;
+      ++send_failures_;
+      if (errno == EMSGSIZE) ++emsgsize_failures_;
+      continue;
+    }
     st.msgs_sent += 1;
-    st.bytes_sent += bytes.size();
-    // Fire-and-forget: a full socket buffer is genuine UDP loss.
-    (void)::sendto(sockets_[from], bytes.data(), bytes.size(), 0,
-                   reinterpret_cast<const sockaddr*>(&dst), sizeof(dst));
+    st.bytes_sent += static_cast<std::uint64_t>(n);
+    typed.msgs_sent += 1;
+    typed.bytes_sent += static_cast<std::uint64_t>(n);
+    typed.cells_sent += cells;
   }
 }
 
@@ -136,40 +133,56 @@ void UdpTransport::dispatch(NodeIndex to, std::span<const std::uint8_t> datagram
   auto msg = decode(datagram);
   if (!msg) {
     ++decode_failures_;
+    ++decode_failures_by_node_[to];
     return;
   }
+  const MsgClass cls = message_class(*msg);
   auto& st = stats_[to];
   st.msgs_received += 1;
   st.bytes_received += datagram.size();
+  auto& typed = typed_stats_[to].of(cls);
+  typed.msgs_received += 1;
+  typed.bytes_received += datagram.size();
+  typed.cells_received += carried_cells(*msg);
   const NodeIndex from =
       source_port < port_to_node_.size() ? port_to_node_[source_port] : kInvalidNode;
   if (handlers_[to]) handlers_[to](from, std::move(*msg));
 }
 
 void UdpTransport::poll(sim::Time max_wait) {
-  std::vector<pollfd> fds(sockets_.size());
-  for (std::size_t i = 0; i < sockets_.size(); ++i) {
-    fds[i] = {sockets_[i], POLLIN, 0};
-  }
+  if (sockets_.empty()) return;
+  // Round sub-millisecond waits UP to 1 ms: truncating to 0 would turn the
+  // engine's idle hook into a busy-spin whenever the next timer is closer
+  // than a millisecond. Clamp before the int cast — run_realtime() already
+  // bounds its idle waits to 20 ms, but poll() is public API.
+  const sim::Time wait = std::clamp<sim::Time>(max_wait, 0, sim::kSecond);
   const int timeout_ms =
-      static_cast<int>(std::max<sim::Time>(0, max_wait) / sim::kMillisecond);
-  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-  if (ready <= 0) return;
+      static_cast<int>((wait + sim::kMillisecond - 1) / sim::kMillisecond);
 
+  epoll_event events[64];
+  int ready = ::epoll_wait(epoll_fd_, events,
+                           static_cast<int>(std::size(events)), timeout_ms);
   std::uint8_t buf[65536];
-  for (std::size_t i = 0; i < fds.size(); ++i) {
-    if (!(fds[i].revents & POLLIN)) continue;
-    // Drain everything queued on this socket.
-    while (true) {
-      sockaddr_in src{};
-      socklen_t len = sizeof(src);
-      const auto n = ::recvfrom(sockets_[i], buf, sizeof(buf), 0,
-                                reinterpret_cast<sockaddr*>(&src), &len);
-      if (n < 0) break;  // EAGAIN: drained
-      dispatch(static_cast<NodeIndex>(i),
-               std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)),
-               ntohs(src.sin_port));
+  while (ready > 0) {
+    for (int e = 0; e < ready; ++e) {
+      const auto node = static_cast<NodeIndex>(events[e].data.u64);
+      // Drain everything queued on this socket.
+      while (true) {
+        sockaddr_in src{};
+        socklen_t len = sizeof(src);
+        const auto n = ::recvfrom(sockets_[node], buf, sizeof(buf), 0,
+                                  reinterpret_cast<sockaddr*>(&src), &len);
+        if (n < 0) break;  // EAGAIN: drained
+        dispatch(node,
+                 std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)),
+                 ntohs(src.sin_port));
+      }
     }
+    // A full event buffer means more sockets may be ready; sweep again
+    // without blocking until the set is quiet.
+    if (ready < static_cast<int>(std::size(events))) break;
+    ready = ::epoll_wait(epoll_fd_, events,
+                         static_cast<int>(std::size(events)), 0);
   }
 }
 

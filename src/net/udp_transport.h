@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/codec.h"
+#include "net/sim_transport.h"  // TypedTrafficStats
 #include "net/transport.h"
 #include "sim/engine.h"
 
@@ -24,22 +26,29 @@
 ///
 /// All endpoints live in one process (the 1,000-node deployment of the paper
 /// runs 13 such processes per server); the NodeIndex -> UDP port directory
-/// is kept locally. Oversized datagrams are fragmented at the codec level
-/// by the sender splitting cell lists (see max_cells_per_datagram).
+/// is kept locally. Cell-carrying messages are fragmented by ENCODED BYTES
+/// against `budget` (net/codec.h DatagramBudget) so every datagram provably
+/// fits the 65,507-byte UDP payload limit; sends the kernel still rejects
+/// are counted (send_failures / emsgsize_failures), never silently lost.
+/// Sockets are drained through one persistent epoll set instead of
+/// rebuilding a pollfd array per poll() call, so the idle hook stays O(ready)
+/// rather than O(endpoints) at a few hundred nodes.
 namespace pandas::net {
 
 class UdpTransport final : public Transport {
  public:
   /// `engine` provides timers for the components; poll() is driven by its
-  /// realtime idle hook.
+  /// realtime idle hook. Throws std::system_error if the epoll set cannot
+  /// be created.
   explicit UdpTransport(sim::Engine& engine);
   ~UdpTransport() override;
 
   UdpTransport(const UdpTransport&) = delete;
   UdpTransport& operator=(const UdpTransport&) = delete;
 
-  /// Binds a new datagram socket on 127.0.0.1 (ephemeral port) and returns
-  /// the endpoint's NodeIndex. Throws std::system_error on socket failure.
+  /// Binds a new datagram socket on 127.0.0.1 (ephemeral port), registers it
+  /// with the epoll set, and returns the endpoint's NodeIndex. Throws
+  /// std::system_error on socket failure.
   NodeIndex add_endpoint();
 
   void send(NodeIndex from, NodeIndex to, Message msg) override;
@@ -47,6 +56,9 @@ class UdpTransport final : public Transport {
 
   /// Drains all readable sockets, waiting up to `max_wait` for the first
   /// datagram. Decoded messages are dispatched to handlers inline.
+  /// Sub-millisecond waits round UP to 1 ms (epoll granularity) so a short
+  /// engine idle window never degenerates into a busy-spin; waits beyond
+  /// 1 s clamp down before the int conversion.
   void poll(sim::Time max_wait);
 
   [[nodiscard]] std::size_t endpoint_count() const noexcept {
@@ -54,26 +66,65 @@ class UdpTransport final : public Transport {
   }
   [[nodiscard]] std::uint16_t port_of(NodeIndex n) const { return ports_.at(n); }
   [[nodiscard]] const TrafficStats& stats(NodeIndex n) const { return stats_.at(n); }
+  /// Per-endpoint, per-message-class counters with the same semantics as
+  /// SimTransport::typed_stats — including cells_sent / cells_received, the
+  /// axis the sim-vs-live parity check compares.
+  [[nodiscard]] const TypedTrafficStats& typed_stats(NodeIndex n) const {
+    return typed_stats_.at(n);
+  }
+  /// Network-wide per-class totals (sum over all endpoints).
+  [[nodiscard]] TypedTrafficStats typed_totals() const;
+
+  /// Datagrams that arrived but failed strict decoding (all endpoints).
   [[nodiscard]] std::uint64_t decode_failures() const noexcept {
     return decode_failures_;
   }
+  /// Datagrams failing strict decode at this endpoint.
+  [[nodiscard]] std::uint64_t decode_failures(NodeIndex n) const {
+    return decode_failures_by_node_.at(n);
+  }
+  /// sendto() calls the kernel rejected, any errno (also counted per
+  /// endpoint in stats(n).msgs_send_failed).
+  [[nodiscard]] std::uint64_t send_failures() const noexcept {
+    return send_failures_;
+  }
+  /// The EMSGSIZE subset of send_failures(): datagrams over the UDP payload
+  /// limit. Zero by construction under the default budget — pinned by
+  /// udp_transport_test's FullSizeSeedAndReplyNeverHitEmsgsize.
+  [[nodiscard]] std::uint64_t emsgsize_failures() const noexcept {
+    return emsgsize_failures_;
+  }
+  /// Fragments whose encoded form exceeded kMaxUdpPayloadBytes anyway
+  /// (possible only when `budget.max_bytes` is raised above the wire limit,
+  /// as the EMSGSIZE regression test does deliberately).
+  [[nodiscard]] std::uint64_t oversize_fragments() const noexcept {
+    return oversize_fragments_;
+  }
 
-  /// Messages whose encoded form exceeds the datagram budget are split into
-  /// several datagrams by partitioning their cell list (mirrors the
-  /// simulator's per-packet loss granularity).
-  std::size_t max_cells_per_datagram = 2048;
+  /// Per-datagram fragmentation budget (net/codec.h). The default charges
+  /// every cell its full deployment wire cost and caps fragments at the
+  /// 65,507-byte UDP payload limit. Tests and pacing experiments may tighten
+  /// `max_cells` / `max_bytes`; raising `max_bytes` past the wire limit
+  /// makes the kernel the enforcer (EMSGSIZE, counted, never silent).
+  DatagramBudget budget{};
 
  private:
   void dispatch(NodeIndex to, std::span<const std::uint8_t> datagram,
                 std::uint16_t source_port);
 
   sim::Engine& engine_;
+  int epoll_fd_ = -1;
   std::vector<int> sockets_;          // per endpoint fd
   std::vector<std::uint16_t> ports_;  // per endpoint bound port
   std::vector<Handler> handlers_;
   std::vector<TrafficStats> stats_;
+  std::vector<TypedTrafficStats> typed_stats_;
+  std::vector<std::uint64_t> decode_failures_by_node_;
   std::vector<NodeIndex> port_to_node_;  // sparse map, indexed by port
   std::uint64_t decode_failures_ = 0;
+  std::uint64_t send_failures_ = 0;
+  std::uint64_t emsgsize_failures_ = 0;
+  std::uint64_t oversize_fragments_ = 0;
 };
 
 }  // namespace pandas::net

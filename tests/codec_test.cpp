@@ -179,5 +179,213 @@ TEST(Codec, RandomBytesNeverCrash) {
   }
 }
 
+/// The message zoo used by the size / fragmentation properties below.
+std::vector<Message> sample_messages() {
+  std::vector<Message> out;
+  SeedMsg s;
+  s.slot = 42;
+  for (std::uint16_t i = 0; i < 37; ++i) {
+    s.cells.push_back({i, i});
+    s.tags.push_back(0x100u + i);
+  }
+  auto lb = std::make_shared<LineBoost>();
+  lb->line = LineRef::col(9);
+  lb->entries = {{1, 0}, {2, 5}, {70000, 511}};
+  lb->finalize();
+  s.boost = {lb};
+  out.emplace_back(std::move(s));
+
+  CellQueryMsg q;
+  q.slot = 42;
+  q.cells = {{1, 2}, {3, 4}};
+  q.round = 3;
+  q.redraw = true;
+  out.emplace_back(std::move(q));
+
+  CellReplyMsg r;
+  r.slot = 42;
+  r.cells = {{5, 6}, {7, 8}, {9, 10}};
+  r.tags = {11, 12, 13};
+  r.buffered = true;
+  out.emplace_back(std::move(r));
+
+  GossipDataMsg g;
+  g.topic = 7;
+  g.msg_id = 99;
+  g.slot = 42;
+  g.cells = {{1, 1}};
+  g.extra_bytes = 4096;
+  out.emplace_back(std::move(g));
+  out.emplace_back(GossipIHaveMsg{7, {1, 2, 3}});
+  out.emplace_back(GossipIWantMsg{{4, 5}});
+  out.emplace_back(GossipGraftMsg{7});
+  out.emplace_back(GossipPruneMsg{7});
+  out.emplace_back(DhtFindNodeMsg{1, crypto::NodeId::from_label(3)});
+  out.emplace_back(DhtNodesMsg{1, {1, 2, 3}});
+  out.emplace_back(DhtStoreMsg{2, crypto::NodeId::from_label(4), {{1, 1}}});
+  out.emplace_back(DhtStoreAckMsg{2});
+  out.emplace_back(DhtFindValueMsg{3, crypto::NodeId::from_label(5)});
+  DhtValueMsg v;
+  v.rpc_id = 3;
+  v.found = true;
+  v.cells = {{2, 2}};
+  v.closer = {8, 9};
+  out.emplace_back(std::move(v));
+  return out;
+}
+
+TEST(Codec, EncodedSizeMatchesEncode) {
+  // encoded_size() and encode() are driven by the same visitor; this pins
+  // the contract across every message type, including boost maps and tags.
+  for (const auto& msg : sample_messages()) {
+    EXPECT_EQ(encoded_size(msg), encode(msg).size())
+        << "variant index " << msg.index();
+  }
+  EXPECT_EQ(encoded_size(Message(SeedMsg{})), encode(Message(SeedMsg{})).size());
+}
+
+TEST(Codec, FragmentBoundaryAtExactlyMaxCells) {
+  DatagramBudget budget;
+  budget.cell_cost = 0;  // byte budget out of the way: max_cells governs
+  budget.max_cells = 100;
+
+  CellReplyMsg r;
+  r.slot = 1;
+  for (std::uint16_t i = 0; i < 100; ++i) r.cells.push_back({i, i});
+  // Exactly max cells: must NOT split.
+  EXPECT_EQ(fragment_to_budget(Message(r), budget).size(), 1u);
+  // One more: splits 100 + 1.
+  r.cells.push_back({100, 100});
+  const auto parts = fragment_to_budget(Message(r), budget);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(carried_cells(parts[0]), 100u);
+  EXPECT_EQ(carried_cells(parts[1]), 1u);
+}
+
+TEST(Codec, ByteBudgetBoundaryIsExact) {
+  CellReplyMsg r;  // tagless: each cell encodes to exactly 4 bytes
+  r.slot = 1;
+  const std::size_t fixed = encoded_size(Message(r));
+  DatagramBudget budget;
+  budget.cell_cost = 0;  // charge actual encoded bytes (4 per cell)
+  budget.max_bytes = fixed + 10 * 4;
+
+  for (std::uint16_t i = 0; i < 10; ++i) r.cells.push_back({i, i});
+  EXPECT_EQ(fragment_to_budget(Message(r), budget).size(), 1u)
+      << "message at exactly max_bytes must not split";
+  r.cells.push_back({10, 10});
+  const auto parts = fragment_to_budget(Message(r), budget);
+  ASSERT_EQ(parts.size(), 2u);
+  for (const auto& p : parts) {
+    EXPECT_LE(encoded_size(p), budget.max_bytes);
+  }
+  EXPECT_EQ(carried_cells(parts[0]) + carried_cells(parts[1]), 11u);
+}
+
+TEST(Codec, TagsStayAlignedWithTheirCells) {
+  CellReplyMsg r;
+  r.slot = 3;
+  for (std::uint16_t i = 0; i < 250; ++i) {
+    r.cells.push_back({i, i});
+    r.tags.push_back(0xabc000u + i);  // tag i belongs to cell i
+  }
+  DatagramBudget budget;
+  budget.cell_cost = 0;
+  budget.max_cells = 64;
+  std::size_t seen = 0;
+  for (const auto& part : fragment_to_budget(Message(r), budget)) {
+    const auto& p = std::get<CellReplyMsg>(part);
+    ASSERT_EQ(p.tags.size(), p.cells.size());
+    for (std::size_t i = 0; i < p.cells.size(); ++i) {
+      EXPECT_EQ(p.cells[i].row, seen + i) << "cells out of order";
+      EXPECT_EQ(p.tags[i], 0xabc000u + seen + i) << "tag drifted off its cell";
+    }
+    seen += p.cells.size();
+  }
+  EXPECT_EQ(seen, 250u);
+}
+
+TEST(Codec, BoostRidesOnlyTheFirstSeedFragment) {
+  SeedMsg s;
+  s.slot = 4;
+  for (std::uint16_t i = 0; i < 90; ++i) {
+    s.cells.push_back({i, i});
+    s.tags.push_back(i);
+  }
+  auto lb = std::make_shared<LineBoost>();
+  lb->line = LineRef::row(1);
+  lb->entries = {{5, 0}, {6, 1}};
+  lb->finalize();
+  s.boost = {lb};
+
+  DatagramBudget budget;
+  budget.cell_cost = 0;
+  budget.max_cells = 40;
+  const auto parts = fragment_to_budget(Message(s), budget);
+  ASSERT_EQ(parts.size(), 3u);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const auto& p = std::get<SeedMsg>(parts[i]);
+    EXPECT_EQ(p.slot, s.slot);
+    if (i == 0) {
+      ASSERT_EQ(p.boost.size(), 1u) << "boost missing from first fragment";
+      EXPECT_EQ(p.boost[0]->entries, lb->entries);
+    } else {
+      EXPECT_TRUE(p.boost.empty()) << "boost duplicated on fragment " << i;
+    }
+  }
+}
+
+TEST(Codec, FullRowReplyFragmentsFitUdpPayload) {
+  // The acceptance-criterion regression: every fragment of a full-row
+  // 512-cell reply (and seed) encodes within the 65,507-byte UDP payload
+  // limit under the DEFAULT budget, which also charges each cell its full
+  // deployment wire cost (512 B payload + 48 B proof).
+  const DatagramBudget budget = DatagramBudget::for_cell_bytes(512);
+  EXPECT_EQ(budget.cell_cost, kCellWireBytes);
+
+  CellReplyMsg r;
+  r.slot = 9;
+  for (std::uint16_t i = 0; i < 512; ++i) {
+    r.cells.push_back({3, i});
+    r.tags.push_back(0x900u + i);
+  }
+  SeedMsg s;
+  s.slot = 9;
+  s.cells = r.cells;
+  s.tags = r.tags;
+  auto lb = std::make_shared<LineBoost>();
+  lb->line = LineRef::row(3);
+  for (std::uint32_t v = 0; v < 512; ++v) lb->entries.emplace_back(v, v % 512);
+  lb->finalize();
+  s.boost = {lb};
+
+  for (const Message& msg : {Message(r), Message(s)}) {
+    std::size_t cells = 0;
+    const auto parts = fragment_to_budget(msg, budget);
+    EXPECT_GT(parts.size(), 1u) << "512 wire-cost cells cannot fit one datagram";
+    for (const auto& part : parts) {
+      const auto bytes = encode(part);
+      EXPECT_LE(bytes.size(), kMaxUdpPayloadBytes);
+      EXPECT_LE(bytes.size(), budget.max_bytes);
+      // The budgeted (deployment) size fits too: cells * wire cost + header.
+      EXPECT_LE(carried_cells(part) * budget.cell_cost, budget.max_bytes);
+      cells += carried_cells(part);
+    }
+    EXPECT_EQ(cells, 512u) << "fragmentation lost cells";
+  }
+}
+
+TEST(Codec, NonCellMessagesPassThroughUnfragmented) {
+  DatagramBudget budget;
+  budget.max_cells = 1;
+  budget.max_bytes = 64;  // tighter than the IHave below encodes to
+  GossipIHaveMsg ih;
+  ih.topic = 1;
+  for (std::uint64_t i = 0; i < 100; ++i) ih.msg_ids.push_back(i);
+  const auto parts = fragment_to_budget(Message(ih), budget);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(std::get<GossipIHaveMsg>(parts[0]).msg_ids.size(), 100u);
+}
+
 }  // namespace
 }  // namespace pandas::net

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/builder.h"
 #include "core/node.h"
 #include "core/seeding.h"
@@ -42,7 +44,7 @@ TEST(UdpTransport, DeliversBetweenEndpoints) {
 TEST(UdpTransport, FragmentsLargeCellMessages) {
   sim::Engine engine(2);
   UdpTransport transport(engine);
-  transport.max_cells_per_datagram = 100;
+  transport.budget.max_cells = 100;
   const auto a = transport.add_endpoint();
   const auto b = transport.add_endpoint();
 
@@ -62,6 +64,122 @@ TEST(UdpTransport, FragmentsLargeCellMessages) {
                       [&](sim::Time w) { transport.poll(w); });
   EXPECT_EQ(messages, 5);  // 450 cells / 100 per datagram
   EXPECT_EQ(cells, 450u);
+  EXPECT_EQ(transport.send_failures(), 0u);
+}
+
+TEST(UdpTransport, FullSizeSeedAndReplyNeverHitEmsgsize) {
+  // The acceptance criterion of the oversized-datagram bugfix: a full-row
+  // 512-cell seed and reply at deployment cell size (512 B + 48 B proof)
+  // cross the live transport with ZERO kernel rejections and zero silent
+  // drops — every cell is delivered and accounted for.
+  sim::Engine engine(9);
+  UdpTransport transport(engine);
+  ASSERT_EQ(transport.budget.max_bytes, kMaxUdpPayloadBytes);
+  ASSERT_EQ(transport.budget.cell_cost, kCellWireBytes);
+  const auto a = transport.add_endpoint();
+  const auto b = transport.add_endpoint();
+
+  std::size_t cells = 0, tags = 0;
+  transport.set_handler(b, [&](NodeIndex, Message&& msg) {
+    cells += carried_cells(msg);
+    if (auto* s = std::get_if<SeedMsg>(&msg)) tags += s->tags.size();
+    if (auto* r = std::get_if<CellReplyMsg>(&msg)) tags += r->tags.size();
+  });
+
+  SeedMsg seed;
+  seed.slot = 1;
+  for (std::uint16_t i = 0; i < 512; ++i) {
+    seed.cells.push_back({i, i});
+    seed.tags.push_back(0x1000u + i);
+  }
+  auto lb = std::make_shared<LineBoost>();
+  lb->line = LineRef::row(3);
+  for (std::uint32_t v = 0; v < 64; ++v) lb->entries.emplace_back(v, v % 16);
+  lb->finalize();
+  seed.boost = {lb};
+  transport.send(a, b, Message(seed));
+
+  CellReplyMsg reply;
+  reply.slot = 1;
+  for (std::uint16_t i = 0; i < 512; ++i) {
+    reply.cells.push_back({i, static_cast<std::uint16_t>(i + 1)});
+    reply.tags.push_back(0x2000u + i);
+  }
+  transport.send(a, b, Message(reply));
+
+  engine.run_realtime(500 * sim::kMillisecond,
+                      [&](sim::Time w) { transport.poll(w); });
+
+  EXPECT_EQ(transport.send_failures(), 0u);
+  EXPECT_EQ(transport.emsgsize_failures(), 0u);
+  EXPECT_EQ(transport.oversize_fragments(), 0u);
+  EXPECT_EQ(transport.decode_failures(), 0u);
+  EXPECT_EQ(transport.stats(a).msgs_send_failed, 0u);
+  EXPECT_EQ(cells, 1024u) << "silently dropped cells";
+  EXPECT_EQ(tags, 1024u) << "proof tags lost in fragmentation";
+  // Sent == received: nothing vanished between the two loopback sockets.
+  const auto totals = transport.typed_totals();
+  const auto& s = totals.of(MsgClass::kSeed);
+  const auto& r = totals.of(MsgClass::kResponse);
+  EXPECT_EQ(s.cells_sent, 512u);
+  EXPECT_EQ(s.cells_received, 512u);
+  EXPECT_EQ(r.cells_sent, 512u);
+  EXPECT_EQ(r.cells_received, 512u);
+}
+
+TEST(UdpTransport, EmsgsizeIsCountedNotSilent) {
+  // Regression for the swallowed sendto() return: deliberately raise the
+  // budget past the UDP payload limit so the kernel rejects the datagram,
+  // and verify the failure is counted instead of tallied as sent.
+  sim::Engine engine(10);
+  UdpTransport transport(engine);
+  transport.budget.max_bytes = 200'000;  // kernel becomes the enforcer
+  transport.budget.cell_cost = 0;        // charge only actual encoded bytes
+  const auto a = transport.add_endpoint();
+  const auto b = transport.add_endpoint();
+
+  int received = 0;
+  transport.set_handler(b, [&](NodeIndex, Message&&) { ++received; });
+
+  CellReplyMsg r;
+  r.slot = 2;
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    r.cells.push_back({static_cast<std::uint16_t>(i % 512),
+                       static_cast<std::uint16_t>(i % 1024)});
+    r.tags.push_back(i);
+  }
+  transport.send(a, b, Message(r));  // one ~120 KB datagram
+
+  engine.run_realtime(100 * sim::kMillisecond,
+                      [&](sim::Time w) { transport.poll(w); });
+
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(transport.oversize_fragments(), 1u);
+  EXPECT_EQ(transport.emsgsize_failures(), 1u);
+  EXPECT_EQ(transport.send_failures(), 1u);
+  EXPECT_EQ(transport.stats(a).msgs_send_failed, 1u);
+  // The rejected datagram must not inflate the sent totals.
+  EXPECT_EQ(transport.stats(a).msgs_sent, 0u);
+  EXPECT_EQ(transport.stats(a).bytes_sent, 0u);
+  EXPECT_EQ(transport.typed_totals().of(MsgClass::kResponse).cells_sent, 0u);
+}
+
+TEST(UdpTransport, SubMillisecondPollWaitStillDelivers) {
+  // poll() used to truncate sub-ms waits to timeout_ms = 0 (busy-spin). The
+  // rounded-up wait must still deliver promptly and must accept waits far
+  // beyond the int range without overflowing the cast.
+  sim::Engine engine(11);
+  UdpTransport transport(engine);
+  const auto a = transport.add_endpoint();
+  const auto b = transport.add_endpoint();
+  int received = 0;
+  transport.set_handler(b, [&](NodeIndex, Message&&) { ++received; });
+  transport.send(a, b, Message(GossipGraftMsg{1}));
+  transport.poll(500);  // 500 us: rounds up to 1 ms, not down to a spin
+  EXPECT_EQ(received, 1);
+  transport.send(a, b, Message(GossipGraftMsg{2}));
+  transport.poll(std::numeric_limits<sim::Time>::max());  // clamped, no UB
+  EXPECT_EQ(received, 2);
 }
 
 TEST(UdpTransport, RealtimeTimersInterleaveWithSockets) {
@@ -131,6 +249,8 @@ TEST(UdpTransport, FullPandasSlotOverRealSockets) {
     if (node->sampled()) ++sampled;
   }
   EXPECT_EQ(transport.decode_failures(), 0u);
+  EXPECT_EQ(transport.send_failures(), 0u);
+  EXPECT_EQ(transport.oversize_fragments(), 0u);
   EXPECT_GE(consolidated, n - 1) << "consolidation over real UDP";
   EXPECT_GE(sampled, n - 1) << "sampling over real UDP";
 }

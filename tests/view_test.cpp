@@ -34,6 +34,22 @@ TEST(View, AlwaysIncludeForced) {
   }
 }
 
+TEST(View, AlwaysIncludeOutOfRangeIsIgnored) {
+  // Regression: always_include >= n used to index member_ out of bounds
+  // (heap-buffer-overflow under ASan). Out-of-universe indices — including
+  // kInvalidNode, the documented "no forced member" sentinel — are ignored.
+  util::Xoshiro256 rng(7);
+  const auto at_n = View::random_subset(10, 0.5, rng, 10);
+  EXPECT_FALSE(at_n.contains(10));
+  EXPECT_LE(at_n.size(), 10u);
+  const auto beyond = View::random_subset(10, 0.0, rng, 500);
+  EXPECT_EQ(beyond.size(), 0u);
+  const auto sentinel = View::random_subset(10, 0.0, rng, net::kInvalidNode);
+  EXPECT_EQ(sentinel.size(), 0u);
+  const auto empty_universe = View::random_subset(0, 1.0, rng, 0);
+  EXPECT_EQ(empty_universe.size(), 0u);
+}
+
 TEST(View, EmptySubset) {
   util::Xoshiro256 rng(3);
   const auto v = View::random_subset(50, 0.0, rng);
